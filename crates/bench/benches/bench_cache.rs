@@ -1,0 +1,41 @@
+//! T6: DWM cache replay throughput per policy stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dwm_bench::BENCH_SEED;
+use dwm_cache::{CacheConfig, DwmCache, PromotionPolicy, ReplacementPolicy};
+use dwm_trace::synth::{TraceGenerator, ZipfGen};
+
+fn cache_policies(c: &mut Criterion) {
+    let trace = ZipfGen::new(512, BENCH_SEED).generate(20_000);
+    let stacks: Vec<(&str, CacheConfig)> = vec![
+        ("lru", CacheConfig::new(8, 8).expect("valid")),
+        (
+            "sa_lru",
+            CacheConfig::new(8, 8)
+                .expect("valid")
+                .with_replacement(ReplacementPolicy::ShiftAwareLru { window: 2 }),
+        ),
+        (
+            "sa_lru_promo",
+            CacheConfig::new(8, 8)
+                .expect("valid")
+                .with_replacement(ReplacementPolicy::ShiftAwareLru { window: 2 })
+                .with_promotion(PromotionPolicy::SwapTowardPort),
+        ),
+    ];
+    let mut group = c.benchmark_group("cache_replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, config) in stacks {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut cache = DwmCache::new(*cfg);
+                cache.run_trace(std::hint::black_box(&trace))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_policies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! F10/F11: online placement and wear-leveling replay throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dwm_bench::markov_fixture;
+use dwm_core::online::{OnlineConfig, OnlinePlacer};
+use dwm_core::wear::{RotatingEvaluator, WearConfig};
+use dwm_core::{Hybrid, PlacementAlgorithm};
+
+fn online_placer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_placement");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let (trace, _) = markov_fixture(n);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| OnlinePlacer::new(OnlineConfig::default()).run(std::hint::black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+fn wear_evaluator(c: &mut Criterion) {
+    let (trace, graph) = markov_fixture(64);
+    let placement = Hybrid::default().place(&graph);
+    let mut group = c.benchmark_group("wear_rotation");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for period in [0u64, 256, 64] {
+        let config = if period == 0 {
+            WearConfig::disabled()
+        } else {
+            WearConfig::every_writes(period, 64)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(period), &config, |b, cfg| {
+            b.iter(|| {
+                RotatingEvaluator::new(*cfg).evaluate(std::hint::black_box(&placement), &trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, online_placer, wear_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! T3/F3: placement construction time per algorithm per kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dwm_bench::suite_fixture;
+use dwm_core::algorithms::standard_suite;
+
+fn placement_per_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    for (name, _, graph) in suite_fixture() {
+        for alg in standard_suite(1) {
+            // Annealing dominates wall clock; bench it separately in
+            // bench_runtime at scale instead of per kernel.
+            if alg.name() == "annealing" {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(alg.name(), &name), &graph, |b, g| {
+                b.iter(|| alg.place(std::hint::black_box(g)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, placement_per_kernel);
+criterion_main!(benches);

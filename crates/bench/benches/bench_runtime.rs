@@ -1,0 +1,34 @@
+//! F7: algorithm runtime scaling with item count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dwm_bench::{markov_fixture, BENCH_SEED};
+use dwm_core::algorithms::{
+    ChainGrowth, GroupedChainGrowth, Hybrid, OrganPipe, PlacementAlgorithm, SimulatedAnnealing,
+    Spectral,
+};
+
+fn algorithm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_scaling");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let (_, graph) = markov_fixture(n);
+        let algs: Vec<Box<dyn PlacementAlgorithm>> = vec![
+            Box::new(OrganPipe),
+            Box::new(ChainGrowth),
+            Box::new(GroupedChainGrowth),
+            Box::new(Spectral::default()),
+            Box::new(Hybrid::default()),
+            Box::new(SimulatedAnnealing::new(BENCH_SEED).with_iterations(5_000)),
+        ];
+        for alg in algs {
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &graph, |b, g| {
+                b.iter(|| alg.place(std::hint::black_box(g)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algorithm_scaling);
+criterion_main!(benches);

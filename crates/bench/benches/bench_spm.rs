@@ -1,0 +1,35 @@
+//! T5: multi-DBC scratchpad allocation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dwm_bench::matmul_fixture;
+use dwm_core::partition::Objective;
+use dwm_core::spm::SpmAllocator;
+use dwm_core::GroupedChainGrowth;
+
+fn spm_allocation(c: &mut Criterion) {
+    let (trace, _) = matmul_fixture();
+    let alloc = SpmAllocator::new(4, 16);
+    let mut group = c.benchmark_group("spm_allocation");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("round_robin"),
+        &trace,
+        |b, t| b.iter(|| alloc.allocate_round_robin(t.num_items()).expect("fits")),
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("affinity"), &trace, |b, t| {
+        b.iter(|| {
+            alloc
+                .allocate_with_objective(t, &GroupedChainGrowth, Objective::MinimizeExternal)
+                .expect("fits")
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("anti_affinity"),
+        &trace,
+        |b, t| b.iter(|| alloc.allocate(t, &GroupedChainGrowth).expect("fits")),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, spm_allocation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! One bench target per experiment family (see `DESIGN.md` §4):
+//!
+//! | Bench target | Experiments | What it measures |
+//! |--------------|-------------|------------------|
+//! | `bench_placement` | T3/F3 | placement construction per algorithm per kernel |
+//! | `bench_exact` | T4 | exact subset-DP optimum vs. instance size |
+//! | `bench_sweep` | F4/F5 | cost-model replay across tape lengths and port counts |
+//! | `bench_sim` | F6/V1 | bit-level simulator replay throughput |
+//! | `bench_runtime` | F7 | algorithm scaling with item count |
+//! | `bench_spm` | T5 | multi-DBC allocation |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dwm_graph::AccessGraph;
+use dwm_trace::kernels::Kernel;
+use dwm_trace::synth::{MarkovGen, TraceGenerator};
+use dwm_trace::Trace;
+
+/// Seed used by all benchmark fixtures.
+pub const BENCH_SEED: u64 = 0xBE_EC;
+
+/// A small representative kernel workload (matmul).
+pub fn matmul_fixture() -> (Trace, AccessGraph) {
+    let t = Kernel::MatMul { n: 8, block: 2 }.trace();
+    let g = AccessGraph::from_trace(&t);
+    (t, g)
+}
+
+/// The full kernel suite with prebuilt graphs.
+pub fn suite_fixture() -> Vec<(String, Trace, AccessGraph)> {
+    Kernel::suite()
+        .into_iter()
+        .map(|k| {
+            let t = k.trace();
+            let g = AccessGraph::from_trace(&t);
+            (k.name().to_string(), t, g)
+        })
+        .collect()
+}
+
+/// A Markov-clustered workload over `n` items with `20 n` accesses.
+pub fn markov_fixture(n: usize) -> (Trace, AccessGraph) {
+    let t = MarkovGen::new(n, (n / 8).max(2), BENCH_SEED)
+        .generate(20 * n)
+        .normalize();
+    let g = AccessGraph::from_trace(&t);
+    (t, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let (t, g) = matmul_fixture();
+        assert_eq!(t.num_items(), g.num_items());
+        assert_eq!(suite_fixture().len(), 8);
+        let (t, g) = markov_fixture(64);
+        assert_eq!(t.num_items(), g.num_items());
+        assert_eq!(t.len(), 20 * 64);
+    }
+}

@@ -1,0 +1,51 @@
+//! A set-associative cache whose data array is built from DWM tapes.
+//!
+//! Racetrack caches (the "TapeCache" design point) store the `A` ways
+//! of a set along one tape: hitting way `w` requires shifting the set's
+//! tape until `w` is under the port, so *which way a block occupies* —
+//! and how the replacement policy assigns ways — determines the cache's
+//! shift bill. This crate reproduces that design space as a substrate
+//! for the placement study:
+//!
+//! * [`DwmCache`] — the functional cache model with per-set tape state
+//!   and full hit/miss/shift accounting;
+//! * [`ReplacementPolicy`] — `Lru` (shift-oblivious baseline) vs.
+//!   `ShiftAwareLru` (victims biased toward the tape's current
+//!   position, trading a little recency for a lot of shifting);
+//! * [`PromotionPolicy`] — optionally migrate hit blocks one way
+//!   closer to the port (organ-pipe-style skew at run time, paying an
+//!   explicit swap cost).
+//!
+//! Experiment T6 sweeps these policies over the workload suite.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_cache::{CacheConfig, DwmCache};
+//!
+//! let mut cache = DwmCache::new(CacheConfig::new(4, 4)?);
+//! cache.access(0x100);            // cold miss
+//! let hit = cache.access(0x100);  // hit, no shift needed
+//! assert!(hit.hit);
+//! assert_eq!(hit.shifts, 0);
+//! # Ok::<(), dwm_cache::CacheConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod policy;
+
+pub use cache::{AccessOutcome, CacheStats, DwmCache};
+pub use config::{CacheConfig, CacheConfigError};
+pub use policy::{PromotionPolicy, ReplacementPolicy};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{
+        AccessOutcome, CacheConfig, CacheConfigError, CacheStats, DwmCache, PromotionPolicy,
+        ReplacementPolicy,
+    };
+}

@@ -1,0 +1,189 @@
+//! Minimal, dependency-free argument parsing for `dwmplace`.
+//!
+//! Grammar: `dwmplace <command> [positional...] [--flag value | --switch]`.
+//! Every command's options are validated by the command itself; this
+//! module only tokenizes and provides typed lookups.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Parsed command line: command word, positional args, and options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The first non-flag token (the subcommand).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--switch` (value `"true"`) options.
+    options: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Known boolean switches: these never consume a following token,
+    /// so `--csv trace.txt` keeps `trace.txt` positional.
+    const SWITCHES: &'static [&'static str] = &["csv", "quiet", "verbose"];
+
+    /// Parses a token stream (exclusive of the program name).
+    ///
+    /// Flags may appear anywhere after the command. A flag followed by
+    /// another flag (or nothing), or named in the known-switch list, is
+    /// treated as a boolean switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] if no command is present or a flag
+    /// token is malformed (`--` alone).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseArgsError> {
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut parsed = ParsedArgs::default();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ParseArgsError("empty flag '--'".into()));
+                }
+                let takes_value = !Self::SWITCHES.contains(&name)
+                    && i + 1 < tokens.len()
+                    && !tokens[i + 1].starts_with("--");
+                if takes_value {
+                    parsed
+                        .options
+                        .insert(name.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    parsed.options.insert(name.to_string(), "true".into());
+                    i += 1;
+                }
+            } else {
+                if parsed.command.is_empty() {
+                    parsed.command = tok.clone();
+                } else {
+                    parsed.positional.push(tok.clone());
+                }
+                i += 1;
+            }
+        }
+        if parsed.command.is_empty() {
+            return Err(ParseArgsError("missing command".into()));
+        }
+        Ok(parsed)
+    }
+
+    /// String option, or `default` if absent.
+    pub fn opt_str(&self, name: &str, default: &str) -> String {
+        self.options
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] if present but not parseable.
+    pub fn opt_num<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Boolean switch (present at all, or `--flag true/false`).
+    pub fn switch(&self, name: &str) -> bool {
+        matches!(
+            self.options.get(name).map(String::as_str),
+            Some("true") | Some("")
+        )
+    }
+
+    /// The n-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] naming `what` when missing.
+    pub fn positional(&self, n: usize, what: &str) -> Result<&str, ParseArgsError> {
+        self.positional
+            .get(n)
+            .map(String::as_str)
+            .ok_or_else(|| ParseArgsError(format!("missing argument: {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let p = parse("place trace.txt extra");
+        assert_eq!(p.command, "place");
+        assert_eq!(p.positional, vec!["trace.txt", "extra"]);
+        assert_eq!(p.positional(0, "trace").unwrap(), "trace.txt");
+        assert!(p.positional(5, "missing").is_err());
+    }
+
+    #[test]
+    fn flags_with_values_and_switches() {
+        let p = parse("gen --kind zipf --items 64 --csv");
+        assert_eq!(p.opt_str("kind", "uniform"), "zipf");
+        assert_eq!(p.opt_num("items", 0usize).unwrap(), 64);
+        assert!(p.switch("csv"));
+        assert!(!p.switch("quiet"));
+        assert_eq!(p.opt_num("len", 100usize).unwrap(), 100);
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let p = parse("gen --items banana");
+        assert!(p.opt_num("items", 0usize).is_err());
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(ParsedArgs::parse(Vec::new()).is_err());
+        assert!(ParsedArgs::parse(vec!["--flag".to_string()]).is_err());
+    }
+
+    #[test]
+    fn empty_flag_is_an_error() {
+        assert!(ParsedArgs::parse(vec!["cmd".into(), "--".into()]).is_err());
+    }
+
+    #[test]
+    fn flag_before_positional_still_works() {
+        let p = parse("stats --csv trace.txt");
+        assert_eq!(p.command, "stats");
+        assert!(p.switch("csv"));
+        assert_eq!(p.positional(0, "trace").unwrap(), "trace.txt");
+    }
+}

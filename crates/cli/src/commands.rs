@@ -1,0 +1,447 @@
+//! The `dwmplace` subcommands.
+//!
+//! Each command is a pure function from parsed arguments to a text
+//! report (plus optional file side effects), which keeps the whole CLI
+//! unit-testable without spawning processes.
+
+use std::error::Error;
+
+use dwm_core::algorithms::{standard_suite, PlacementAlgorithm};
+use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost};
+use dwm_core::online::{OnlineConfig, OnlinePlacer};
+use dwm_core::spm::SpmAllocator;
+use dwm_core::{GroupedChainGrowth, Hybrid, Placement};
+use dwm_device::PortLayout;
+use dwm_graph::AccessGraph;
+use dwm_trace::analysis::ReuseProfile;
+use dwm_trace::kernels::Kernel;
+use dwm_trace::synth::{MarkovGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen};
+use dwm_trace::{io as trace_io, Trace};
+
+use crate::args::{ParseArgsError, ParsedArgs};
+
+type CommandResult = Result<String, Box<dyn Error>>;
+
+/// Usage text printed by `dwmplace help` (and on errors).
+pub const USAGE: &str = "\
+dwmplace — data placement for domain-wall memories
+
+USAGE: dwmplace <command> [args] [--flags]
+
+COMMANDS:
+  gen --kind <uniform|zipf|seq|stride|markov|kernel:NAME>
+      [--items N] [--len N] [--seed N] [--out FILE]
+                     generate a trace (text format to stdout or FILE)
+  stats <trace>      trace statistics and reuse profile
+  place <trace> [--algorithm NAME] [--out FILE]
+                     compute a placement; report shifts vs naive
+  sweep <trace>      compare the full algorithm suite
+  eval <trace> <placement.json> [--ports N] [--tape-length L]
+                     evaluate a saved placement under a port layout
+  spm <trace> [--dbcs K] [--words L]
+                     multi-DBC scratchpad allocation comparison
+  online <trace> [--window N] [--migration-cost N]
+                     windowed adaptive placement report
+  cache <trace> [--sets N] [--ways N] [--window N]
+                     DWM cache policy comparison (LRU vs shift-aware)
+  help               this text
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates argument, I/O, and model errors with user-facing
+/// messages.
+pub fn dispatch(args: &ParsedArgs) -> CommandResult {
+    match args.command.as_str() {
+        "gen" => cmd_gen(args),
+        "stats" => cmd_stats(args),
+        "place" => cmd_place(args),
+        "sweep" => cmd_sweep(args),
+        "eval" => cmd_eval(args),
+        "spm" => cmd_spm(args),
+        "online" => cmd_online(args),
+        "cache" => cmd_cache(args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(Box::new(ParseArgsError(format!(
+            "unknown command {other:?}; try 'dwmplace help'"
+        )))),
+    }
+}
+
+fn load_trace(args: &ParsedArgs, n: usize) -> Result<Trace, Box<dyn Error>> {
+    let path = args.positional(n, "trace file")?;
+    Ok(trace_io::load_text(path)?)
+}
+
+fn cmd_gen(args: &ParsedArgs) -> CommandResult {
+    let kind = args.opt_str("kind", "uniform");
+    let items: usize = args.opt_num("items", 64)?;
+    let len: usize = args.opt_num("len", 10_000)?;
+    let seed: u64 = args.opt_num("seed", 1)?;
+    let trace = if let Some(kernel_name) = kind.strip_prefix("kernel:") {
+        Kernel::suite()
+            .into_iter()
+            .find(|k| k.name() == kernel_name)
+            .ok_or_else(|| {
+                ParseArgsError(format!(
+                    "unknown kernel {kernel_name:?}; choose from: {}",
+                    Kernel::suite()
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?
+            .trace()
+    } else {
+        match kind.as_str() {
+            "uniform" => UniformGen::new(items, seed).generate(len),
+            "zipf" => ZipfGen::new(items, seed).generate(len),
+            "seq" => SequentialGen::new(items).generate(len),
+            "stride" => StridedGen::new(items, args.opt_num("stride", 3)?).generate(len),
+            "markov" => MarkovGen::new(items, (items / 8).max(2), seed).generate(len),
+            other => {
+                return Err(Box::new(ParseArgsError(format!(
+                    "unknown generator kind {other:?}"
+                ))))
+            }
+        }
+    };
+    let text = trace_io::to_text(&trace);
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            Ok(format!(
+                "wrote {} accesses over {} items to {path}",
+                trace.len(),
+                trace.num_items()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn cmd_stats(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?;
+    let s = trace.stats();
+    let reuse = ReuseProfile::compute(&trace);
+    Ok(format!(
+        "label:           {}\n\
+         accesses:        {}\n\
+         distinct items:  {}\n\
+         reads / writes:  {} / {}\n\
+         mean stride:     {:.2}\n\
+         hot-20% share:   {:.0}%\n\
+         self-transition: {:.0}%\n\
+         mean reuse dist: {:.2}\n\
+         cold accesses:   {}",
+        if trace.label().is_empty() {
+            "(none)"
+        } else {
+            trace.label()
+        },
+        s.length,
+        s.distinct_items,
+        s.reads,
+        s.writes,
+        s.mean_stride,
+        s.hot20_share * 100.0,
+        s.self_transition_rate * 100.0,
+        reuse.mean_distance(),
+        reuse.cold_accesses,
+    ))
+}
+
+fn algorithm_by_name(name: &str) -> Result<Box<dyn PlacementAlgorithm>, ParseArgsError> {
+    standard_suite(1)
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            ParseArgsError(format!(
+                "unknown algorithm {name:?}; choose from: {}",
+                standard_suite(1)
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+fn cmd_place(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let algorithm = algorithm_by_name(&args.opt_str("algorithm", "hybrid"))?;
+    let graph = AccessGraph::from_trace(&trace);
+    let placement = algorithm.place(&graph);
+    let model = SinglePortCost::new();
+    let naive = model
+        .trace_cost(&Placement::identity(graph.num_items()), &trace)
+        .stats
+        .shifts;
+    let tuned = model.trace_cost(&placement, &trace).stats.shifts;
+    let mut out = format!(
+        "{}: {naive} -> {tuned} shifts ({:.1}% reduction)\ntape order: {:?}",
+        algorithm.name(),
+        100.0 * (naive as f64 - tuned as f64) / naive.max(1) as f64,
+        placement.order(),
+    );
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&placement)?)?;
+        out.push_str(&format!("\nsaved placement to {path}"));
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let csv = args.switch("csv");
+    let graph = AccessGraph::from_trace(&trace);
+    let model = SinglePortCost::new();
+    let naive = model
+        .trace_cost(&Placement::identity(graph.num_items()), &trace)
+        .stats
+        .shifts;
+    let mut out = if csv {
+        "algorithm,shifts,reduction_percent\n".to_string()
+    } else {
+        format!("{:<16} {:>10} {:>9}\n", "algorithm", "shifts", "vs naive")
+    };
+    for alg in standard_suite(args.opt_num("seed", 1)?) {
+        let shifts = model.trace_cost(&alg.place(&graph), &trace).stats.shifts;
+        let reduction = 100.0 * (naive as f64 - shifts as f64) / naive.max(1) as f64;
+        if csv {
+            out.push_str(&format!("{},{shifts},{reduction:.1}\n", alg.name()));
+        } else {
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>8.1}%\n",
+                alg.name(),
+                shifts,
+                reduction
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_eval(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let placement: Placement = serde_json::from_str(&std::fs::read_to_string(
+        args.positional(1, "placement.json")?,
+    )?)?;
+    let ports: usize = args.opt_num("ports", 1)?;
+    let tape_length: usize = args.opt_num("tape-length", placement.num_items().max(1))?;
+    let model = MultiPortCost::evenly_spaced(ports, tape_length);
+    let report = model.trace_cost(&placement, &trace);
+    Ok(format!(
+        "{} under {}: {}",
+        trace.label(),
+        model.name(),
+        report.stats
+    ))
+}
+
+fn cmd_spm(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let dbcs: usize = args.opt_num("dbcs", 4)?;
+    let words: usize = args.opt_num("words", 16)?;
+    let alloc = SpmAllocator::new(dbcs, words);
+    let ports = PortLayout::single();
+    let rr = alloc.allocate_round_robin(trace.num_items())?;
+    let smart = alloc.allocate(&trace, &GroupedChainGrowth)?;
+    let (rr_stats, _) = rr.trace_cost(&trace, &ports);
+    let (smart_stats, _) = smart.trace_cost(&trace, &ports);
+    Ok(format!(
+        "SPM {dbcs}x{words}: round-robin {} shifts, anti-affinity {} shifts ({:.1}% reduction)",
+        rr_stats.shifts,
+        smart_stats.shifts,
+        100.0 * (rr_stats.shifts as f64 - smart_stats.shifts as f64)
+            / rr_stats.shifts.max(1) as f64
+    ))
+}
+
+fn cmd_online(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let config = OnlineConfig {
+        window: args.opt_num("window", 512)?,
+        migration_shifts_per_item: args.opt_num("migration-cost", 64)?,
+        ..OnlineConfig::default()
+    };
+    let report = OnlinePlacer::new(config).run(&trace);
+    let naive = SinglePortCost::new()
+        .trace_cost(&Placement::identity(trace.num_items()), &trace)
+        .stats
+        .shifts;
+    let graph = AccessGraph::from_trace(&trace);
+    let oracle = SinglePortCost::new()
+        .trace_cost(&Hybrid::default().place(&graph), &trace)
+        .stats
+        .shifts;
+    Ok(format!(
+        "static-naive:  {naive} shifts\n\
+         static-oracle: {oracle} shifts\n\
+         online:        {} shifts ({} access + {} migration, {} adaptations)",
+        report.total_shifts(),
+        report.access_shifts,
+        report.migration_shifts,
+        report.migrations,
+    ))
+}
+
+fn cmd_cache(args: &ParsedArgs) -> CommandResult {
+    use dwm_cache::{CacheConfig, DwmCache, ReplacementPolicy};
+    let trace = load_trace(args, 0)?;
+    let sets: usize = args.opt_num("sets", 8)?;
+    let ways: usize = args.opt_num("ways", 8)?;
+    let window: usize = args.opt_num("window", 2)?;
+    let lru = DwmCache::new(CacheConfig::new(sets, ways)?).run_trace(&trace);
+    let aware = DwmCache::new(
+        CacheConfig::new(sets, ways)?.with_replacement(ReplacementPolicy::ShiftAwareLru { window }),
+    )
+    .run_trace(&trace);
+    Ok(format!(
+        "cache {sets}x{ways}:\n\
+         lru            {:.1}% hits, {:.2} shifts/access\n\
+         shift-aware(w={window}) {:.1}% hits, {:.2} shifts/access ({:.1}% fewer shifts)",
+        lru.hit_ratio() * 100.0,
+        lru.shifts_per_access(),
+        aware.hit_ratio() * 100.0,
+        aware.shifts_per_access(),
+        100.0 * (lru.shifts as f64 - aware.shifts as f64) / lru.shifts.max(1) as f64
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> CommandResult {
+        let args = ParsedArgs::parse(line.split_whitespace().map(String::from))
+            .expect("parseable test command");
+        dispatch(&args)
+    }
+
+    fn temp_trace() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("dwmplace_test_{}.trace", std::process::id()));
+        let trace = ZipfGen::new(32, 5).generate(2000);
+        trace_io::save_text(&trace, &path).expect("temp file writable");
+        path
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("sweep"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn gen_produces_parseable_text() {
+        let out = run("gen --kind zipf --items 16 --len 100 --seed 2").unwrap();
+        let trace = trace_io::from_text(&out).unwrap();
+        assert_eq!(trace.len(), 100);
+        assert!(trace.num_items() <= 16);
+    }
+
+    #[test]
+    fn gen_kernel_kind_works() {
+        let out = run("gen --kind kernel:fft").unwrap();
+        let trace = trace_io::from_text(&out).unwrap();
+        assert_eq!(trace.label(), "fft");
+    }
+
+    #[test]
+    fn gen_unknown_kind_is_an_error() {
+        assert!(run("gen --kind nonsense").is_err());
+        assert!(run("gen --kind kernel:nonsense").is_err());
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let path = temp_trace();
+        let out = run(&format!("stats {}", path.display())).unwrap();
+        assert!(out.contains("accesses:        2000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn place_reports_reduction_and_saves() {
+        let path = temp_trace();
+        let out_path = std::env::temp_dir().join(format!(
+            "dwmplace_test_{}.placement.json",
+            std::process::id()
+        ));
+        let out = run(&format!(
+            "place {} --algorithm hybrid --out {}",
+            path.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("shifts"));
+        let placement: Placement =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(placement.num_items(), 32);
+
+        // eval round-trips the saved placement.
+        let eval = run(&format!(
+            "eval {} {} --ports 2 --tape-length 32",
+            path.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        assert!(eval.contains("2-port"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn sweep_lists_all_algorithms() {
+        let path = temp_trace();
+        let out = run(&format!("sweep {}", path.display())).unwrap();
+        for name in ["naive", "hybrid", "organ-pipe", "annealing"] {
+            assert!(out.contains(name), "missing {name} in sweep output");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn spm_and_online_commands_run() {
+        let path = temp_trace();
+        let spm = run(&format!("spm {} --dbcs 4 --words 8", path.display())).unwrap();
+        assert!(spm.contains("round-robin"));
+        let online = run(&format!("online {} --window 500", path.display())).unwrap();
+        assert!(online.contains("online:"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cache_command_compares_policies() {
+        let path = temp_trace();
+        let out = run(&format!("cache {} --sets 4 --ways 4", path.display())).unwrap();
+        assert!(out.contains("lru"));
+        assert!(out.contains("shift-aware"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_csv_emits_machine_readable_rows() {
+        let path = temp_trace();
+        let out = run(&format!("sweep --csv {}", path.display())).unwrap();
+        assert!(out.starts_with("algorithm,shifts,reduction_percent"));
+        assert!(out.lines().count() >= 9);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let path = temp_trace();
+        assert!(run(&format!("place {} --algorithm magic", path.display())).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

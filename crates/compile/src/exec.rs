@@ -1,0 +1,280 @@
+//! Program execution: run a loop nest and record its access trace.
+
+use std::error::Error;
+use std::fmt;
+
+use dwm_trace::{Access, AccessKind, ItemId, Trace};
+
+use crate::ir::{Node, Program};
+
+/// Errors surfaced while executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// An index expression referenced a loop variable with no value
+    /// (used outside its loop).
+    UnboundVariable {
+        /// The variable's index.
+        var: usize,
+    },
+    /// An access evaluated to an index outside its array.
+    IndexOutOfBounds {
+        /// Array name.
+        array: String,
+        /// The evaluated index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// The trace grew beyond the safety cap (runaway loop bounds).
+    TraceTooLong {
+        /// The cap that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundVariable { var } => {
+                write!(f, "loop variable #{var} used outside its loop")
+            }
+            ExecError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for array {array} of {len}")
+            }
+            ExecError::TraceTooLong { limit } => {
+                write!(f, "execution exceeded the {limit}-access safety cap")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Safety cap on emitted accesses (runaway-bound protection).
+pub const MAX_TRACE_LEN: usize = 10_000_000;
+
+struct Interp<'p> {
+    program: &'p Program,
+    env: Vec<i64>,
+    bound: Vec<bool>,
+    trace: Vec<Access>,
+}
+
+impl Interp<'_> {
+    fn run(&mut self, nodes: &[Node]) -> Result<(), ExecError> {
+        for node in nodes {
+            match node {
+                Node::Access {
+                    array,
+                    index,
+                    write,
+                } => {
+                    let idx = self.eval(index)?;
+                    let decl = &self.program.arrays()[array.0];
+                    if idx < 0 || idx as usize >= decl.len {
+                        return Err(ExecError::IndexOutOfBounds {
+                            array: decl.name.clone(),
+                            index: idx,
+                            len: decl.len,
+                        });
+                    }
+                    let item = self.program.array_base(*array) + idx as usize / decl.block;
+                    if self.trace.len() >= MAX_TRACE_LEN {
+                        return Err(ExecError::TraceTooLong {
+                            limit: MAX_TRACE_LEN,
+                        });
+                    }
+                    self.trace.push(Access {
+                        item: ItemId(item as u32),
+                        kind: if *write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                    });
+                }
+                Node::Loop { var, lo, hi, body } => {
+                    let lo = self.eval(lo)?;
+                    let hi = self.eval(hi)?;
+                    let was_bound = self.bound[var.0];
+                    let old = self.env[var.0];
+                    self.bound[var.0] = true;
+                    for v in lo..hi {
+                        self.env[var.0] = v;
+                        self.run(body)?;
+                    }
+                    self.env[var.0] = old;
+                    self.bound[var.0] = was_bound;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, expr: &crate::ir::AffineExpr) -> Result<i64, ExecError> {
+        // Reject reads of unbound variables even though env holds a
+        // stale 0 — silent zeros hide nest bugs.
+        for &(v, _) in expr_terms(expr) {
+            if !self.bound[v.0] {
+                return Err(ExecError::UnboundVariable { var: v.0 });
+            }
+        }
+        expr.evaluate(&self.env)
+            .ok_or(ExecError::UnboundVariable { var: usize::MAX })
+    }
+}
+
+// AffineExpr keeps its terms private; a crate-internal accessor keeps
+// the IR encapsulated for downstream users while letting the
+// interpreter check boundness.
+fn expr_terms(expr: &crate::ir::AffineExpr) -> &[(crate::ir::LoopVar, i64)] {
+    expr.terms_for_exec()
+}
+
+/// Executes `program` and returns its access trace (dense item ids in
+/// array-declaration order — already suitable for the placement
+/// crates, no normalization needed).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for unbound variables, out-of-bounds indices,
+/// or runaway traces.
+pub fn execute(program: &Program) -> Result<Trace, ExecError> {
+    let mut interp = Interp {
+        program,
+        env: vec![0; program.num_vars()],
+        bound: vec![false; program.num_vars()],
+        trace: Vec::new(),
+    };
+    interp.run(program.root())?;
+    Ok(Trace::from_accesses(interp.trace).with_label("program"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AffineExpr;
+
+    #[test]
+    fn simple_loop_emits_in_order() {
+        let mut p = Program::new();
+        let a = p.array("a", 8, 1);
+        let i = p.loop_var("i");
+        p.for_loop(i, 0, 8, |b| {
+            b.read(a, AffineExpr::var(i));
+        });
+        let t = execute(&p).unwrap();
+        let ids: Vec<u32> = t.iter().map(|x| x.item.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn blocking_groups_elements() {
+        let mut p = Program::new();
+        let a = p.array("a", 8, 4);
+        let i = p.loop_var("i");
+        p.for_loop(i, 0, 8, |b| {
+            b.read(a, AffineExpr::var(i));
+        });
+        let t = execute(&p).unwrap();
+        let ids: Vec<u32> = t.iter().map(|x| x.item.0).collect();
+        assert_eq!(ids, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn arrays_get_disjoint_item_ranges() {
+        let mut p = Program::new();
+        let a = p.array("a", 4, 1);
+        let b = p.array("b", 4, 1);
+        let i = p.loop_var("i");
+        p.for_loop(i, 0, 4, |body| {
+            body.read(a, AffineExpr::var(i));
+            body.write(b, AffineExpr::var(i));
+        });
+        let t = execute(&p).unwrap();
+        assert_eq!(t.num_items(), 8);
+        assert!(t
+            .iter()
+            .filter(|x| x.kind.is_write())
+            .all(|x| x.item.0 >= 4));
+    }
+
+    #[test]
+    fn triangular_bounds_work() {
+        // for i in 0..4 { for j in 0..i { a[j] } } → 0+1+2+3 accesses.
+        let mut p = Program::new();
+        let a = p.array("a", 4, 1);
+        let i = p.loop_var("i");
+        let j = p.loop_var("j");
+        p.for_loop(i, 0, 4, |outer| {
+            outer.for_loop_expr(j, AffineExpr::constant(0), AffineExpr::var(i), |inner| {
+                inner.read(a, AffineExpr::var(j));
+            });
+        });
+        assert_eq!(execute(&p).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_with_context() {
+        let mut p = Program::new();
+        let a = p.array("small", 4, 1);
+        let i = p.loop_var("i");
+        p.for_loop(i, 0, 5, |b| {
+            b.read(a, AffineExpr::var(i));
+        });
+        match execute(&p) {
+            Err(ExecError::IndexOutOfBounds { array, index, len }) => {
+                assert_eq!(array, "small");
+                assert_eq!(index, 4);
+                assert_eq!(len, 4);
+            }
+            other => panic!("expected out-of-bounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let mut p = Program::new();
+        let a = p.array("a", 4, 1);
+        let i = p.loop_var("i");
+        let _ = i;
+        let j = p.loop_var("j");
+        p.access(a, AffineExpr::var(j), false);
+        assert!(matches!(
+            execute(&p),
+            Err(ExecError::UnboundVariable { var: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_program_empty_trace() {
+        assert!(execute(&Program::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn matmul_nest_matches_expected_volume() {
+        // C[i·n+j] += A[i·n+k] · B[k·n+j], n = 4, element granularity.
+        let n = 4i64;
+        let mut p = Program::new();
+        let a = p.array("A", 16, 1);
+        let b = p.array("B", 16, 1);
+        let c = p.array("C", 16, 1);
+        let i = p.loop_var("i");
+        let j = p.loop_var("j");
+        let k = p.loop_var("k");
+        p.for_loop(i, 0, n, |bi| {
+            bi.for_loop(j, 0, n, |bj| {
+                bj.for_loop(k, 0, n, |bk| {
+                    bk.read(a, AffineExpr::var(i).scale(n).plus_var(k, 1));
+                    bk.read(b, AffineExpr::var(k).scale(n).plus_var(j, 1));
+                    bk.write(c, AffineExpr::var(i).scale(n).plus_var(j, 1));
+                });
+            });
+        });
+        let t = execute(&p).unwrap();
+        assert_eq!(t.len(), (n * n * n * 3) as usize);
+        assert_eq!(t.num_items(), 48);
+        assert_eq!(t.stats().writes, (n * n * n) as usize);
+    }
+}

@@ -1,0 +1,57 @@
+//! Affine loop-nest IR for DWM data-placement studies.
+//!
+//! The original toolflow extracts access traces from compiled
+//! benchmarks; this crate reproduces that front end as a small,
+//! self-contained compiler substrate:
+//!
+//! * [`ir`] — declare arrays and build affine loop nests
+//!   (`for i in 0..n { A[2*i+1]; B[i] = …; }`) with a fluent builder;
+//! * [`exec`] — execute the program, emitting the exact block-granular
+//!   access [`Trace`](dwm_trace::Trace) the placement crates consume;
+//! * [`layout`] — the data-layout pass: run the program symbolically,
+//!   place its blocks with any
+//!   [`PlacementAlgorithm`](dwm_core::PlacementAlgorithm), and map the
+//!   result back to per-array element locations.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_compile::ir::{Program, AffineExpr};
+//! use dwm_compile::layout::assign_layout;
+//! use dwm_core::Hybrid;
+//!
+//! // for i in 0..8 { y[i] = y[i] + a[i] * x[2*i % 16]; }
+//! let mut p = Program::new();
+//! let a = p.array("a", 8, 1);
+//! let x = p.array("x", 16, 2);
+//! let y = p.array("y", 8, 1);
+//! let i = p.loop_var("i");
+//! p.for_loop(i, 0, 8, |body| {
+//!     body.read(y, AffineExpr::var(i));
+//!     body.read(a, AffineExpr::var(i));
+//!     body.read(x, AffineExpr::var(i).scale(2).modulo(16));
+//!     body.write(y, AffineExpr::var(i));
+//! });
+//!
+//! let layout = assign_layout(&p, &Hybrid::default())?;
+//! assert!(layout.tuned_shifts <= layout.naive_shifts);
+//! # Ok::<(), dwm_compile::exec::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod ir;
+pub mod layout;
+
+pub use exec::{execute, ExecError};
+pub use ir::{AffineExpr, ArrayId, LoopVar, Program};
+pub use layout::{assign_layout, DataLayout};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::exec::{execute, ExecError};
+    pub use crate::ir::{AffineExpr, ArrayId, LoopVar, Program};
+    pub use crate::layout::{assign_layout, DataLayout};
+}

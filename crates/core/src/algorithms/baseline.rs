@@ -1,0 +1,89 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dwm_graph::AccessGraph;
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::placement::Placement;
+
+/// Naive baseline: items are laid out in the order the program first
+/// touches them (the identity placement on a normalized trace).
+///
+/// This is what a bump allocator or a compiler with no DWM awareness
+/// produces, and it is the normalization baseline of every figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrderOfAppearance;
+
+impl PlacementAlgorithm for OrderOfAppearance {
+    fn name(&self) -> String {
+        "naive".into()
+    }
+
+    fn place(&self, graph: &AccessGraph) -> Placement {
+        Placement::identity(graph.num_items())
+    }
+}
+
+/// Randomized baseline: a uniformly random permutation (seeded).
+///
+/// Random placement is the expected behaviour of hash-based allocation
+/// and bounds how much structure the other algorithms actually exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomPlacement {
+    /// RNG seed; the same seed always yields the same permutation.
+    pub seed: u64,
+}
+
+impl RandomPlacement {
+    /// A random placement with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPlacement { seed }
+    }
+}
+
+impl PlacementAlgorithm for RandomPlacement {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn place(&self, graph: &AccessGraph) -> Placement {
+        let mut order: Vec<usize> = (0..graph.num_items()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(self.seed));
+        Placement::from_order(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_identity() {
+        let g = AccessGraph::with_items(5);
+        let p = OrderOfAppearance.place(&g);
+        assert_eq!(p, Placement::identity(5));
+        assert_eq!(OrderOfAppearance.name(), "naive");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let g = AccessGraph::with_items(20);
+        assert_eq!(
+            RandomPlacement::new(9).place(&g),
+            RandomPlacement::new(9).place(&g)
+        );
+        assert_ne!(
+            RandomPlacement::new(9).place(&g),
+            RandomPlacement::new(10).place(&g)
+        );
+    }
+
+    #[test]
+    fn random_handles_tiny_graphs() {
+        for n in 0..3 {
+            let g = AccessGraph::with_items(n);
+            assert_eq!(RandomPlacement::new(1).place(&g).num_items(), n);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+use std::collections::VecDeque;
+
+use dwm_graph::{AccessGraph, Edge};
+
+use crate::algorithms::frequency::OrganPipe;
+use crate::algorithms::PlacementAlgorithm;
+use crate::placement::Placement;
+
+/// Adjacency-driven greedy chain merging.
+///
+/// The core of the proposed placement family: process access-graph
+/// edges in descending weight order; an edge joins its two endpoints'
+/// chains end-to-end whenever both endpoints are chain *ends* of
+/// different chains. The result is a set of chains in which heavily
+/// co-accessed items sit next to each other — exactly what a
+/// single-port tape wants, since consecutive accesses then cost one
+/// shift. Remaining chains are concatenated in descending total-weight
+/// order.
+///
+/// This is the greedy-matching construction for weighted Hamiltonian
+/// path / minimum linear arrangement, running in `O(E log E)` with
+/// union-find-style chain bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use dwm_graph::AccessGraph;
+/// use dwm_core::{ChainGrowth, PlacementAlgorithm};
+///
+/// let mut g = AccessGraph::with_items(3);
+/// g.add_weight(0, 2, 10); // hot pair
+/// g.add_weight(0, 1, 1);
+/// let p = ChainGrowth::default().place(&g);
+/// // Hot pair ends up adjacent on the tape.
+/// let d = (p.offset_of(0) as i64 - p.offset_of(2) as i64).abs();
+/// assert_eq!(d, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainGrowth;
+
+/// The chains produced by greedy edge merging, before final ordering.
+#[derive(Debug, Clone)]
+pub(crate) struct Chains {
+    /// Each chain as an ordered item list.
+    pub chains: Vec<VecDeque<usize>>,
+}
+
+pub(crate) fn grow_chains(graph: &AccessGraph) -> Chains {
+    let n = graph.num_items();
+    // chain_of[v] = index of the chain containing v, or usize::MAX.
+    let mut chain_of = vec![usize::MAX; n];
+    let mut chains: Vec<Option<VecDeque<usize>>> = Vec::new();
+
+    let mut edges: Vec<Edge> = graph.edges().collect();
+    // Heaviest first; ties in (u, v) lexicographic order for
+    // reproducibility.
+    edges.sort_by_key(|e| (std::cmp::Reverse(e.weight), e.u, e.v));
+
+    let is_end = |chains: &[Option<VecDeque<usize>>], chain_of: &[usize], v: usize| -> bool {
+        match chain_of[v] {
+            usize::MAX => true, // singleton: trivially an end
+            c => {
+                let chain = chains[c].as_ref().expect("live chain");
+                *chain.front().unwrap() == v || *chain.back().unwrap() == v
+            }
+        }
+    };
+
+    for e in edges {
+        let (u, v) = (e.u, e.v);
+        let cu = chain_of[u];
+        let cv = chain_of[v];
+        if cu != usize::MAX && cu == cv {
+            continue; // already in the same chain
+        }
+        if !is_end(&chains, &chain_of, u) || !is_end(&chains, &chain_of, v) {
+            continue; // one endpoint is interior: cannot join
+        }
+        // Materialize both sides as chains (singletons become chains).
+        let mut left = match cu {
+            usize::MAX => VecDeque::from([u]),
+            c => chains[c].take().expect("live chain"),
+        };
+        let mut right = match cv {
+            usize::MAX => VecDeque::from([v]),
+            c => chains[c].take().expect("live chain"),
+        };
+        // Orient so `left` ends with u and `right` starts with v.
+        if *left.back().unwrap() != u {
+            left = left.into_iter().rev().collect();
+        }
+        if *right.front().unwrap() != v {
+            right = right.into_iter().rev().collect();
+        }
+        left.extend(right);
+        let idx = chains.len();
+        for &x in &left {
+            chain_of[x] = idx;
+        }
+        chains.push(Some(left));
+    }
+
+    // Collect live chains plus leftover singletons, preserving a
+    // deterministic order.
+    let mut out: Vec<VecDeque<usize>> = chains.into_iter().flatten().collect();
+    for v in 0..n {
+        if chain_of[v] == usize::MAX {
+            out.push(VecDeque::from([v]));
+        }
+    }
+    Chains { chains: out }
+}
+
+/// Total access frequency of a chain (for ordering).
+fn chain_weight(graph: &AccessGraph, chain: &VecDeque<usize>) -> u64 {
+    chain.iter().map(|&v| graph.frequency(v)).sum()
+}
+
+impl PlacementAlgorithm for ChainGrowth {
+    fn name(&self) -> String {
+        "chain".into()
+    }
+
+    fn place(&self, graph: &AccessGraph) -> Placement {
+        let mut chains = grow_chains(graph).chains;
+        // Concatenate heaviest-first (hot chains near the port end).
+        chains.sort_by_key(|c| {
+            (
+                std::cmp::Reverse(chain_weight(graph, c)),
+                c.front().copied().unwrap_or(0),
+            )
+        });
+        let order: Vec<usize> = chains.into_iter().flatten().collect();
+        Placement::from_order(order)
+    }
+}
+
+/// The full proposed algorithm: chain growth followed by
+/// frequency-anchored (organ-pipe) ordering *of the chains*.
+///
+/// Plain [`ChainGrowth`] concatenates chains heaviest-first, which
+/// leaves a hot chain at one end of the tape far from cold chains it
+/// still occasionally talks to. `GroupedChainGrowth` instead arranges
+/// whole chains in an organ-pipe profile — the hottest chain in the
+/// middle, cooler chains alternating outward — and then greedily
+/// orients each chain to maximize the junction weight with its already-
+/// placed neighbour. This combines the adjacency win (hot pairs
+/// adjacent) with the frequency win (hot *groups* central).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupedChainGrowth;
+
+impl PlacementAlgorithm for GroupedChainGrowth {
+    fn name(&self) -> String {
+        "grouped-chain".into()
+    }
+
+    fn place(&self, graph: &AccessGraph) -> Placement {
+        let mut chains = grow_chains(graph).chains;
+        // Sort chains by descending weight, then arrange in organ-pipe
+        // profile at chain granularity.
+        chains.sort_by_key(|c| {
+            (
+                std::cmp::Reverse(chain_weight(graph, c)),
+                c.front().copied().unwrap_or(0),
+            )
+        });
+        let piped = OrganPipe::pipe_order(chains);
+
+        // Concatenate, flipping each chain if that strengthens the
+        // junction with the previously placed item.
+        let mut order: Vec<usize> = Vec::with_capacity(graph.num_items());
+        for chain in piped {
+            if let Some(&prev) = order.last() {
+                let front = *chain.front().expect("chains are nonempty");
+                let back = *chain.back().expect("chains are nonempty");
+                let keep = graph.weight(prev, front);
+                let flip = graph.weight(prev, back);
+                if flip > keep {
+                    order.extend(chain.into_iter().rev());
+                    continue;
+                }
+            }
+            order.extend(chain);
+        }
+        Placement::from_order(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::{kernel_graph, two_cluster_graph};
+
+    #[test]
+    fn chains_keep_heavy_edges_adjacent() {
+        let g = two_cluster_graph();
+        for alg in [&ChainGrowth as &dyn PlacementAlgorithm, &GroupedChainGrowth] {
+            let p = alg.place(&g);
+            // The lone inter-cluster edge (2,3) is light; the heavy
+            // intra-cluster structure must dominate: each cluster's
+            // items occupy three consecutive offsets.
+            let c1: Vec<usize> = (0..3).map(|i| p.offset_of(i)).collect();
+            let c2: Vec<usize> = (3..6).map(|i| p.offset_of(i)).collect();
+            let spread = |v: &[usize]| v.iter().max().unwrap() - v.iter().min().unwrap();
+            assert_eq!(spread(&c1), 2, "{} scattered cluster 1", alg.name());
+            assert_eq!(spread(&c2), 2, "{} scattered cluster 2", alg.name());
+        }
+    }
+
+    #[test]
+    fn grow_chains_covers_every_item_once() {
+        let g = kernel_graph();
+        let chains = grow_chains(&g).chains;
+        let mut seen = vec![false; g.num_items()];
+        for c in &chains {
+            for &v in c {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chain_growth_beats_naive_on_kernel_graph() {
+        let g = kernel_graph();
+        let naive = g.arrangement_cost(Placement::identity(g.num_items()).offsets());
+        let chain = g.arrangement_cost(ChainGrowth.place(&g).offsets());
+        let grouped = g.arrangement_cost(GroupedChainGrowth.place(&g).offsets());
+        assert!(chain <= naive);
+        assert!(grouped <= naive);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_identity_like_order() {
+        let g = AccessGraph::with_items(4);
+        let p = ChainGrowth.place(&g);
+        assert_eq!(p.num_items(), 4);
+        let p = GroupedChainGrowth.place(&g);
+        assert_eq!(p.num_items(), 4);
+    }
+
+    #[test]
+    fn single_heavy_edge_is_adjacent() {
+        let mut g = AccessGraph::with_items(8);
+        g.add_weight(1, 6, 100);
+        g.add_weight(0, 7, 1);
+        let p = GroupedChainGrowth.place(&g);
+        assert_eq!(
+            (p.offset_of(1) as i64 - p.offset_of(6) as i64).abs(),
+            1,
+            "heavy pair must be adjacent"
+        );
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = kernel_graph();
+        assert_eq!(ChainGrowth.place(&g), ChainGrowth.place(&g));
+        assert_eq!(GroupedChainGrowth.place(&g), GroupedChainGrowth.place(&g));
+    }
+}

@@ -1,0 +1,151 @@
+use dwm_graph::AccessGraph;
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::placement::Placement;
+
+/// Greedy best-position insertion (classic MinLA construction).
+///
+/// Items are considered in descending weighted-degree order; each item
+/// is inserted into the *position* of the partial order that minimizes
+/// the partial arrangement cost, shifting later items right. Unlike
+/// [`ChainGrowth`](crate::ChainGrowth), which commits to heavy edges
+/// pairwise, insertion evaluates each item against the whole prefix, so
+/// it handles high-degree "hub" vertices (grids, stars) better at
+/// `O(n² · d̄)` cost.
+///
+/// # Example
+///
+/// ```
+/// use dwm_graph::generators::path_graph;
+/// use dwm_core::{GreedyInsertion, PlacementAlgorithm};
+///
+/// let g = path_graph(12, 2);
+/// let p = GreedyInsertion::default().place(&g);
+/// // A path's optimal arrangement cost is (n-1)·w = 22.
+/// assert_eq!(g.arrangement_cost(p.offsets()), 22);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GreedyInsertion;
+
+impl GreedyInsertion {
+    /// Partial arrangement cost of `order` (edges with both endpoints
+    /// placed).
+    fn partial_cost(graph: &AccessGraph, order: &[usize], pos: &[usize]) -> u64 {
+        let mut cost = 0u64;
+        for &u in order {
+            for (v, w) in graph.neighbors(u) {
+                if v < u || pos[v] == usize::MAX {
+                    continue; // count each placed edge once (u < v)
+                }
+                if pos[u] != usize::MAX {
+                    cost += w * (pos[u] as i64).abs_diff(pos[v] as i64);
+                }
+            }
+        }
+        cost
+    }
+}
+
+impl PlacementAlgorithm for GreedyInsertion {
+    fn name(&self) -> String {
+        "insertion".into()
+    }
+
+    fn place(&self, graph: &AccessGraph) -> Placement {
+        let n = graph.num_items();
+        if n == 0 {
+            return Placement::identity(0);
+        }
+        let mut items: Vec<usize> = (0..n).collect();
+        items.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut pos = vec![usize::MAX; n];
+        for v in items {
+            // Try every insertion slot; keep the cheapest.
+            let mut best_slot = 0usize;
+            let mut best_cost = u64::MAX;
+            for slot in 0..=order.len() {
+                order.insert(slot, v);
+                for (p, &u) in order.iter().enumerate() {
+                    pos[u] = p;
+                }
+                pos[v] = slot;
+                let cost = Self::partial_cost(graph, &order, &pos);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_slot = slot;
+                }
+                order.remove(slot);
+            }
+            order.insert(best_slot, v);
+            for (p, &u) in order.iter().enumerate() {
+                pos[u] = p;
+            }
+        }
+        Placement::from_order(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::{interleaved_cluster_graph, kernel_graph};
+    use dwm_graph::generators::{path_graph, random_graph};
+
+    #[test]
+    fn recovers_path_order() {
+        let g = path_graph(10, 3);
+        let p = GreedyInsertion.place(&g);
+        assert_eq!(g.arrangement_cost(p.offsets()), 9 * 3);
+    }
+
+    #[test]
+    fn valid_permutation_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(18, 0.4, 5, seed);
+            let p = GreedyInsertion.place(&g);
+            let mut seen = vec![false; 18];
+            for off in 0..18 {
+                assert!(!seen[p.item_at(off)]);
+                seen[p.item_at(off)] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn groups_interleaved_clusters() {
+        let g = interleaved_cluster_graph();
+        let naive = g.arrangement_cost(Placement::identity(6).offsets());
+        let ins = g.arrangement_cost(GreedyInsertion.place(&g).offsets());
+        assert!(ins < naive);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = kernel_graph();
+        assert_eq!(GreedyInsertion.place(&g), GreedyInsertion.place(&g));
+    }
+
+    #[test]
+    fn handles_trivial_graphs() {
+        assert_eq!(
+            GreedyInsertion
+                .place(&AccessGraph::with_items(0))
+                .num_items(),
+            0
+        );
+        assert_eq!(
+            GreedyInsertion
+                .place(&AccessGraph::with_items(1))
+                .num_items(),
+            1
+        );
+        assert_eq!(
+            GreedyInsertion
+                .place(&AccessGraph::with_items(5))
+                .num_items(),
+            5
+        );
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by placement construction and allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// An offset vector was not a permutation of `0..n` (duplicate or
+    /// out-of-range offset).
+    NotAPermutation {
+        /// First offending offset value.
+        offset: usize,
+        /// Number of items the placement must cover.
+        items: usize,
+    },
+    /// The item set does not fit the available capacity.
+    CapacityExceeded {
+        /// Number of items to place.
+        items: usize,
+        /// Available word slots.
+        capacity: usize,
+    },
+    /// The exact solver was asked for more items than its subset DP can
+    /// enumerate.
+    TooLargeForExact {
+        /// Requested item count.
+        items: usize,
+        /// Hard limit of the solver.
+        limit: usize,
+    },
+    /// A partition request was degenerate (zero parts, or parts cannot
+    /// hold the items).
+    InvalidPartition {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NotAPermutation { offset, items } => write!(
+                f,
+                "offsets are not a permutation of 0..{items}: offending offset {offset}"
+            ),
+            PlacementError::CapacityExceeded { items, capacity } => {
+                write!(f, "{items} items exceed capacity of {capacity} words")
+            }
+            PlacementError::TooLargeForExact { items, limit } => write!(
+                f,
+                "{items} items exceed the exact solver's limit of {limit}"
+            ),
+            PlacementError::InvalidPartition { reason } => {
+                write!(f, "invalid partition request: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = PlacementError::CapacityExceeded {
+            items: 100,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PlacementError>();
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact optimal placement by branch and bound.
+//!
+//! An independent exact solver used to cross-check the subset DP in
+//! [`crate::exact`] (two implementations agreeing on the optimum is a
+//! strong correctness signal) and to handle slightly larger sparse
+//! instances: where the DP's `O(2ⁿ)` table is indifferent to structure,
+//! branch and bound prunes aggressively on graphs with strong locality.
+//!
+//! # Search and bounds
+//!
+//! Positions are filled left to right; a node of the search tree is a
+//! prefix of the order. Its cost-so-far uses the prefix-cut identity
+//! (see [`crate::exact`]): extending the prefix adds `cut(prefix)` to
+//! the objective. The lower bound is `cost_so_far + Σ w(u,v)` over
+//! edges with **both endpoints unplaced** — each such edge will span at
+//! least one future boundary, while an edge already crossing the
+//! boundary may contribute nothing more. The incumbent is seeded with
+//! the [`Hybrid`](crate::Hybrid) heuristic so pruning bites from the
+//! first descent, and children are explored weakest-cut-first.
+
+use dwm_graph::AccessGraph;
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::error::PlacementError;
+use crate::placement::Placement;
+
+/// Hard limit for the branch-and-bound solver. Above ~24 items even
+/// well-pruned search trees explode on dense graphs.
+pub const MAX_BB_ITEMS: usize = 24;
+
+struct Search<'g> {
+    graph: &'g AccessGraph,
+    n: usize,
+    /// Best complete cost found so far.
+    best_cost: u64,
+    /// Order achieving `best_cost`.
+    best_order: Vec<usize>,
+    /// Current prefix.
+    prefix: Vec<usize>,
+    in_prefix: Vec<bool>,
+    /// Σ of weights of edges with *both* endpoints unplaced. Each such
+    /// edge will span at least one future boundary, so it contributes
+    /// at least its weight to the final cost; edges already crossing
+    /// the prefix boundary can contribute 0 more (their second endpoint
+    /// may be placed immediately next), so they are excluded.
+    remaining_edge_weight: u64,
+}
+
+impl<'g> Search<'g> {
+    fn run(&mut self, cost_so_far: u64, cut: u64) {
+        if self.prefix.len() == self.n {
+            if cost_so_far < self.best_cost {
+                self.best_cost = cost_so_far;
+                self.best_order = self.prefix.clone();
+            }
+            return;
+        }
+        // Lower bound: every still-internal edge of the complement
+        // contributes at least its weight once both ends are placed.
+        if cost_so_far + self.remaining_edge_weight >= self.best_cost {
+            return;
+        }
+        // Order candidates by the cut they would produce (weakest cut
+        // first) — good solutions early tighten the bound.
+        let mut candidates: Vec<(u64, u64, usize)> = (0..self.n)
+            .filter(|&v| !self.in_prefix[v])
+            .map(|v| {
+                // cut(prefix ∪ {v}) = cut + deg(v) − 2·w(v, prefix)
+                let mut into = 0u64;
+                let mut outside = 0u64;
+                for (u, w) in self.graph.neighbors(v) {
+                    if self.in_prefix[u] {
+                        into += w;
+                    } else {
+                        outside += w;
+                    }
+                }
+                (cut + self.graph.degree(v) - 2 * into, outside, v)
+            })
+            .collect();
+        candidates.sort_unstable();
+
+        for (next_cut, edge_to_unplaced, v) in candidates {
+            // Placing v turns its fully-unplaced edges into crossing
+            // edges, which leave the remaining-edge bound.
+            self.prefix.push(v);
+            self.in_prefix[v] = true;
+            self.remaining_edge_weight -= edge_to_unplaced;
+            let add = if self.prefix.len() == self.n {
+                0
+            } else {
+                next_cut
+            };
+            self.run(cost_so_far + add, next_cut);
+            self.remaining_edge_weight += edge_to_unplaced;
+            self.in_prefix[v] = false;
+            self.prefix.pop();
+        }
+    }
+}
+
+/// Computes a provably optimal placement by branch and bound.
+///
+/// Produces the same cost as [`crate::exact::optimal_placement`]
+/// (verified by tests); the returned order may differ when several
+/// optima exist.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::TooLargeForExact`] when the graph has more
+/// than [`MAX_BB_ITEMS`] items.
+///
+/// # Example
+///
+/// ```
+/// use dwm_graph::generators::path_graph;
+/// use dwm_core::exact_bb::branch_and_bound_placement;
+///
+/// let g = path_graph(8, 2);
+/// let (_, cost) = branch_and_bound_placement(&g)?;
+/// assert_eq!(cost, 14);
+/// # Ok::<(), dwm_core::PlacementError>(())
+/// ```
+pub fn branch_and_bound_placement(graph: &AccessGraph) -> Result<(Placement, u64), PlacementError> {
+    let n = graph.num_items();
+    if n > MAX_BB_ITEMS {
+        return Err(PlacementError::TooLargeForExact {
+            items: n,
+            limit: MAX_BB_ITEMS,
+        });
+    }
+    if n == 0 {
+        return Ok((Placement::identity(0), 0));
+    }
+    // Seed the incumbent with a good heuristic so pruning bites
+    // immediately.
+    let seed = crate::algorithms::Hybrid::default().place(graph);
+    let seed_cost = graph.arrangement_cost(seed.offsets());
+
+    let mut search = Search {
+        graph,
+        n,
+        best_cost: seed_cost,
+        best_order: seed.order().to_vec(),
+        prefix: Vec::with_capacity(n),
+        in_prefix: vec![false; n],
+        remaining_edge_weight: graph.total_weight(),
+    };
+    search.run(0, 0);
+    let placement = Placement::from_order(search.best_order.clone());
+    debug_assert_eq!(
+        graph.arrangement_cost(placement.offsets()),
+        search.best_cost
+    );
+    Ok((placement, search.best_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::optimal_placement;
+    use dwm_graph::generators::{clustered_graph, path_graph, random_graph};
+
+    #[test]
+    fn agrees_with_subset_dp_on_random_graphs() {
+        for seed in 0..10 {
+            let g = random_graph(10, 0.5, 7, seed);
+            let (_, dp) = optimal_placement(&g).unwrap();
+            let (p, bb) = branch_and_bound_placement(&g).unwrap();
+            assert_eq!(dp, bb, "seed {seed}");
+            assert_eq!(g.arrangement_cost(p.offsets()), bb);
+        }
+    }
+
+    #[test]
+    fn agrees_with_subset_dp_on_clustered_graphs() {
+        for seed in 0..6 {
+            let g = clustered_graph(12, 3, 0.8, 0.2, 5, seed);
+            let (_, dp) = optimal_placement(&g).unwrap();
+            let (_, bb) = branch_and_bound_placement(&g).unwrap();
+            assert_eq!(dp, bb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn path_is_solved_exactly() {
+        let g = path_graph(12, 4);
+        let (_, cost) = branch_and_bound_placement(&g).unwrap();
+        assert_eq!(cost, 11 * 4);
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let g = AccessGraph::with_items(MAX_BB_ITEMS + 1);
+        assert!(matches!(
+            branch_and_bound_placement(&g),
+            Err(PlacementError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_instances() {
+        let (p, c) = branch_and_bound_placement(&AccessGraph::with_items(0)).unwrap();
+        assert_eq!((p.num_items(), c), (0, 0));
+        let (p, c) = branch_and_bound_placement(&AccessGraph::with_items(1)).unwrap();
+        assert_eq!((p.num_items(), c), (1, 0));
+    }
+
+    #[test]
+    fn handles_sparse_larger_instances() {
+        // 22 items is beyond the DP's comfort but fine for B&B on a
+        // path-like sparse graph.
+        let g = path_graph(22, 2);
+        let (_, cost) = branch_and_bound_placement(&g).unwrap();
+        assert_eq!(cost, 21 * 2);
+    }
+}

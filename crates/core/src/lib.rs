@@ -1,0 +1,83 @@
+//! Shift-reducing data placement for domain-wall memories.
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"Optimizing data placement for reducing shift operations on domain
+//! wall memories"* (DAC 2015): given the access behaviour of a workload
+//! (a [`Trace`](dwm_trace::Trace) or its
+//! [`AccessGraph`](dwm_graph::AccessGraph)), compute a
+//! [`Placement`] of data items onto the word offsets of a DWM tape that
+//! minimizes the number of shift operations.
+//!
+//! # Structure
+//!
+//! * [`Placement`] — a validated bijection between items and offsets;
+//! * [`cost`] — analytic shift-cost models ([`SinglePortCost`],
+//!   [`MultiPortCost`]) plus latency/energy projection;
+//! * [`algorithms`] — the algorithm suite: naive baselines, classic
+//!   organ-pipe frequency placement, the adjacency-driven
+//!   [`ChainGrowth`]/[`GroupedChainGrowth`] heuristics (the paper's
+//!   proposal), spectral ordering, simulated annealing, and a local-
+//!   search refiner;
+//! * [`exact`] — the exact optimum by dynamic programming over subsets
+//!   (the paper's small-instance optimality reference);
+//! * [`partition`] and [`spm`] — the multi-DBC extension: partition the
+//!   item set across clusters, then order within each cluster.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_trace::kernels::Kernel;
+//! use dwm_graph::AccessGraph;
+//! use dwm_core::prelude::*;
+//!
+//! let trace = Kernel::MatMul { n: 8, block: 2 }.trace();
+//! let graph = AccessGraph::from_trace(&trace);
+//!
+//! let naive = OrderOfAppearance.place(&graph);
+//! let tuned = GroupedChainGrowth::default().place(&graph);
+//!
+//! let model = SinglePortCost::new();
+//! let before = model.trace_cost(&naive, &trace).stats.shifts;
+//! let after = model.trace_cost(&tuned, &trace).stats.shifts;
+//! assert!(after <= before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod cost;
+mod error;
+pub mod exact;
+pub mod exact_bb;
+pub mod online;
+pub mod partition;
+mod placement;
+pub mod spm;
+pub mod wear;
+
+pub use algorithms::{
+    ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, OrderOfAppearance,
+    OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing, Spectral, TraceRefiner,
+    WindowedDp,
+};
+pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
+pub use error::PlacementError;
+pub use placement::Placement;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::algorithms::{
+        ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, OrderOfAppearance,
+        OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing, Spectral, TraceRefiner,
+        WindowedDp,
+    };
+    pub use crate::cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
+    pub use crate::exact::optimal_placement;
+    pub use crate::exact_bb::branch_and_bound_placement;
+    pub use crate::online::{OnlineConfig, OnlinePlacer, OnlineReport};
+    pub use crate::partition::Partitioner;
+    pub use crate::spm::{SpmAllocator, SpmLayout};
+    pub use crate::wear::{RotatingEvaluator, WearConfig, WearReport};
+    pub use crate::{Placement, PlacementError};
+}

@@ -1,0 +1,167 @@
+use serde::{Deserialize, Serialize};
+
+use crate::config::DeviceConfig;
+use crate::stats::ShiftStats;
+
+/// Energy breakdown of a replayed workload, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessEnergy {
+    /// Energy spent shifting tapes.
+    pub shift_pj: f64,
+    /// Energy spent on port reads.
+    pub read_pj: f64,
+    /// Energy spent on port writes.
+    pub write_pj: f64,
+    /// Leakage over the active interval.
+    pub leakage_pj: f64,
+}
+
+impl AccessEnergy {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.shift_pj + self.read_pj + self.write_pj + self.leakage_pj
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1000.0
+    }
+}
+
+/// Latency breakdown of a replayed workload, in controller cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessLatency {
+    /// Cycles spent shifting.
+    pub shift_cycles: u64,
+    /// Cycles spent on port reads.
+    pub read_cycles: u64,
+    /// Cycles spent on port writes.
+    pub write_cycles: u64,
+}
+
+impl AccessLatency {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.shift_cycles + self.read_cycles + self.write_cycles
+    }
+
+    /// Total latency in nanoseconds given the clock period.
+    pub fn total_ns(&self, clock_ns: f64) -> f64 {
+        self.total_cycles() as f64 * clock_ns
+    }
+}
+
+/// Projects raw shift/access counters into latency and energy using a
+/// device configuration.
+///
+/// This is how the experiment harness converts the placement
+/// algorithms' shift counts (the quantity the paper optimizes) into the
+/// latency/energy improvements its figures report.
+///
+/// # Example
+///
+/// ```
+/// use dwm_device::{CostProjection, DeviceConfig, ShiftStats};
+///
+/// let config = DeviceConfig::default();
+/// let mut stats = ShiftStats::new();
+/// stats.record(10, false); // one read, 10 shifts
+/// let projection = CostProjection::new(&config);
+/// let latency = projection.latency(&stats);
+/// assert_eq!(
+///     latency.total_cycles(),
+///     10 * config.timing().shift_cycles + config.timing().read_cycles
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostProjection {
+    config: DeviceConfig,
+}
+
+impl CostProjection {
+    /// Creates a projection for the given device.
+    pub fn new(config: &DeviceConfig) -> Self {
+        CostProjection {
+            config: config.clone(),
+        }
+    }
+
+    /// The configuration used by this projection.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Latency of the counted activity, assuming serial accesses.
+    pub fn latency(&self, stats: &ShiftStats) -> AccessLatency {
+        let t = self.config.timing();
+        AccessLatency {
+            shift_cycles: stats.shifts * t.shift_cycles,
+            read_cycles: stats.reads * t.read_cycles,
+            write_cycles: stats.writes * t.write_cycles,
+        }
+    }
+
+    /// Energy of the counted activity. Shift energy scales with the DBC
+    /// track count because all `W` tracks move together; leakage is
+    /// charged over the serial-latency interval.
+    pub fn energy(&self, stats: &ShiftStats) -> AccessEnergy {
+        let e = self.config.energy();
+        let w = self.config.tracks_per_dbc() as f64;
+        let latency_ns = self.latency(stats).total_ns(self.config.timing().clock_ns);
+        AccessEnergy {
+            shift_pj: stats.shifts as f64 * w * e.shift_pj_per_track,
+            read_pj: stats.reads as f64 * e.read_pj,
+            write_pj: stats.writes as f64 * e.write_pj,
+            // mW × ns = pJ.
+            leakage_pj: e.leakage_mw * latency_ns / 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(shifts: u64, reads: u64, writes: u64) -> ShiftStats {
+        ShiftStats {
+            shifts,
+            reads,
+            writes,
+            aligned_hits: 0,
+            max_shift: 0,
+        }
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_shifts() {
+        let p = CostProjection::new(&DeviceConfig::default());
+        let a = p.latency(&stats(100, 10, 0)).total_cycles();
+        let b = p.latency(&stats(200, 10, 0)).total_cycles();
+        let shift_cycles = DeviceConfig::default().timing().shift_cycles;
+        assert_eq!(b - a, 100 * shift_cycles);
+    }
+
+    #[test]
+    fn energy_charges_all_tracks_per_shift() {
+        let config = DeviceConfig::builder().tracks_per_dbc(32).build().unwrap();
+        let p = CostProjection::new(&config);
+        let e = p.energy(&stats(1, 0, 0));
+        let expected = 32.0 * config.energy().shift_pj_per_track;
+        assert!((e.shift_pj - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_shifts_means_less_total_energy() {
+        let p = CostProjection::new(&DeviceConfig::default());
+        let high = p.energy(&stats(1000, 50, 50)).total_pj();
+        let low = p.energy(&stats(100, 50, 50)).total_pj();
+        assert!(low < high);
+    }
+
+    #[test]
+    fn zero_activity_zero_cost() {
+        let p = CostProjection::new(&DeviceConfig::default());
+        assert_eq!(p.latency(&ShiftStats::new()).total_cycles(), 0);
+        assert_eq!(p.energy(&ShiftStats::new()).total_pj(), 0.0);
+    }
+}

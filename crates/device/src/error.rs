@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device model.
+///
+/// Every fallible operation in this crate returns `Result<_, DeviceError>`.
+/// The variants carry enough context to pinpoint the offending parameter
+/// or access without needing a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A geometry or parameter value failed validation at configuration
+    /// time (e.g. zero domains per track, more ports than domains).
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// An access targeted a word offset outside the DBC's data region.
+    OffsetOutOfRange {
+        /// The requested word offset.
+        offset: usize,
+        /// Number of addressable words in the DBC.
+        capacity: usize,
+    },
+    /// A port id referenced a port that does not exist in the layout.
+    UnknownPort {
+        /// The requested port id.
+        port: usize,
+        /// Number of ports in the layout.
+        ports: usize,
+    },
+    /// A write supplied a word wider than the DBC's track count.
+    WordTooWide {
+        /// Number of significant bits in the supplied word.
+        bits: u32,
+        /// Track count (= word width) of the DBC.
+        width: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid device configuration: {parameter}: {reason}")
+            }
+            DeviceError::OffsetOutOfRange { offset, capacity } => {
+                write!(
+                    f,
+                    "word offset {offset} out of range for DBC of {capacity} words"
+                )
+            }
+            DeviceError::UnknownPort { port, ports } => {
+                write!(f, "port {port} does not exist (layout has {ports} ports)")
+            }
+            DeviceError::WordTooWide { bits, width } => {
+                write!(
+                    f,
+                    "word has {bits} significant bits but the DBC is only {width} tracks wide"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = DeviceError::OffsetOutOfRange {
+            offset: 40,
+            capacity: 32,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("40"));
+        assert!(msg.contains("32"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DeviceError>();
+    }
+}

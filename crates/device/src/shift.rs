@@ -1,0 +1,135 @@
+//! Pure shift-distance arithmetic shared by the analytic cost models
+//! and the functional simulator.
+//!
+//! These functions are the single source of truth for "how many shifts
+//! does moving the tape from state A to serve access B take". Keeping
+//! them here (with no state of their own) lets `dwm-core`'s evaluators
+//! and `dwm-sim`'s replay agree exactly — an invariant checked by the
+//! cross-validation integration test.
+
+use crate::port::{PortId, PortLayout};
+
+/// Shift distance between two word offsets on a single-port tape whose
+/// state is "offset currently under the port".
+///
+/// This is the cost model under which placement reduces to minimum
+/// linear arrangement: consecutive accesses `a → b` cost `|pos(a) −
+/// pos(b)|` single-domain shifts.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dwm_device::shift::single_port_distance(3, 10), 7);
+/// assert_eq!(dwm_device::shift::single_port_distance(10, 3), 7);
+/// ```
+pub fn single_port_distance(from: usize, to: usize) -> u64 {
+    (from as i64).abs_diff(to as i64)
+}
+
+/// Result of planning one access on a multi-port tape: which port to
+/// use, the shift distance, and the tape displacement afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftPlan {
+    /// Port chosen to serve the access.
+    pub port: PortId,
+    /// Single-domain steps the tape must move.
+    pub distance: u64,
+    /// Tape displacement after the access completes.
+    pub displacement: i64,
+}
+
+/// Plans one access under the *nearest-port* policy: pick the port that
+/// minimizes shift distance from the current displacement (ties go to
+/// the lowest-numbered port).
+///
+/// With a single port at position 0 this degenerates to the
+/// [`single_port_distance`] model: displacement equals the offset under
+/// the port.
+///
+/// # Example
+///
+/// ```
+/// use dwm_device::PortLayout;
+/// use dwm_device::shift::nearest_port_plan;
+///
+/// let ports = PortLayout::at_positions([0, 32]);
+/// let plan = nearest_port_plan(&ports, 0, 30);
+/// assert_eq!(ports.positions()[plan.port.0], 32);
+/// assert_eq!(plan.distance, 2);
+/// ```
+pub fn nearest_port_plan(ports: &PortLayout, displacement: i64, offset: usize) -> ShiftPlan {
+    let (port, distance) = ports.nearest_port(offset, displacement);
+    ShiftPlan {
+        port,
+        distance,
+        displacement: ports.required_displacement(offset, port),
+    }
+}
+
+/// Total shift count of replaying `offsets` under the nearest-port
+/// policy starting from displacement 0.
+///
+/// Convenience used by tests and quick estimates; the full evaluator in
+/// `dwm-core` exposes richer per-access output.
+pub fn replay_shift_count<I>(ports: &PortLayout, offsets: I) -> u64
+where
+    I: IntoIterator<Item = usize>,
+{
+    let mut displacement = 0i64;
+    let mut total = 0u64;
+    for offset in offsets {
+        let plan = nearest_port_plan(ports, displacement, offset);
+        total += plan.distance;
+        displacement = plan.displacement;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_port_distance_is_symmetric_metric() {
+        for a in 0..20usize {
+            for b in 0..20usize {
+                assert_eq!(single_port_distance(a, b), single_port_distance(b, a));
+                for c in 0..20usize {
+                    // Triangle inequality.
+                    assert!(
+                        single_port_distance(a, c)
+                            <= single_port_distance(a, b) + single_port_distance(b, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_port_replay_matches_pairwise_distances() {
+        let ports = PortLayout::single();
+        let seq = [4usize, 9, 1, 1, 7];
+        let expected: u64 = 4 + 5 + 8 + 0 + 6;
+        assert_eq!(replay_shift_count(&ports, seq), expected);
+    }
+
+    #[test]
+    fn more_ports_never_cost_more() {
+        let one = PortLayout::single();
+        let two = PortLayout::at_positions([0, 32]);
+        let seq: Vec<usize> = (0..64).chain((0..64).rev()).collect();
+        assert!(replay_shift_count(&two, seq.iter().copied()) <= replay_shift_count(&one, seq));
+    }
+
+    #[test]
+    fn plan_updates_displacement() {
+        let ports = PortLayout::at_positions([0, 8]);
+        let p1 = nearest_port_plan(&ports, 0, 7);
+        assert_eq!(ports.positions()[p1.port.0], 8);
+        assert_eq!(p1.distance, 1);
+        assert_eq!(p1.displacement, -1);
+        let p2 = nearest_port_plan(&ports, p1.displacement, 0);
+        // Offset 0 via port 0 needs displacement 0 → 1 step from −1.
+        assert_eq!(p2.distance, 1);
+    }
+}

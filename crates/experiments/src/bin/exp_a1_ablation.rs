@@ -1,0 +1,113 @@
+//! Experiment A1 (ablation): which parts of the hybrid pipeline earn
+//! their keep?
+//!
+//! Per benchmark, the geometric-mean-normalized shifts of:
+//!
+//! * each constructive candidate alone;
+//! * the portfolio (best candidate, no refinement);
+//! * the full pipeline at local-search windows 1 / 4 / 12 (default).
+//!
+//! Expected: no single candidate wins everywhere (that is why the
+//! portfolio exists), and widening the search window buys a few extra
+//! points at modest cost.
+
+use dwm_core::algorithms::{
+    ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, OrganPipe,
+    PlacementAlgorithm, Spectral,
+};
+use dwm_core::Placement;
+use dwm_experiments::{workload_suite, Table};
+use dwm_graph::AccessGraph;
+
+fn main() {
+    println!("Ablation A1: gmean shifts normalized to naive (lower is better)\n");
+    let workloads = workload_suite();
+    let mut columns: Vec<(String, Box<dyn Fn(&AccessGraph) -> u64>)> = vec![
+        (
+            "organ-pipe".into(),
+            Box::new(|g: &AccessGraph| g.arrangement_cost(OrganPipe.place(g).offsets())),
+        ),
+        (
+            "chain".into(),
+            Box::new(|g: &AccessGraph| g.arrangement_cost(ChainGrowth.place(g).offsets())),
+        ),
+        (
+            "grouped".into(),
+            Box::new(|g: &AccessGraph| g.arrangement_cost(GroupedChainGrowth.place(g).offsets())),
+        ),
+        (
+            "insertion".into(),
+            Box::new(|g: &AccessGraph| g.arrangement_cost(GreedyInsertion.place(g).offsets())),
+        ),
+        (
+            "spectral".into(),
+            Box::new(|g: &AccessGraph| g.arrangement_cost(Spectral::default().place(g).offsets())),
+        ),
+        (
+            "portfolio".into(),
+            Box::new(|g: &AccessGraph| {
+                // Portfolio only: zero refinement passes.
+                let h = Hybrid::with_refiner(LocalSearch::new(0));
+                g.arrangement_cost(h.place(g).offsets())
+            }),
+        ),
+    ];
+    for window in [1usize, 4, 12] {
+        columns.push((
+            format!("pipeline w={window}"),
+            Box::new(move |g: &AccessGraph| {
+                let h = Hybrid::with_refiner(LocalSearch::default().with_window(window));
+                g.arrangement_cost(h.place(g).offsets())
+            }),
+        ));
+    }
+    columns.push((
+        "pipeline+wdp".into(),
+        Box::new(|g: &AccessGraph| {
+            use dwm_core::WindowedDp;
+            let mut p = Hybrid::default().place(g);
+            WindowedDp::default().refine(g, &mut p);
+            g.arrangement_cost(p.offsets())
+        }),
+    ));
+
+    let mut header = vec!["variant".to_string()];
+    header.push("gmean vs naive".into());
+    header.push("wins".into());
+    let mut t = Table::new(header);
+
+    // Precompute per-workload graphs and naive costs.
+    let graphs: Vec<(AccessGraph, u64)> = workloads
+        .iter()
+        .map(|(_, trace)| {
+            let g = AccessGraph::from_trace(trace);
+            let naive = g.arrangement_cost(Placement::identity(g.num_items()).offsets());
+            (g, naive)
+        })
+        .collect();
+
+    // For "wins": per workload, which variant achieves the minimum.
+    let costs: Vec<Vec<u64>> = columns
+        .iter()
+        .map(|(_, f)| graphs.iter().map(|(g, _)| f(g)).collect())
+        .collect();
+
+    for (ci, (name, _)) in columns.iter().enumerate() {
+        let mut log_sum = 0.0f64;
+        let mut wins = 0usize;
+        for (wi, (_, naive)) in graphs.iter().enumerate() {
+            let c = costs[ci][wi];
+            log_sum += (c as f64 / (*naive).max(1) as f64).ln();
+            let best = costs.iter().map(|col| col[wi]).min().expect("nonempty");
+            if c == best {
+                wins += 1;
+            }
+        }
+        t.row([
+            name.clone(),
+            format!("{:.3}", (log_sum / graphs.len() as f64).exp()),
+            format!("{wins}/{}", graphs.len()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,49 @@
+//! Experiment F11 (extension): wear leveling vs. shift overhead.
+//!
+//! Start-gap rotation spreads write pressure across tape slots at the
+//! cost of extra shifts per rotation. For each write-heavy kernel we
+//! sweep the rotation period and report wear imbalance (hottest slot /
+//! mean, 1.0 = level) against the shift overhead relative to the
+//! non-rotating run — the endurance-vs-performance Pareto the designer
+//! picks from.
+
+use dwm_core::wear::{RotatingEvaluator, WearConfig};
+use dwm_core::{Hybrid, PlacementAlgorithm};
+use dwm_experiments::{workload_suite, Table};
+use dwm_graph::AccessGraph;
+
+fn main() {
+    println!("Figure 11: wear imbalance vs. shift overhead (hybrid placement, start-gap)\n");
+    let mut t = Table::new([
+        "benchmark",
+        "static imbalance",
+        "rot/256w imbalance",
+        "rot/256w overhead",
+        "rot/64w imbalance",
+        "rot/64w overhead",
+    ]);
+    for (name, trace) in workload_suite() {
+        let stats = trace.stats();
+        if stats.writes < 100 {
+            continue; // wear is a write phenomenon
+        }
+        let graph = AccessGraph::from_trace(&trace);
+        let placement = Hybrid::default().place(&graph);
+        let n = graph.num_items();
+        let fixed = RotatingEvaluator::new(WearConfig::disabled()).evaluate(&placement, &trace);
+        let mut cells = vec![name, format!("{:.2}", fixed.imbalance())];
+        for period in [256u64, 64] {
+            let rot = RotatingEvaluator::new(WearConfig::every_writes(period, n))
+                .evaluate(&placement, &trace);
+            cells.push(format!("{:.2}", rot.imbalance()));
+            cells.push(format!(
+                "+{:.1}%",
+                100.0 * (rot.total_shifts() as f64 - fixed.total_shifts() as f64)
+                    / fixed.total_shifts().max(1) as f64
+            ));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\n(read-dominated kernels omitted: wear is a write phenomenon)");
+}

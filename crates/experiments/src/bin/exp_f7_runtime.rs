@@ -1,0 +1,60 @@
+//! Experiment F7: algorithm runtime scaling.
+//!
+//! Wall-clock time of each placement algorithm on Markov workloads of
+//! n ∈ {64, 256, 1024, 4096} items (trace length 20·n). The point of
+//! the figure: the proposed chain heuristics scale near-linearly in the
+//! edge count, while annealing and spectral pay iteration costs.
+
+use std::time::Instant;
+
+use dwm_core::algorithms::{
+    ChainGrowth, GroupedChainGrowth, OrganPipe, PlacementAlgorithm, SimulatedAnnealing, Spectral,
+};
+use dwm_experiments::{Table, EXPERIMENT_SEED};
+use dwm_graph::AccessGraph;
+use dwm_trace::synth::{MarkovGen, TraceGenerator};
+
+fn time_ms(f: impl FnOnce()) -> String {
+    let start = Instant::now();
+    f();
+    format!("{:.1} ms", start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn main() {
+    println!("Figure 7: placement runtime vs. item count (Markov workload, 20n accesses)\n");
+    let mut t = Table::new([
+        "n",
+        "edges",
+        "organ-pipe",
+        "chain",
+        "grouped-chain",
+        "spectral",
+        "annealing",
+    ]);
+    for n in [64usize, 256, 1024, 4096] {
+        let trace = MarkovGen::new(n, (n / 8).max(2), EXPERIMENT_SEED)
+            .generate(20 * n)
+            .normalize();
+        let graph = AccessGraph::from_trace(&trace);
+        t.row([
+            n.to_string(),
+            graph.num_edges().to_string(),
+            time_ms(|| {
+                let _ = OrganPipe.place(&graph);
+            }),
+            time_ms(|| {
+                let _ = ChainGrowth.place(&graph);
+            }),
+            time_ms(|| {
+                let _ = GroupedChainGrowth.place(&graph);
+            }),
+            time_ms(|| {
+                let _ = Spectral::default().place(&graph);
+            }),
+            time_ms(|| {
+                let _ = SimulatedAnnealing::new(EXPERIMENT_SEED).place(&graph);
+            }),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,53 @@
+//! Experiment T1: the device-configuration table.
+//!
+//! Prints the DWM geometry/timing/energy parameters used throughout the
+//! evaluation, plus derived storage-overhead figures per port count.
+
+use dwm_device::DeviceConfig;
+use dwm_experiments::Table;
+
+fn main() {
+    let base = DeviceConfig::default();
+    println!("Table 1a: device parameters (defaults from the 2013-2015 DWM literature)\n");
+    let mut params = Table::new(["parameter", "value"]);
+    params.row([
+        "domains per track (L)",
+        &base.domains_per_track().to_string(),
+    ]);
+    params.row(["tracks per DBC (W)", &base.tracks_per_dbc().to_string()]);
+    params.row(["words per DBC", &base.words_per_dbc().to_string()]);
+    params.row([
+        "shift latency",
+        &format!("{} cycle(s)/domain", base.timing().shift_cycles),
+    ]);
+    params.row([
+        "read / write latency",
+        &format!(
+            "{} / {} cycles",
+            base.timing().read_cycles,
+            base.timing().write_cycles
+        ),
+    ]);
+    params.row(["clock period", &format!("{} ns", base.timing().clock_ns)]);
+    params.row([
+        "shift energy",
+        &format!("{} pJ/track/domain", base.energy().shift_pj_per_track),
+    ]);
+    params.row([
+        "read / write energy",
+        &format!("{} / {} pJ", base.energy().read_pj, base.energy().write_pj),
+    ]);
+    params.print();
+
+    println!("\nTable 1b: padding overhead vs. port count (64-domain tracks)\n");
+    let mut overhead = Table::new(["ports", "padding domains", "storage efficiency"]);
+    for ports in [1usize, 2, 4, 8] {
+        let c = DeviceConfig::builder().ports(ports).build().expect("valid");
+        overhead.row([
+            ports.to_string(),
+            c.overhead_domains().to_string(),
+            format!("{:.1}%", c.storage_efficiency() * 100.0),
+        ]);
+    }
+    overhead.print();
+}

@@ -1,0 +1,33 @@
+//! Experiment T2: benchmark characteristics table.
+//!
+//! One row per kernel of the workload suite: item count, trace length,
+//! read/write mix, and the locality indicators that predict how much
+//! placement can help (mean stride of the naive layout, hot-20% share).
+
+use dwm_experiments::{workload_suite, Table};
+
+fn main() {
+    println!("Table 2: benchmark characteristics\n");
+    let mut t = Table::new([
+        "benchmark",
+        "items",
+        "accesses",
+        "reads",
+        "writes",
+        "mean stride",
+        "hot-20% share",
+    ]);
+    for (name, trace) in workload_suite() {
+        let s = trace.stats();
+        t.row([
+            name,
+            s.distinct_items.to_string(),
+            s.length.to_string(),
+            s.reads.to_string(),
+            s.writes.to_string(),
+            format!("{:.2}", s.mean_stride),
+            format!("{:.0}%", s.hot20_share * 100.0),
+        ]);
+    }
+    t.print();
+}

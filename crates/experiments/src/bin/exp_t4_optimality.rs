@@ -1,0 +1,93 @@
+//! Experiment T4: optimality gap on small instances.
+//!
+//! On graphs small enough for the exact subset-DP optimum (n ≤ 14
+//! here), measure how far each heuristic is from optimal — the study
+//! the paper runs against an ILP solver.
+
+use dwm_core::algorithms::{
+    ChainGrowth, GroupedChainGrowth, LocalSearch, OrganPipe, PlacementAlgorithm, Spectral,
+};
+use dwm_core::exact::optimal_placement;
+use dwm_experiments::{Table, EXPERIMENT_SEED};
+use dwm_graph::generators::{clustered_graph, random_graph};
+use dwm_graph::AccessGraph;
+
+fn gap(cost: u64, opt: u64) -> String {
+    if opt == 0 {
+        return if cost == 0 {
+            "0.0%".into()
+        } else {
+            "inf".into()
+        };
+    }
+    format!("{:.1}%", 100.0 * (cost as f64 - opt as f64) / opt as f64)
+}
+
+fn main() {
+    println!("Table 4: optimality gap vs. exact DP optimum (mean over 10 seeds)\n");
+    let mut t = Table::new([
+        "instance",
+        "n",
+        "optimal",
+        "organ-pipe",
+        "chain",
+        "grouped",
+        "grouped+ls",
+        "spectral",
+    ]);
+    let algs: Vec<(&str, Box<dyn Fn(&AccessGraph) -> u64>)> = vec![
+        (
+            "organ-pipe",
+            Box::new(|g: &AccessGraph| g.arrangement_cost(OrganPipe.place(g).offsets())),
+        ),
+        (
+            "chain",
+            Box::new(|g: &AccessGraph| g.arrangement_cost(ChainGrowth.place(g).offsets())),
+        ),
+        (
+            "grouped",
+            Box::new(|g: &AccessGraph| g.arrangement_cost(GroupedChainGrowth.place(g).offsets())),
+        ),
+        (
+            "grouped+ls",
+            Box::new(|g: &AccessGraph| {
+                let p = LocalSearch::default().refine_placement_of(&GroupedChainGrowth, g);
+                g.arrangement_cost(p.offsets())
+            }),
+        ),
+        (
+            "spectral",
+            Box::new(|g: &AccessGraph| g.arrangement_cost(Spectral::default().place(g).offsets())),
+        ),
+    ];
+
+    for n in [6usize, 8, 10, 12, 14] {
+        for (label, gen) in [("random", false), ("clustered", true)] {
+            let mut opt_sum = 0u64;
+            let mut sums = vec![0u64; algs.len()];
+            let seeds = 10u64;
+            for s in 0..seeds {
+                let g = if gen {
+                    clustered_graph(n, (n / 4).max(2), 0.8, 0.15, 6, EXPERIMENT_SEED + s)
+                } else {
+                    random_graph(n, 0.5, 8, EXPERIMENT_SEED + s)
+                };
+                let (_, opt) = optimal_placement(&g).expect("n within exact limit");
+                opt_sum += opt;
+                for (i, (_, f)) in algs.iter().enumerate() {
+                    sums[i] += f(&g);
+                }
+            }
+            let mut cells = vec![
+                label.to_string(),
+                n.to_string(),
+                (opt_sum / seeds).to_string(),
+            ];
+            for (i, _) in algs.iter().enumerate() {
+                cells.push(gap(sums[i], opt_sum));
+            }
+            t.row(cells);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Experiment T9 (extension): basic-block layout on racetrack
+//! instruction memory.
+//!
+//! On an instruction tape, sequential fetch is free (the tape advances
+//! anyway) and only taken control transfers pay shifts proportional to
+//! jump distance. We lay out random and structured CFGs with program
+//! order, hottest-edge chaining (Pettis–Hansen adapted to tape
+//! distance), and the full pipeline (portfolio + refinement), and
+//! report the fetch-shift bill of each.
+
+use dwm_experiments::{percent_reduction, Table, EXPERIMENT_SEED};
+use dwm_isa::{best_layout, chain_layout, BlockOrder, Cfg};
+
+fn main() {
+    println!("Table 9: fetch shifts of basic-block layouts on instruction tape\n");
+    let mut t = Table::new([
+        "cfg",
+        "blocks",
+        "instrs",
+        "program-order",
+        "chained",
+        "best+refine",
+        "reduction",
+    ]);
+    let mut cfgs: Vec<(String, Cfg)> = (0..4)
+        .map(|i| {
+            (
+                format!("random-{}", 16 * (i + 1)),
+                Cfg::random(16 * (i + 1), 3, EXPERIMENT_SEED + i as u64),
+            )
+        })
+        .collect();
+    cfgs.push(("loops-4x6".into(), Cfg::structured(4, 6, 1000)));
+    cfgs.push(("loops-8x3".into(), Cfg::structured(8, 3, 1000)));
+
+    for (name, cfg) in cfgs {
+        let program = BlockOrder::program_order(&cfg).cost(&cfg);
+        let chained = chain_layout(&cfg).cost(&cfg);
+        let best = best_layout(&cfg).cost(&cfg);
+        t.row([
+            name,
+            cfg.num_blocks().to_string(),
+            cfg.total_len().to_string(),
+            program.to_string(),
+            chained.to_string(),
+            best.to_string(),
+            percent_reduction(program, best),
+        ]);
+    }
+    t.print();
+}

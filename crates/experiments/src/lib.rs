@@ -1,0 +1,188 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results). This library provides the
+//! pieces they share: the workload suite, the algorithm roster, and an
+//! aligned-table/CSV printer.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p dwm-experiments --bin exp_t3_shift_reduction
+//! cargo run --release -p dwm-experiments --bin exp_t3_shift_reduction -- --csv
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dwm_core::algorithms::{standard_suite, PlacementAlgorithm};
+use dwm_trace::kernels::Kernel;
+use dwm_trace::Trace;
+
+/// Seed shared by every randomized component so runs are reproducible.
+pub const EXPERIMENT_SEED: u64 = 0xDAC_2015;
+
+/// The benchmark workloads: kernel name plus generated trace.
+pub fn workload_suite() -> Vec<(String, Trace)> {
+    Kernel::suite()
+        .into_iter()
+        .map(|k| (k.name().to_string(), k.trace()))
+        .collect()
+}
+
+/// The algorithm roster compared in every placement experiment.
+pub fn algorithm_suite() -> Vec<Box<dyn PlacementAlgorithm>> {
+    standard_suite(EXPERIMENT_SEED)
+}
+
+/// Whether `--csv` was passed on the command line.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// A simple column-aligned table that can also emit CSV.
+///
+/// # Example
+///
+/// ```
+/// use dwm_experiments::Table;
+///
+/// let mut t = Table::new(["bench", "shifts"]);
+/// t.row(["fft".to_string(), "123".to_string()]);
+/// let text = t.render(false);
+/// assert!(text.contains("fft"));
+/// assert!(t.render(true).starts_with("bench,shifts"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (`csv = true`) or as an aligned text table.
+    pub fn render(&self, csv: bool) -> String {
+        if csv {
+            let mut out = String::new();
+            out.push_str(&self.header.join(","));
+            out.push('\n');
+            for r in &self.rows {
+                out.push_str(&r.join(","));
+                out.push('\n');
+            }
+            return out;
+        }
+        let mut width: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (width.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table, honouring `--csv`.
+    pub fn print(&self) {
+        print!("{}", self.render(csv_requested()));
+    }
+}
+
+/// Formats a ratio as a percentage reduction string, e.g. `37.5%`.
+pub fn percent_reduction(baseline: u64, value: u64) -> String {
+    if baseline == 0 {
+        return "n/a".into();
+    }
+    format!(
+        "{:.1}%",
+        100.0 * (baseline as f64 - value as f64) / baseline as f64
+    )
+}
+
+/// Formats `value / baseline` as a normalized factor, e.g. `0.62`.
+pub fn normalized(baseline: u64, value: u64) -> String {
+    if baseline == 0 {
+        return "n/a".into();
+    }
+    format!("{:.3}", value as f64 / baseline as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_and_algorithms_are_nonempty() {
+        assert_eq!(workload_suite().len(), 8);
+        assert_eq!(algorithm_suite().len(), 9);
+    }
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["xx", "y"]);
+        let text = t.render(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("bbbb"));
+        let csv = t.render(true);
+        assert_eq!(csv, "a,bbbb\nxx,y\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(["a"]);
+        t.row(["x", "y"]);
+    }
+
+    #[test]
+    fn percentage_helpers() {
+        assert_eq!(percent_reduction(100, 60), "40.0%");
+        assert_eq!(percent_reduction(0, 60), "n/a");
+        assert_eq!(normalized(100, 62), "0.620");
+    }
+}

@@ -1,0 +1,46 @@
+//! Basic-block layout for racetrack *instruction* memories.
+//!
+//! An instruction scratchpad built from DWM behaves like the data tape
+//! with one pleasant difference: sequential fetch advances the tape by
+//! one domain anyway, so straight-line execution is free — only
+//! *taken control transfers* pay shifts, proportional to the jump
+//! distance on the tape. Which basic block sits where therefore
+//! determines the fetch-shift bill, a sized variant of the data-
+//! placement problem (blocks have lengths, so offsets are cumulative).
+//!
+//! This crate provides:
+//!
+//! * [`Cfg`] — basic blocks with sizes, weighted control-flow edges,
+//!   and generators (structured loop/branch programs and random CFGs);
+//! * [`BlockOrder`] — a block permutation with cumulative start
+//!   offsets and the fetch-shift cost model (fallthrough to the next
+//!   block on tape is free; every other transfer costs `|from_end −
+//!   to_start|` shifts weighted by edge frequency);
+//! * [`chain_layout`] — hottest-edge chaining (the Pettis–Hansen
+//!   construction adapted to tape distance) plus a local-search
+//!   refiner, against the program-order baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_isa::{Cfg, chain_layout, BlockOrder};
+//!
+//! let cfg = Cfg::random(24, 3, 42);
+//! let naive = BlockOrder::program_order(&cfg);
+//! let tuned = chain_layout(&cfg);
+//! assert!(tuned.cost(&cfg) <= naive.cost(&cfg));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod layout;
+
+pub use cfg::{BlockId, Cfg, CfgEdge};
+pub use layout::{best_layout, chain_layout, refine_order, BlockOrder};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{best_layout, chain_layout, refine_order, BlockId, BlockOrder, Cfg, CfgEdge};
+}

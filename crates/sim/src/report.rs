@@ -1,0 +1,65 @@
+use serde::{Deserialize, Serialize};
+
+use dwm_device::{AccessEnergy, AccessLatency, ShiftStats};
+
+/// Outcome of one simulated trace replay.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Aggregate shift/access counters.
+    pub stats: ShiftStats,
+    /// Per-DBC counters.
+    pub per_dbc: Vec<ShiftStats>,
+    /// Latency projection (serial replay).
+    pub latency: AccessLatency,
+    /// Energy projection.
+    pub energy: AccessEnergy,
+    /// Number of reads whose value disagreed with the shadow model.
+    /// Always zero unless the device model or placement plumbing is
+    /// broken — the simulator is self-checking.
+    pub integrity_errors: u64,
+    /// Shift-slip events injected by the fault model (0 when fault
+    /// injection is disabled). Each slip's repair cost is included in
+    /// `stats.shifts` via the following access's re-alignment.
+    pub slip_events: u64,
+}
+
+impl SimReport {
+    /// Mean shifts per access.
+    pub fn shifts_per_access(&self) -> f64 {
+        self.stats.mean_shift()
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} | {} cycles | {:.2} nJ | {} integrity errors",
+            self.stats,
+            self.latency.total_cycles(),
+            self.energy.total_nj(),
+            self.integrity_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cycles_and_energy() {
+        let r = SimReport::default();
+        let text = r.to_string();
+        assert!(text.contains("cycles"));
+        assert!(text.contains("nJ"));
+    }
+
+    #[test]
+    fn shifts_per_access_delegates() {
+        let mut r = SimReport::default();
+        r.stats.record(6, false);
+        r.stats.record(2, false);
+        assert!((r.shifts_per_access() - 4.0).abs() < 1e-12);
+    }
+}

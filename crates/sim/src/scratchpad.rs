@@ -1,0 +1,163 @@
+use dwm_device::{Dbc, DeviceConfig, DeviceError, ShiftStats};
+
+/// A bank of bit-level DBCs forming a scratchpad memory.
+///
+/// Addressing is `(dbc, offset)`; each DBC shifts independently. The
+/// scratchpad aggregates activity counters across its DBCs.
+///
+/// # Example
+///
+/// ```
+/// use dwm_device::DeviceConfig;
+/// use dwm_sim::Scratchpad;
+///
+/// let config = DeviceConfig::builder().dbcs(2).domains_per_track(8).build()?;
+/// let mut spm = Scratchpad::new(&config);
+/// spm.write(1, 3, 0xFF)?;
+/// assert_eq!(spm.read(1, 3)?, 0xFF);
+/// assert_eq!(spm.read(0, 0)?, 0); // untouched DBC is zero-filled
+/// # Ok::<(), dwm_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    dbcs: Vec<Dbc>,
+    config: DeviceConfig,
+}
+
+impl Scratchpad {
+    /// Creates a zero-filled scratchpad with `config.dbcs()` DBCs.
+    pub fn new(config: &DeviceConfig) -> Self {
+        Scratchpad {
+            dbcs: (0..config.dbcs()).map(|_| Dbc::new(config)).collect(),
+            config: config.clone(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of DBCs.
+    pub fn num_dbcs(&self) -> usize {
+        self.dbcs.len()
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.config.capacity_words()
+    }
+
+    fn dbc_mut(&mut self, dbc: usize) -> Result<&mut Dbc, DeviceError> {
+        let n = self.dbcs.len();
+        self.dbcs.get_mut(dbc).ok_or(DeviceError::OffsetOutOfRange {
+            offset: dbc,
+            capacity: n,
+        })
+    }
+
+    /// Reads the word at `(dbc, offset)`, shifting that DBC as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeviceError`] for an unknown DBC or offset.
+    pub fn read(&mut self, dbc: usize, offset: usize) -> Result<u64, DeviceError> {
+        self.dbc_mut(dbc)?.read(offset)
+    }
+
+    /// Writes the word at `(dbc, offset)`, shifting that DBC as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeviceError`] for an unknown DBC, bad offset, or a
+    /// word wider than the track count.
+    pub fn write(&mut self, dbc: usize, offset: usize, word: u64) -> Result<(), DeviceError> {
+        self.dbc_mut(dbc)?.write(offset, word)
+    }
+
+    /// Counters of one DBC.
+    pub fn dbc_stats(&self, dbc: usize) -> &ShiftStats {
+        self.dbcs[dbc].stats()
+    }
+
+    /// Aggregated counters across all DBCs.
+    pub fn total_stats(&self) -> ShiftStats {
+        let mut total = ShiftStats::new();
+        for d in &self.dbcs {
+            total.merge(d.stats());
+        }
+        total
+    }
+
+    /// Resets all activity counters (contents preserved).
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.dbcs {
+            d.reset_stats();
+        }
+    }
+
+    /// Fault-injection passthrough: slips DBC `dbc` by `delta`
+    /// positions (see [`Dbc::inject_displacement_error`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbc` is out of range (injection is driven by the
+    /// simulator, which only uses valid indices).
+    pub fn inject_displacement_error(&mut self, dbc: usize, delta: i64) {
+        self.dbcs[dbc].inject_displacement_error(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(dbcs: usize) -> DeviceConfig {
+        DeviceConfig::builder()
+            .dbcs(dbcs)
+            .domains_per_track(16)
+            .tracks_per_dbc(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dbcs_are_independent() {
+        let mut spm = Scratchpad::new(&config(2));
+        spm.write(0, 10, 7).unwrap();
+        // DBC 1 never moved.
+        assert_eq!(spm.dbc_stats(1).accesses(), 0);
+        assert_eq!(spm.dbc_stats(0).shifts, 10);
+        // Accessing DBC 1 offset 10 pays its own alignment.
+        spm.read(1, 10).unwrap();
+        assert_eq!(spm.dbc_stats(1).shifts, 10);
+    }
+
+    #[test]
+    fn total_stats_aggregates() {
+        let mut spm = Scratchpad::new(&config(3));
+        spm.write(0, 5, 1).unwrap();
+        spm.write(1, 3, 2).unwrap();
+        spm.read(2, 8).unwrap();
+        let total = spm.total_stats();
+        assert_eq!(total.accesses(), 3);
+        assert_eq!(total.shifts, 5 + 3 + 8);
+        assert_eq!(total.max_shift, 8);
+    }
+
+    #[test]
+    fn unknown_dbc_is_an_error() {
+        let mut spm = Scratchpad::new(&config(2));
+        assert!(spm.read(2, 0).is_err());
+        assert!(spm.write(5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reset_preserves_contents() {
+        let mut spm = Scratchpad::new(&config(1));
+        spm.write(0, 4, 99).unwrap();
+        spm.reset_stats();
+        assert_eq!(spm.total_stats().accesses(), 0);
+        assert_eq!(spm.read(0, 4).unwrap(), 99);
+    }
+}

@@ -1,0 +1,332 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::TraceStats;
+
+/// Identifier of a data item (variable, array block, tree node, …).
+///
+/// Item ids are dense indices into the placement problem: a trace over
+/// `n` distinct items uses ids `0..n` after [`Trace::normalize`]. The
+/// newtype keeps item ids from being confused with word offsets.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes its item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load of the item.
+    Read,
+    /// A store to the item.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One access in a trace: an item plus read/write kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// The item touched.
+    pub item: ItemId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read of `item`.
+    pub fn read(item: impl Into<ItemId>) -> Self {
+        Access {
+            item: item.into(),
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write of `item`.
+    pub fn write(item: impl Into<ItemId>) -> Self {
+        Access {
+            item: item.into(),
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+/// An ordered sequence of data-item accesses.
+///
+/// This is the workload description every placement algorithm and cost
+/// model consumes. Traces are cheap to clone-by-reference via slices
+/// ([`Trace::accesses`]) and can be normalized so item ids are dense.
+///
+/// # Example
+///
+/// ```
+/// use dwm_trace::{Trace, AccessKind};
+///
+/// let trace = Trace::from_ids([3u32, 1, 4, 1, 5]);
+/// assert_eq!(trace.len(), 5);
+/// assert_eq!(trace.stats().distinct_items, 4);
+/// let dense = trace.normalize();
+/// assert_eq!(dense.num_items(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    accesses: Vec<Access>,
+    /// Optional human-readable label (kernel name, generator spec).
+    label: String,
+}
+
+impl Trace {
+    /// An empty, unlabeled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Builds a read-only trace from raw item ids.
+    pub fn from_ids<I, T>(ids: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<ItemId>,
+    {
+        ids.into_iter().map(Access::read).collect()
+    }
+
+    /// Builds a trace from `(id, kind)` pairs.
+    pub fn from_accesses<I: IntoIterator<Item = Access>>(accesses: I) -> Self {
+        accesses.into_iter().collect()
+    }
+
+    /// Attaches a label (kernel or generator name) for reports.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The trace's label; empty if none was attached.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The access sequence.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
+        self.accesses.iter()
+    }
+
+    /// Appends one access.
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// Records a read of `item`.
+    pub fn record_read(&mut self, item: impl Into<ItemId>) {
+        self.push(Access::read(item));
+    }
+
+    /// Records a write of `item`.
+    pub fn record_write(&mut self, item: impl Into<ItemId>) {
+        self.push(Access::write(item));
+    }
+
+    /// Number of distinct items, assuming ids are dense (`0..n`). For
+    /// arbitrary traces use [`Trace::stats`] or [`Trace::normalize`]
+    /// first. Returns `max id + 1`, or 0 for an empty trace.
+    pub fn num_items(&self) -> usize {
+        self.accesses
+            .iter()
+            .map(|a| a.item.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns an equivalent trace whose item ids are `0..n` in first-
+    /// appearance order, plus preserving the original label.
+    ///
+    /// Normalization is what makes "offset of item i under the naive
+    /// order-of-appearance placement" well-defined, so all algorithms
+    /// and evaluators require (and the kernels produce) dense ids.
+    pub fn normalize(&self) -> Trace {
+        let mut remap: HashMap<ItemId, u32> = HashMap::new();
+        let mut next = 0u32;
+        let accesses = self
+            .accesses
+            .iter()
+            .map(|a| {
+                let id = *remap.entry(a.item).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                Access {
+                    item: ItemId(id),
+                    kind: a.kind,
+                }
+            })
+            .collect();
+        Trace {
+            accesses,
+            label: self.label.clone(),
+        }
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    /// Per-item access counts, indexed by dense item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not dense; call [`Trace::normalize`] first for
+    /// arbitrary traces.
+    pub fn frequencies(&self) -> Vec<u64> {
+        let mut freq = vec![0u64; self.num_items()];
+        for a in &self.accesses {
+            freq[a.item.index()] += 1;
+        }
+        freq
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+            label: String::new(),
+        }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Access;
+    type IntoIter = std::vec::IntoIter<Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ids_builds_reads() {
+        let t = Trace::from_ids([0u32, 1, 2]);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|a| a.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn num_items_is_max_plus_one() {
+        let t = Trace::from_ids([5u32, 2, 5]);
+        assert_eq!(t.num_items(), 6);
+        assert_eq!(Trace::new().num_items(), 0);
+    }
+
+    #[test]
+    fn normalize_densifies_in_first_appearance_order() {
+        let t = Trace::from_ids([9u32, 4, 9, 7]).with_label("x");
+        let n = t.normalize();
+        let ids: Vec<u32> = n.iter().map(|a| a.item.0).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(n.num_items(), 3);
+        assert_eq!(n.label(), "x");
+    }
+
+    #[test]
+    fn normalize_preserves_kinds() {
+        let t = Trace::from_accesses([Access::write(3u32), Access::read(3u32)]);
+        let n = t.normalize();
+        assert_eq!(n.accesses()[0].kind, AccessKind::Write);
+        assert_eq!(n.accesses()[1].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn frequencies_count_per_item() {
+        let t = Trace::from_ids([0u32, 1, 0, 0, 2]);
+        assert_eq!(t.frequencies(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn collect_and_extend_round_trip() {
+        let mut t: Trace = [Access::read(0u32)].into_iter().collect();
+        t.extend([Access::write(1u32)]);
+        assert_eq!(t.len(), 2);
+        let back: Vec<Access> = t.clone().into_iter().collect();
+        assert_eq!(back.len(), 2);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn record_helpers_set_kind() {
+        let mut t = Trace::new();
+        t.record_read(1u32);
+        t.record_write(2u32);
+        assert_eq!(t.accesses()[0].kind, AccessKind::Read);
+        assert_eq!(t.accesses()[1].kind, AccessKind::Write);
+        assert!(t.accesses()[1].kind.is_write());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trace::from_ids([1u32, 2, 1]).with_label("k");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,228 @@
+//! Trace analysis: reuse distance, working sets, and phase detection.
+//!
+//! These analyses characterize *why* a placement helps on a given
+//! workload (locality structure) and drive the online/adaptive
+//! placement in `dwm-core`: phase boundaries are where re-placing data
+//! pays for its migration cost.
+
+use std::collections::HashMap;
+
+use crate::access::Trace;
+
+/// Reuse-distance histogram: for each access, the number of *distinct*
+/// items touched since the previous access to the same item
+/// (∞/cold for first touches).
+///
+/// Computed with the classic stack algorithm over a Vec "LRU stack" —
+/// `O(T · D)` where `D` is the mean stack depth, plenty for the trace
+/// sizes this workspace handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseProfile {
+    /// `histogram[d]` = number of accesses with reuse distance `d`.
+    pub histogram: Vec<u64>,
+    /// Number of cold (first-touch) accesses.
+    pub cold_accesses: u64,
+}
+
+impl ReuseProfile {
+    /// Computes the reuse-distance profile of `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        for a in trace.iter() {
+            match stack.iter().rposition(|&x| x == a.item.0) {
+                Some(pos) => {
+                    let distance = stack.len() - 1 - pos;
+                    if histogram.len() <= distance {
+                        histogram.resize(distance + 1, 0);
+                    }
+                    histogram[distance] += 1;
+                    stack.remove(pos);
+                    stack.push(a.item.0);
+                }
+                None => {
+                    cold += 1;
+                    stack.push(a.item.0);
+                }
+            }
+        }
+        ReuseProfile {
+            histogram,
+            cold_accesses: cold,
+        }
+    }
+
+    /// Total accesses with a finite reuse distance.
+    pub fn reuses(&self) -> u64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Mean finite reuse distance (0 when there are no reuses).
+    pub fn mean_distance(&self) -> f64 {
+        let total = self.reuses();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Fraction of reuses with distance < `d` — the hit ratio of a
+    /// fully associative LRU buffer of `d` items.
+    pub fn hit_ratio(&self, d: usize) -> f64 {
+        let total = self.reuses() + self.cold_accesses;
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.histogram.iter().take(d).sum();
+        hits as f64 / total as f64
+    }
+}
+
+/// Sizes of the working set (distinct items) over fixed-length windows.
+pub fn working_set_curve(trace: &Trace, window: usize) -> Vec<usize> {
+    assert!(window > 0, "window must be nonzero");
+    trace
+        .accesses()
+        .chunks(window)
+        .map(|chunk| {
+            let mut items: Vec<u32> = chunk.iter().map(|a| a.item.0).collect();
+            items.sort_unstable();
+            items.dedup();
+            items.len()
+        })
+        .collect()
+}
+
+/// Detects phase boundaries: indices (in accesses) where the item-
+/// frequency distribution of consecutive windows diverges by more than
+/// `threshold` (total-variation distance in `[0, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use dwm_trace::{Trace, analysis::detect_phases};
+///
+/// // 100 accesses to items 0..4, then 100 accesses to items 10..14.
+/// let mut ids: Vec<u32> = (0..100).map(|i| i % 4).collect();
+/// ids.extend((0..100).map(|i| 10 + i % 4));
+/// let trace = Trace::from_ids(ids);
+/// let phases = detect_phases(&trace, 50, 0.5);
+/// assert_eq!(phases, vec![100]);
+/// ```
+pub fn detect_phases(trace: &Trace, window: usize, threshold: f64) -> Vec<usize> {
+    assert!(window > 0, "window must be nonzero");
+    let chunks: Vec<&[crate::access::Access]> = trace.accesses().chunks(window).collect();
+    let mut boundaries = Vec::new();
+    for (i, pair) in chunks.windows(2).enumerate() {
+        if total_variation(pair[0], pair[1]) > threshold {
+            boundaries.push((i + 1) * window);
+        }
+    }
+    boundaries
+}
+
+fn total_variation(a: &[crate::access::Access], b: &[crate::access::Access]) -> f64 {
+    let freq = |chunk: &[crate::access::Access]| -> HashMap<u32, f64> {
+        let mut m = HashMap::new();
+        for acc in chunk {
+            *m.entry(acc.item.0).or_insert(0.0) += 1.0 / chunk.len() as f64;
+        }
+        m
+    };
+    let (fa, fb) = (freq(a), freq(b));
+    let keys: std::collections::HashSet<u32> = fa.keys().chain(fb.keys()).copied().collect();
+    0.5 * keys
+        .into_iter()
+        .map(|k| (fa.get(&k).unwrap_or(&0.0) - fb.get(&k).unwrap_or(&0.0)).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SequentialGen, TraceGenerator, UniformGen, ZipfGen};
+
+    #[test]
+    fn sequential_reuse_distance_is_items_minus_one() {
+        let t = SequentialGen::new(8).generate(80);
+        let p = ReuseProfile::compute(&t);
+        assert_eq!(p.cold_accesses, 8);
+        // Every reuse of a sequential sweep has distance n−1 = 7.
+        assert_eq!(p.histogram.len(), 8);
+        assert_eq!(p.histogram[7], 72);
+        assert!((p.mean_distance() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_item_has_zero_distance() {
+        let t = Trace::from_ids([1u32, 1, 1, 1]);
+        let p = ReuseProfile::compute(&t);
+        assert_eq!(p.cold_accesses, 1);
+        assert_eq!(p.histogram[0], 3);
+    }
+
+    #[test]
+    fn hit_ratio_is_monotone_in_buffer_size() {
+        let t = ZipfGen::new(32, 5).generate(2000);
+        let p = ReuseProfile::compute(&t);
+        let mut last = 0.0;
+        for d in [1usize, 2, 4, 8, 16, 32] {
+            let h = p.hit_ratio(d);
+            assert!(h >= last);
+            last = h;
+        }
+        assert!(p.hit_ratio(32) > 0.9);
+    }
+
+    #[test]
+    fn zipf_has_shorter_mean_reuse_than_uniform() {
+        let z = ReuseProfile::compute(&ZipfGen::new(32, 5).generate(4000));
+        let u = ReuseProfile::compute(&UniformGen::new(32, 5).generate(4000));
+        assert!(z.mean_distance() < u.mean_distance());
+    }
+
+    #[test]
+    fn working_set_curve_reflects_footprint() {
+        let t = SequentialGen::new(4).generate(40);
+        assert_eq!(working_set_curve(&t, 8), vec![4; 5]);
+        let tight = Trace::from_ids([0u32; 16]);
+        assert_eq!(working_set_curve(&tight, 8), vec![1, 1]);
+    }
+
+    #[test]
+    fn stable_workload_has_no_phases() {
+        let t = UniformGen::new(16, 9).generate(1000);
+        assert!(detect_phases(&t, 100, 0.6).is_empty());
+    }
+
+    #[test]
+    fn phase_change_is_detected_at_boundary() {
+        let mut ids: Vec<u32> = (0..300).map(|i| i % 8).collect();
+        ids.extend((0..300).map(|i| 20 + i % 8));
+        let t = Trace::from_ids(ids);
+        let phases = detect_phases(&t, 100, 0.5);
+        assert_eq!(phases, vec![300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_rejected() {
+        let _ = working_set_curve(&Trace::from_ids([0u32]), 0);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let p = ReuseProfile::compute(&Trace::new());
+        assert_eq!(p.cold_accesses, 0);
+        assert_eq!(p.reuses(), 0);
+        assert_eq!(p.mean_distance(), 0.0);
+        assert_eq!(p.hit_ratio(8), 0.0);
+    }
+}

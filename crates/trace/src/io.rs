@@ -1,0 +1,204 @@
+//! Trace persistence: a line-oriented text format and JSON.
+//!
+//! The text format is one access per line, `r <id>` or `w <id>`, with
+//! `#`-prefixed comment lines; the first comment line of the form
+//! `# label: <name>` sets the trace label. This is easy to produce from
+//! external tools (pin tools, compiler instrumentation) and easy to
+//! diff. JSON goes through serde and preserves everything.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_trace::{Trace, io};
+//!
+//! let trace = Trace::from_ids([1u32, 2, 1]).with_label("tiny");
+//! let text = io::to_text(&trace);
+//! let back = io::from_text(&text)?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), dwm_trace::io::ParseTraceError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::access::{Access, AccessKind, ItemId, Trace};
+
+/// Error parsing the text trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of what was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Serializes a trace to the line-oriented text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    if !trace.label().is_empty() {
+        out.push_str(&format!("# label: {}\n", trace.label()));
+    }
+    for a in trace.iter() {
+        let k = if a.kind.is_write() { 'w' } else { 'r' };
+        out.push_str(&format!("{k} {}\n", a.item.0));
+    }
+    out
+}
+
+/// Parses the line-oriented text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on a malformed line (unknown kind
+/// letter, missing or non-numeric id).
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    let mut label = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(l) = comment.trim().strip_prefix("label:") {
+                label = l.trim().to_string();
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = match parts.next() {
+            Some("r") | Some("R") => AccessKind::Read,
+            Some("w") | Some("W") => AccessKind::Write,
+            other => {
+                return Err(ParseTraceError {
+                    line: i + 1,
+                    reason: format!("expected access kind 'r' or 'w', got {other:?}"),
+                })
+            }
+        };
+        let id: u32 = parts
+            .next()
+            .ok_or_else(|| ParseTraceError {
+                line: i + 1,
+                reason: "missing item id".into(),
+            })?
+            .parse()
+            .map_err(|e| ParseTraceError {
+                line: i + 1,
+                reason: format!("bad item id: {e}"),
+            })?;
+        trace.push(Access {
+            item: ItemId(id),
+            kind,
+        });
+    }
+    Ok(trace.with_label(label))
+}
+
+/// Writes a trace to `path` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn save_text<P: AsRef<Path>>(trace: &Trace, path: P) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_text(trace).as_bytes())
+}
+
+/// Reads a trace from a text-format file.
+///
+/// # Errors
+///
+/// Returns an I/O error wrapped around [`ParseTraceError`] when the
+/// content is malformed.
+pub fn load_text<P: AsRef<Path>>(path: P) -> std::io::Result<Trace> {
+    let text = fs::read_to_string(path)?;
+    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Serializes a trace to JSON.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string(trace).expect("trace serialization cannot fail")
+}
+
+/// Parses a trace from JSON.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on malformed input.
+pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let t = Trace::from_accesses([Access::read(3u32), Access::write(1u32)]).with_label("k1");
+        assert_eq!(from_text(&to_text(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let t = from_text("# hello\n\nr 1\n# mid\nw 2\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label(), "");
+    }
+
+    #[test]
+    fn label_comment_is_parsed() {
+        let t = from_text("# label: fft\nr 0\n").unwrap();
+        assert_eq!(t.label(), "fft");
+    }
+
+    #[test]
+    fn bad_kind_is_reported_with_line() {
+        let err = from_text("r 0\nx 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_id_is_reported() {
+        let err = from_text("r banana\n").unwrap_err();
+        assert!(err.reason.contains("bad item id"));
+    }
+
+    #[test]
+    fn missing_id_is_reported() {
+        let err = from_text("w\n").unwrap_err();
+        assert!(err.reason.contains("missing item id"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::from_ids([5u32, 6]).with_label("j");
+        assert_eq!(from_json(&to_json(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = Trace::from_ids([1u32, 2, 3]).with_label("file");
+        let path = std::env::temp_dir().join("dwm_trace_io_test.trace");
+        save_text(&t, &path).unwrap();
+        assert_eq!(load_text(&path).unwrap(), t);
+        let _ = std::fs::remove_file(&path);
+    }
+}

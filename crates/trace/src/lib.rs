@@ -1,0 +1,48 @@
+//! Memory access traces for domain-wall-memory placement studies.
+//!
+//! The placement problem consumes a *trace*: the ordered sequence of
+//! data-item accesses a workload performs. This crate provides
+//!
+//! * [`Trace`], [`Access`], [`ItemId`] — the trace representation with
+//!   statistics, normalization, and (de)serialization;
+//! * [`synth`] — seeded synthetic generators (uniform, Zipf, sequential,
+//!   strided, Markov-cluster) used for sensitivity sweeps;
+//! * [`kernels`] — benchmark kernels (matrix multiply, FFT, sorting,
+//!   stencil, histogram, string matching, LU, BFS) that execute the real
+//!   algorithm and emit its true data access order. These substitute for
+//!   the compiled-benchmark traces used in the original evaluation; see
+//!   `DESIGN.md` §2 for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use dwm_trace::{Trace, kernels::Kernel};
+//!
+//! let trace = Kernel::MatMul { n: 4, block: 2 }.trace();
+//! assert!(trace.len() > 0);
+//! let stats = trace.stats();
+//! assert!(stats.distinct_items <= 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+pub mod analysis;
+pub mod io;
+pub mod kernels;
+mod stats;
+pub mod synth;
+
+pub use access::{Access, AccessKind, ItemId, Trace};
+pub use stats::TraceStats;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::analysis::{detect_phases, working_set_curve, ReuseProfile};
+    pub use crate::kernels::Kernel;
+    pub use crate::synth::{
+        MarkovGen, PhasedGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen,
+    };
+    pub use crate::{Access, AccessKind, ItemId, Trace, TraceStats};
+}

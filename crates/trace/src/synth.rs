@@ -1,0 +1,456 @@
+//! Seeded synthetic trace generators.
+//!
+//! The sensitivity sweeps (experiments F4/F5/F7) and the property tests
+//! need workloads whose statistical character is controlled: uniform
+//! random (worst case for placement), Zipf-skewed (frequency-dominated),
+//! sequential/strided (regular), and Markov-clustered (locality-
+//! dominated, the case placement exploits best). All generators are
+//! deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::access::{Access, AccessKind, Trace};
+
+/// A source of synthetic traces.
+///
+/// Implementors are cheap value types describing a distribution; call
+/// [`generate`](TraceGenerator::generate) to materialize a trace of the
+/// requested length. The trait is object-safe so sweeps can iterate
+/// over `&[&dyn TraceGenerator]`.
+pub trait TraceGenerator {
+    /// Short name used as the trace label and in report tables.
+    fn name(&self) -> String;
+
+    /// Generates `len` accesses over `self`'s item universe using the
+    /// generator's seed (same seed → same trace).
+    fn generate(&self, len: usize) -> Trace;
+}
+
+fn rw_kind(rng: &mut StdRng, write_ratio: f64) -> AccessKind {
+    if rng.gen_bool(write_ratio.clamp(0.0, 1.0)) {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+/// Uniform random accesses over `items` items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformGen {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Probability an access is a write.
+    pub write_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UniformGen {
+    /// Uniform reads over `items` items with the given seed.
+    pub fn new(items: usize, seed: u64) -> Self {
+        UniformGen {
+            items,
+            write_ratio: 0.0,
+            seed,
+        }
+    }
+}
+
+impl TraceGenerator for UniformGen {
+    fn name(&self) -> String {
+        format!("uniform-{}", self.items)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace: Trace = (0..len)
+            .map(|_| Access {
+                item: (rng.gen_range(0..self.items.max(1)) as u32).into(),
+                kind: rw_kind(&mut rng, self.write_ratio),
+            })
+            .collect();
+        trace = trace.with_label(self.name());
+        trace
+    }
+}
+
+/// Zipf-distributed accesses: item `i` (0-based rank) is drawn with
+/// probability proportional to `1 / (i + 1)^exponent`.
+///
+/// Sampling uses an explicit CDF and binary search, so no external
+/// distribution crate is needed and the result is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfGen {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Skew exponent (0 = uniform; ≈1 = classic Zipf).
+    pub exponent: f64,
+    /// Probability an access is a write.
+    pub write_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ZipfGen {
+    /// Zipf reads with the classic exponent 1.0.
+    pub fn new(items: usize, seed: u64) -> Self {
+        ZipfGen {
+            items,
+            exponent: 1.0,
+            write_ratio: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the skew exponent.
+    pub fn with_exponent(mut self, exponent: f64) -> Self {
+        self.exponent = exponent;
+        self
+    }
+
+    fn cdf(&self) -> Vec<f64> {
+        let mut cdf = Vec::with_capacity(self.items);
+        let mut acc = 0.0;
+        for i in 0..self.items {
+            acc += 1.0 / ((i + 1) as f64).powf(self.exponent);
+            cdf.push(acc);
+        }
+        let total = cdf.last().copied().unwrap_or(1.0);
+        for v in &mut cdf {
+            *v /= total;
+        }
+        cdf
+    }
+}
+
+impl TraceGenerator for ZipfGen {
+    fn name(&self) -> String {
+        format!("zipf-{}-s{:.2}", self.items, self.exponent)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let cdf = self.cdf();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let trace: Trace = (0..len)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u).min(self.items - 1);
+                Access {
+                    item: (idx as u32).into(),
+                    kind: rw_kind(&mut rng, self.write_ratio),
+                }
+            })
+            .collect();
+        trace.with_label(self.name())
+    }
+}
+
+/// Repeated sequential sweeps over `items` items (streaming pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialGen {
+    /// Number of distinct items.
+    pub items: usize,
+}
+
+impl SequentialGen {
+    /// A sequential sweep generator.
+    pub fn new(items: usize) -> Self {
+        SequentialGen { items }
+    }
+}
+
+impl TraceGenerator for SequentialGen {
+    fn name(&self) -> String {
+        format!("seq-{}", self.items)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let trace: Trace = (0..len)
+            .map(|t| Access::read((t % self.items.max(1)) as u32))
+            .collect();
+        trace.with_label(self.name())
+    }
+}
+
+/// Strided accesses: item `(t * stride) mod items` at step `t`
+/// (column-major array walks, banked FFT stages, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedGen {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Stride between consecutive accesses.
+    pub stride: usize,
+}
+
+impl StridedGen {
+    /// A strided generator.
+    pub fn new(items: usize, stride: usize) -> Self {
+        StridedGen { items, stride }
+    }
+}
+
+impl TraceGenerator for StridedGen {
+    fn name(&self) -> String {
+        format!("stride-{}-by{}", self.items, self.stride)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let n = self.items.max(1);
+        let trace: Trace = (0..len)
+            .map(|t| Access::read(((t * self.stride) % n) as u32))
+            .collect();
+        trace.with_label(self.name())
+    }
+}
+
+/// Markov-cluster generator: items are grouped into clusters; the walk
+/// stays inside its current cluster with probability `stay`, and jumps
+/// to a uniformly random cluster otherwise.
+///
+/// This models the phase-local behaviour of real programs, which is the
+/// structure adjacency-driven placement exploits: items co-accessed in
+/// a phase should be co-located on the tape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovGen {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Number of clusters items are divided into.
+    pub clusters: usize,
+    /// Probability of staying within the current cluster per step.
+    pub stay: f64,
+    /// Probability an access is a write.
+    pub write_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MarkovGen {
+    /// A clustered walk with the given geometry and a default 0.9 stay
+    /// probability.
+    pub fn new(items: usize, clusters: usize, seed: u64) -> Self {
+        MarkovGen {
+            items,
+            clusters: clusters.max(1),
+            stay: 0.9,
+            write_ratio: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the stay probability.
+    pub fn with_stay(mut self, stay: f64) -> Self {
+        self.stay = stay;
+        self
+    }
+}
+
+impl TraceGenerator for MarkovGen {
+    fn name(&self) -> String {
+        format!("markov-{}-c{}-p{:.2}", self.items, self.clusters, self.stay)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let n = self.items.max(1);
+        let k = self.clusters.min(n);
+        let cluster_size = n.div_ceil(k);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cluster = 0usize;
+        let trace: Trace = (0..len)
+            .map(|_| {
+                if !rng.gen_bool(self.stay.clamp(0.0, 1.0)) {
+                    cluster = rng.gen_range(0..k);
+                }
+                let lo = cluster * cluster_size;
+                let hi = ((cluster + 1) * cluster_size).min(n);
+                let item = rng.gen_range(lo..hi.max(lo + 1)).min(n - 1);
+                Access {
+                    item: (item as u32).into(),
+                    kind: rw_kind(&mut rng, self.write_ratio),
+                }
+            })
+            .collect();
+        trace.with_label(self.name())
+    }
+}
+
+/// Phase-changing workload: the trace is split into `phases` segments,
+/// each a clustered Markov walk over a *different affine shuffle* of
+/// the item space, so the hot clusters of one phase are scattered in
+/// the next.
+///
+/// This is the stress workload for static placement (no single layout
+/// fits all phases) and the design case for
+/// online/adaptive placement (experiment F10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasedGen {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Number of phases.
+    pub phases: usize,
+    /// Within-phase stay probability (cluster tightness).
+    pub stay: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PhasedGen {
+    /// A phased generator with the default 0.95 stay probability.
+    pub fn new(items: usize, phases: usize, seed: u64) -> Self {
+        PhasedGen {
+            items,
+            phases: phases.max(1),
+            stay: 0.95,
+            seed,
+        }
+    }
+}
+
+impl TraceGenerator for PhasedGen {
+    fn name(&self) -> String {
+        format!("phased-{}-p{}", self.items, self.phases)
+    }
+
+    fn generate(&self, len: usize) -> Trace {
+        let n = self.items.max(1);
+        let per_phase = len / self.phases;
+        let mut accesses = Vec::with_capacity(len);
+        for phase in 0..self.phases {
+            let want = if phase + 1 == self.phases {
+                len - accesses.len() // absorb rounding in the last phase
+            } else {
+                per_phase
+            };
+            let inner = MarkovGen::new(n, (n / 8).max(2), self.seed + phase as u64)
+                .with_stay(self.stay)
+                .generate(want);
+            // Affine relabel: stride coprime with n scatters clusters.
+            let stride = 2 * phase + 1;
+            accesses.extend(inner.iter().map(|a| Access {
+                item: (((a.item.index() * stride + 7 * phase) % n) as u32).into(),
+                kind: a.kind,
+            }));
+        }
+        Trace::from_accesses(accesses).with_label(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g = UniformGen::new(32, 7);
+        assert_eq!(g.generate(100), g.generate(100));
+        let z = ZipfGen::new(32, 7);
+        assert_eq!(z.generate(100), z.generate(100));
+        let m = MarkovGen::new(32, 4, 7);
+        assert_eq!(m.generate(100), m.generate(100));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            UniformGen::new(32, 1).generate(200),
+            UniformGen::new(32, 2).generate(200)
+        );
+    }
+
+    #[test]
+    fn items_stay_in_range() {
+        for trace in [
+            UniformGen::new(10, 3).generate(500),
+            ZipfGen::new(10, 3).generate(500),
+            SequentialGen::new(10).generate(500),
+            StridedGen::new(10, 3).generate(500),
+            MarkovGen::new(10, 3, 3).generate(500),
+        ] {
+            assert!(
+                trace.iter().all(|a| a.item.index() < 10),
+                "{}",
+                trace.label()
+            );
+            assert_eq!(trace.len(), 500);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_uniform_is_not() {
+        let z = ZipfGen::new(50, 11).generate(5000).normalize().stats();
+        let u = UniformGen::new(50, 11).generate(5000).normalize().stats();
+        assert!(z.hot20_share > u.hot20_share + 0.2);
+    }
+
+    #[test]
+    fn markov_clusters_reduce_transition_spread() {
+        let m = MarkovGen::new(64, 8, 5).with_stay(0.95).generate(5000);
+        let u = UniformGen::new(64, 5).generate(5000);
+        assert!(m.stats().mean_stride < u.stats().mean_stride);
+    }
+
+    #[test]
+    fn sequential_wraps_around() {
+        let t = SequentialGen::new(4).generate(10);
+        let ids: Vec<u32> = t.iter().map(|a| a.item.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn write_ratio_produces_writes() {
+        let g = UniformGen {
+            items: 8,
+            write_ratio: 1.0,
+            seed: 1,
+        };
+        assert!(g.generate(50).iter().all(|a| a.kind.is_write()));
+    }
+
+    #[test]
+    fn phased_generator_changes_adjacency_between_phases() {
+        // The relabeling scatters *adjacency* (who is co-accessed with
+        // whom), not item frequencies: the transition structure of
+        // phase 1 must be a poor predictor of phase 2. We check that
+        // the hot transitions of phase 1 are mostly absent in phase 2.
+        let t = PhasedGen::new(64, 2, 3).generate(8000);
+        assert_eq!(t.len(), 8000);
+        assert!(t.iter().all(|a| a.item.index() < 64));
+        let pair_set = |accs: &[Access]| -> std::collections::HashSet<(u32, u32)> {
+            accs.windows(2)
+                .filter(|p| p[0].item != p[1].item)
+                .map(|p| {
+                    let (a, b) = (p[0].item.0, p[1].item.0);
+                    (a.min(b), a.max(b))
+                })
+                .collect()
+        };
+        let p1 = pair_set(&t.accesses()[..4000]);
+        let p2 = pair_set(&t.accesses()[4000..]);
+        let overlap = p1.intersection(&p2).count() as f64 / p1.len().max(1) as f64;
+        assert!(
+            overlap < 0.5,
+            "phases share {:.0}% of their transition pairs",
+            overlap * 100.0
+        );
+    }
+
+    #[test]
+    fn phased_generator_is_deterministic_and_exact_length() {
+        let g = PhasedGen::new(32, 3, 9);
+        assert_eq!(g.generate(1000), g.generate(1000));
+        // 1000 not divisible by 3: last phase absorbs the remainder.
+        assert_eq!(g.generate(1000).len(), 1000);
+    }
+
+    #[test]
+    fn generators_usable_as_objects() {
+        let gens: Vec<Box<dyn TraceGenerator>> = vec![
+            Box::new(UniformGen::new(8, 1)),
+            Box::new(SequentialGen::new(8)),
+        ];
+        for g in &gens {
+            assert!(!g.name().is_empty());
+            assert_eq!(g.generate(10).len(), 10);
+        }
+    }
+}

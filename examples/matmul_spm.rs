@@ -1,0 +1,59 @@
+//! Scratchpad allocation for blocked matrix multiply.
+//!
+//! Allocates the tiles of an 8×8 blocked matmul onto a 4-DBC × 16-word
+//! DWM scratchpad with three strategies (round-robin, affinity
+//! clustering, anti-affinity + projected-trace ordering), replays the
+//! kernel on each, and validates the winner on the bit-level simulator.
+//!
+//! ```text
+//! cargo run --release --example matmul_spm
+//! ```
+
+use dwm_placement::core::partition::Objective;
+use dwm_placement::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = Kernel::MatMul { n: 8, block: 2 }.trace();
+    println!("workload: {} — {}", trace.label(), trace.stats());
+
+    let alloc = SpmAllocator::new(4, 16);
+    let ports = PortLayout::single();
+
+    let rr = alloc.allocate_round_robin(trace.num_items())?;
+    let affinity =
+        alloc.allocate_with_objective(&trace, &GroupedChainGrowth, Objective::MinimizeExternal)?;
+    let anti = alloc.allocate(&trace, &GroupedChainGrowth)?;
+
+    println!("\nstrategy          total shifts   mean/access");
+    for (name, layout) in [
+        ("round-robin", &rr),
+        ("affinity", &affinity),
+        ("anti-affinity", &anti),
+    ] {
+        let (stats, per_dbc) = layout.trace_cost(&trace, &ports);
+        println!(
+            "{name:<16}  {:>12}   {:>10.2}   (per-DBC: {})",
+            stats.shifts,
+            stats.mean_shift(),
+            per_dbc
+                .iter()
+                .map(|s| s.shifts.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+    }
+
+    // Validate the anti-affinity layout on the functional simulator.
+    let config = DeviceConfig::builder()
+        .dbcs(4)
+        .domains_per_track(16)
+        .tracks_per_dbc(32)
+        .build()?;
+    let mut sim = SpmSimulator::with_layout(&config, &anti)?;
+    let report = sim.run(&trace)?;
+    let (analytic, _) = anti.trace_cost(&trace, &ports);
+    assert_eq!(report.stats.shifts, analytic.shifts);
+    assert_eq!(report.integrity_errors, 0);
+    println!("\nsimulator cross-check passed: {report}");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table/figure into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+bins=(
+  exp_t1_device_config exp_t2_benchmarks exp_t3_shift_reduction
+  exp_t4_optimality exp_t5_spm exp_t6_cache exp_t7_extended
+  exp_t8_layout_pass exp_t9_instruction exp_f3_normalized
+  exp_f4_tape_length exp_f5_ports exp_f6_latency_energy
+  exp_f7_runtime exp_f8_typed_ports exp_f9_reliability
+  exp_f10_online exp_f11_wear exp_a1_ablation exp_v1_crosscheck
+)
+for b in "${bins[@]}"; do
+  echo "== $b"
+  cargo run --release -q -p dwm-experiments --bin "$b" | tee "results/$b.txt"
+done
