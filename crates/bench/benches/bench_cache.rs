@@ -1,12 +1,11 @@
 //! T6: DWM cache replay throughput per policy stack.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use dwm_bench::BENCH_SEED;
 use dwm_cache::{CacheConfig, DwmCache, PromotionPolicy, ReplacementPolicy};
+use dwm_foundation::bench::{black_box, Harness};
 use dwm_trace::synth::{TraceGenerator, ZipfGen};
 
-fn cache_policies(c: &mut Criterion) {
+fn main() {
     let trace = ZipfGen::new(512, BENCH_SEED).generate(20_000);
     let stacks: Vec<(&str, CacheConfig)> = vec![
         ("lru", CacheConfig::new(8, 8).expect("valid")),
@@ -24,18 +23,12 @@ fn cache_policies(c: &mut Criterion) {
                 .with_promotion(PromotionPolicy::SwapTowardPort),
         ),
     ];
-    let mut group = c.benchmark_group("cache_replay");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let mut h = Harness::from_env("cache_replay");
     for (name, config) in stacks {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
-            b.iter(|| {
-                let mut cache = DwmCache::new(*cfg);
-                cache.run_trace(std::hint::black_box(&trace))
-            })
+        h.bench(&format!("cache_replay/{name}"), || {
+            let mut cache = DwmCache::new(config);
+            cache.run_trace(black_box(&trace))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, cache_policies);
-criterion_main!(benches);

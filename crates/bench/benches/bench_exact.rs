@@ -1,22 +1,17 @@
 //! T4: exact subset-DP optimum vs. instance size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use dwm_bench::BENCH_SEED;
 use dwm_core::exact::optimal_placement;
+use dwm_foundation::bench::{black_box, Harness};
 use dwm_graph::generators::random_graph;
 
-fn exact_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact_dp");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_env("exact_dp").with_samples(10);
     for n in [8usize, 12, 16] {
         let graph = random_graph(n, 0.5, 8, BENCH_SEED);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
-            b.iter(|| optimal_placement(std::hint::black_box(g)).expect("solvable"))
+        h.bench(&format!("exact_dp/{n}"), || {
+            optimal_placement(black_box(&graph)).expect("solvable")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, exact_scaling);
-criterion_main!(benches);

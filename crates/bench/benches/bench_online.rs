@@ -1,44 +1,30 @@
 //! F10/F11: online placement and wear-leveling replay throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use dwm_bench::markov_fixture;
 use dwm_core::online::{OnlineConfig, OnlinePlacer};
 use dwm_core::wear::{RotatingEvaluator, WearConfig};
 use dwm_core::{Hybrid, PlacementAlgorithm};
+use dwm_foundation::bench::{black_box, Harness};
 
-fn online_placer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("online_placement");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_env("online").with_samples(10);
     for n in [64usize, 256] {
         let (trace, _) = markov_fixture(n);
-        group.throughput(Throughput::Elements(trace.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
-            b.iter(|| OnlinePlacer::new(OnlineConfig::default()).run(std::hint::black_box(t)))
+        h.bench(&format!("online_placement/{n}"), || {
+            OnlinePlacer::new(OnlineConfig::default()).run(black_box(&trace))
         });
     }
-    group.finish();
-}
-
-fn wear_evaluator(c: &mut Criterion) {
     let (trace, graph) = markov_fixture(64);
     let placement = Hybrid::default().place(&graph);
-    let mut group = c.benchmark_group("wear_rotation");
-    group.throughput(Throughput::Elements(trace.len() as u64));
     for period in [0u64, 256, 64] {
         let config = if period == 0 {
             WearConfig::disabled()
         } else {
             WearConfig::every_writes(period, 64)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(period), &config, |b, cfg| {
-            b.iter(|| {
-                RotatingEvaluator::new(*cfg).evaluate(std::hint::black_box(&placement), &trace)
-            })
+        h.bench(&format!("wear_rotation/{period}"), || {
+            RotatingEvaluator::new(config).evaluate(black_box(&placement), &trace)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, online_placer, wear_evaluator);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! T3/F3: placement construction time per algorithm per kernel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use dwm_bench::suite_fixture;
 use dwm_core::algorithms::standard_suite;
+use dwm_foundation::bench::{black_box, Harness};
 
-fn placement_per_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement");
+fn main() {
+    let mut h = Harness::from_env("placement");
     for (name, _, graph) in suite_fixture() {
         for alg in standard_suite(1) {
             // Annealing dominates wall clock; bench it separately in
@@ -14,13 +13,10 @@ fn placement_per_kernel(c: &mut Criterion) {
             if alg.name() == "annealing" {
                 continue;
             }
-            group.bench_with_input(BenchmarkId::new(alg.name(), &name), &graph, |b, g| {
-                b.iter(|| alg.place(std::hint::black_box(g)))
+            h.bench(&format!("placement/{}/{name}", alg.name()), || {
+                alg.place(black_box(&graph))
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, placement_per_kernel);
-criterion_main!(benches);

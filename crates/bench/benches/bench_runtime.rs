@@ -1,16 +1,14 @@
 //! F7: algorithm runtime scaling with item count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use dwm_bench::{markov_fixture, BENCH_SEED};
 use dwm_core::algorithms::{
     ChainGrowth, GroupedChainGrowth, Hybrid, OrganPipe, PlacementAlgorithm, SimulatedAnnealing,
     Spectral,
 };
+use dwm_foundation::bench::{black_box, Harness};
 
-fn algorithm_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_env("algorithm_scaling").with_samples(10);
     for n in [64usize, 256, 1024] {
         let (_, graph) = markov_fixture(n);
         let algs: Vec<Box<dyn PlacementAlgorithm>> = vec![
@@ -22,13 +20,10 @@ fn algorithm_scaling(c: &mut Criterion) {
             Box::new(SimulatedAnnealing::new(BENCH_SEED).with_iterations(5_000)),
         ];
         for alg in algs {
-            group.bench_with_input(BenchmarkId::new(alg.name(), n), &graph, |b, g| {
-                b.iter(|| alg.place(std::hint::black_box(g)))
+            h.bench(&format!("algorithm_scaling/{}/{n}", alg.name()), || {
+                alg.place(black_box(&graph))
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, algorithm_scaling);
-criterion_main!(benches);

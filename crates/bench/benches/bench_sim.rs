@@ -1,14 +1,13 @@
 //! F6/V1: bit-level simulator replay throughput vs. the analytic model.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
 use dwm_bench::matmul_fixture;
 use dwm_core::cost::{CostModel, SinglePortCost};
 use dwm_core::{Hybrid, PlacementAlgorithm};
 use dwm_device::DeviceConfig;
+use dwm_foundation::bench::{black_box, Harness};
 use dwm_sim::SpmSimulator;
 
-fn analytic_vs_bit_level(c: &mut Criterion) {
+fn main() {
     let (trace, graph) = matmul_fixture();
     let placement = Hybrid::default().place(&graph);
     let config = DeviceConfig::builder()
@@ -17,20 +16,14 @@ fn analytic_vs_bit_level(c: &mut Criterion) {
         .build()
         .expect("valid");
 
-    let mut group = c.benchmark_group("replay");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("analytic", |b| {
-        let model = SinglePortCost::new();
-        b.iter(|| model.trace_cost(std::hint::black_box(&placement), &trace))
+    let mut h = Harness::from_env("sim");
+    let model = SinglePortCost::new();
+    h.bench("replay/analytic", || {
+        model.trace_cost(black_box(&placement), &trace)
     });
-    group.bench_function("bit_level_sim", |b| {
-        b.iter(|| {
-            let mut sim = SpmSimulator::new(&config, &placement).expect("fits");
-            sim.run(std::hint::black_box(&trace)).expect("replay")
-        })
+    h.bench("replay/bit_level_sim", || {
+        let mut sim = SpmSimulator::new(&config, &placement).expect("fits");
+        sim.run(black_box(&trace)).expect("replay")
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, analytic_vs_bit_level);
-criterion_main!(benches);

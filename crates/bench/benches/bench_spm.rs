@@ -1,35 +1,33 @@
 //! T5: multi-DBC scratchpad allocation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use dwm_bench::matmul_fixture;
 use dwm_core::partition::Objective;
 use dwm_core::spm::SpmAllocator;
 use dwm_core::GroupedChainGrowth;
+use dwm_foundation::bench::{black_box, Harness};
 
-fn spm_allocation(c: &mut Criterion) {
+fn main() {
     let (trace, _) = matmul_fixture();
     let alloc = SpmAllocator::new(4, 16);
-    let mut group = c.benchmark_group("spm_allocation");
-    group.bench_with_input(
-        BenchmarkId::from_parameter("round_robin"),
-        &trace,
-        |b, t| b.iter(|| alloc.allocate_round_robin(t.num_items()).expect("fits")),
-    );
-    group.bench_with_input(BenchmarkId::from_parameter("affinity"), &trace, |b, t| {
-        b.iter(|| {
-            alloc
-                .allocate_with_objective(t, &GroupedChainGrowth, Objective::MinimizeExternal)
-                .expect("fits")
-        })
+    let mut h = Harness::from_env("spm_allocation");
+    h.bench("spm_allocation/round_robin", || {
+        alloc
+            .allocate_round_robin(black_box(&trace).num_items())
+            .expect("fits")
     });
-    group.bench_with_input(
-        BenchmarkId::from_parameter("anti_affinity"),
-        &trace,
-        |b, t| b.iter(|| alloc.allocate(t, &GroupedChainGrowth).expect("fits")),
-    );
-    group.finish();
+    h.bench("spm_allocation/affinity", || {
+        alloc
+            .allocate_with_objective(
+                black_box(&trace),
+                &GroupedChainGrowth,
+                Objective::MinimizeExternal,
+            )
+            .expect("fits")
+    });
+    h.bench("spm_allocation/anti_affinity", || {
+        alloc
+            .allocate(black_box(&trace), &GroupedChainGrowth)
+            .expect("fits")
+    });
+    h.finish();
 }
-
-criterion_group!(benches, spm_allocation);
-criterion_main!(benches);

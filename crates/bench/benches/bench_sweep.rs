@@ -1,42 +1,27 @@
 //! F4/F5: cost-model replay across tape lengths and port counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use dwm_bench::markov_fixture;
 use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost};
 use dwm_core::{Hybrid, PlacementAlgorithm};
+use dwm_foundation::bench::{black_box, Harness};
 
-fn replay_vs_tape_length(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay_tape_length");
+fn main() {
+    let mut h = Harness::from_env("sweep");
     for l in [16usize, 64, 256] {
         let (trace, graph) = markov_fixture(l);
         let placement = Hybrid::default().place(&graph);
-        group.throughput(Throughput::Elements(trace.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(l),
-            &(trace, placement),
-            |b, (t, p)| {
-                let model = SinglePortCost::new();
-                b.iter(|| model.trace_cost(std::hint::black_box(p), std::hint::black_box(t)))
-            },
-        );
+        let model = SinglePortCost::new();
+        h.bench(&format!("replay_tape_length/{l}"), || {
+            model.trace_cost(black_box(&placement), black_box(&trace))
+        });
     }
-    group.finish();
-}
-
-fn replay_vs_ports(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay_ports");
     let (trace, graph) = markov_fixture(64);
     let placement = Hybrid::default().place(&graph);
     for ports in [1usize, 2, 4, 8] {
         let model = MultiPortCost::evenly_spaced(ports, 64);
-        group.throughput(Throughput::Elements(trace.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(ports), &model, |b, m| {
-            b.iter(|| m.trace_cost(std::hint::black_box(&placement), &trace))
+        h.bench(&format!("replay_ports/{ports}"), || {
+            model.trace_cost(black_box(&placement), &trace)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, replay_vs_tape_length, replay_vs_ports);
-criterion_main!(benches);

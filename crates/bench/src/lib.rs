@@ -1,4 +1,5 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures for the benchmark suites, which run on the
+//! in-tree `dwm_foundation::bench` timing harness.
 //!
 //! One bench target per experiment family (see `DESIGN.md` §4):
 //!

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use dwm_device::shift::single_port_distance;
 use dwm_trace::Trace;
 
@@ -20,7 +18,7 @@ pub struct AccessOutcome {
 }
 
 /// Aggregate cache statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Accesses that found their block.
     pub hits: u64,
@@ -33,6 +31,14 @@ pub struct CacheStats {
     /// Evictions of valid blocks.
     pub evictions: u64,
 }
+
+dwm_foundation::json_struct!(CacheStats {
+    hits,
+    misses,
+    shifts,
+    promotions,
+    evictions
+});
 
 impl CacheStats {
     /// Total accesses.
@@ -62,7 +68,7 @@ impl CacheStats {
 }
 
 /// One cache set: tag array, recency, and tape position.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Set {
     /// `tags[w]` = tag stored in way `w` (`None` = invalid).
     tags: Vec<Option<u64>>,
@@ -71,6 +77,12 @@ struct Set {
     /// Way currently under the port.
     position: usize,
 }
+
+dwm_foundation::json_struct!(Set {
+    tags,
+    last_used,
+    position
+});
 
 impl Set {
     fn new(ways: usize) -> Self {
@@ -103,13 +115,20 @@ impl Set {
 /// assert!(cache.stats().hits >= 2);
 /// # Ok::<(), dwm_cache::CacheConfigError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DwmCache {
     config: CacheConfig,
     sets: Vec<Set>,
     clock: u64,
     stats: CacheStats,
 }
+
+dwm_foundation::json_struct!(DwmCache {
+    config,
+    sets,
+    clock,
+    stats
+});
 
 impl DwmCache {
     /// An empty cache with the given configuration.
@@ -265,7 +284,7 @@ mod tests {
         c.access(1); // way 1: 1 shift
         c.access(2); // way 2: 1 shift
         c.access(0); // hit way 0: 2 shifts
-        assert_eq!(c.stats().shifts, 0 + 1 + 1 + 2);
+        assert_eq!(c.stats().shifts, 1 + 1 + 2);
     }
 
     #[test]

@@ -1,8 +1,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::policy::{PromotionPolicy, ReplacementPolicy};
 
 /// Error building a [`CacheConfig`].
@@ -32,7 +30,7 @@ impl Error for CacheConfigError {}
 /// 0; the tape state is the way currently under the port. Addresses
 /// are block-granular (`block id = address`), index = `id % sets`, tag
 /// = `id / sets`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     sets: usize,
     ways: usize,
@@ -44,6 +42,14 @@ pub struct CacheConfig {
     /// read-swap-write of two adjacent ways).
     pub promotion_swap_shifts: u64,
 }
+
+dwm_foundation::json_struct!(CacheConfig {
+    sets,
+    ways,
+    replacement,
+    promotion,
+    promotion_swap_shifts
+});
 
 impl CacheConfig {
     /// A `sets × ways` cache with plain LRU and no promotion.

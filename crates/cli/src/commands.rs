@@ -188,7 +188,7 @@ fn cmd_place(args: &ParsedArgs) -> CommandResult {
         placement.order(),
     );
     if let Some(path) = args.opt("out") {
-        std::fs::write(path, serde_json::to_string_pretty(&placement)?)?;
+        std::fs::write(path, dwm_foundation::json::to_string_pretty(&placement))?;
         out.push_str(&format!("\nsaved placement to {path}"));
     }
     Ok(out)
@@ -227,7 +227,7 @@ fn cmd_sweep(args: &ParsedArgs) -> CommandResult {
 
 fn cmd_eval(args: &ParsedArgs) -> CommandResult {
     let trace = load_trace(args, 0)?.normalize();
-    let placement: Placement = serde_json::from_str(&std::fs::read_to_string(
+    let placement: Placement = dwm_foundation::json::from_str(&std::fs::read_to_string(
         args.positional(1, "placement.json")?,
     )?)?;
     let ports: usize = args.opt_num("ports", 1)?;
@@ -385,7 +385,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("shifts"));
         let placement: Placement =
-            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+            dwm_foundation::json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(placement.num_items(), 32);
 
         // eval round-trips the saved placement.

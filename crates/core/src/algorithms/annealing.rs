@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dwm_foundation::Rng;
 
 use dwm_graph::AccessGraph;
 
@@ -77,7 +76,7 @@ impl PlacementAlgorithm for SimulatedAnnealing {
         if n < 2 {
             return Placement::identity(n);
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut current = ChainGrowth.place(graph);
         let mut current_cost = graph.arrangement_cost(current.offsets()) as i64;
         let mut best = current.clone();

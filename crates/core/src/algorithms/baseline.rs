@@ -1,6 +1,4 @@
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dwm_foundation::Rng;
 
 use dwm_graph::AccessGraph;
 
@@ -49,7 +47,7 @@ impl PlacementAlgorithm for RandomPlacement {
 
     fn place(&self, graph: &AccessGraph) -> Placement {
         let mut order: Vec<usize> = (0..graph.num_items()).collect();
-        order.shuffle(&mut StdRng::seed_from_u64(self.seed));
+        Rng::seed_from_u64(self.seed).shuffle(&mut order);
         Placement::from_order(order)
     }
 }

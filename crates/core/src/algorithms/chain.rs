@@ -103,8 +103,8 @@ pub(crate) fn grow_chains(graph: &AccessGraph) -> Chains {
     // Collect live chains plus leftover singletons, preserving a
     // deterministic order.
     let mut out: Vec<VecDeque<usize>> = chains.into_iter().flatten().collect();
-    for v in 0..n {
-        if chain_of[v] == usize::MAX {
+    for (v, &chain) in chain_of.iter().enumerate().take(n) {
+        if chain == usize::MAX {
             out.push(VecDeque::from([v]));
         }
     }

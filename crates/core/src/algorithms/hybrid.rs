@@ -39,18 +39,10 @@ use crate::placement::Placement;
 /// let naive = graph.arrangement_cost(Placement::identity(graph.num_items()).offsets());
 /// assert!(graph.arrangement_cost(placement.offsets()) <= naive);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Hybrid {
     /// The refiner applied to the best candidate.
     pub refiner: LocalSearch,
-}
-
-impl Default for Hybrid {
-    fn default() -> Self {
-        Hybrid {
-            refiner: LocalSearch::default(),
-        }
-    }
 }
 
 impl Hybrid {
@@ -141,7 +133,7 @@ mod tests {
     fn produces_valid_permutation() {
         let g = random_graph(15, 0.5, 4, 3);
         let p = Hybrid::default().place(&g);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for off in 0..15 {
             let item = p.item_at(off);
             assert!(!seen[item]);

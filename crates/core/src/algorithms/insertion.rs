@@ -105,7 +105,7 @@ mod tests {
         for seed in 0..5 {
             let g = random_graph(18, 0.4, 5, seed);
             let p = GreedyInsertion.place(&g);
-            let mut seen = vec![false; 18];
+            let mut seen = [false; 18];
             for off in 0..18 {
                 assert!(!seen[p.item_at(off)]);
                 seen[p.item_at(off)] = true;

@@ -69,8 +69,8 @@ pub fn standard_suite(seed: u64) -> Vec<Box<dyn PlacementAlgorithm>> {
         Box::new(OrderOfAppearance),
         Box::new(RandomPlacement::new(seed)),
         Box::new(OrganPipe),
-        Box::new(ChainGrowth::default()),
-        Box::new(GroupedChainGrowth::default()),
+        Box::new(ChainGrowth),
+        Box::new(GroupedChainGrowth),
         Box::new(GreedyInsertion),
         Box::new(Spectral::default()),
         Box::new(SimulatedAnnealing::new(seed)),
@@ -167,8 +167,8 @@ mod tests {
         let naive = OrderOfAppearance.place(&g);
         let naive_cost = g.arrangement_cost(naive.offsets());
         for alg in [
-            &ChainGrowth::default() as &dyn PlacementAlgorithm,
-            &GroupedChainGrowth::default(),
+            &ChainGrowth as &dyn PlacementAlgorithm,
+            &GroupedChainGrowth,
             &Spectral::default(),
         ] {
             let p = alg.place(&g);

@@ -142,7 +142,7 @@ mod tests {
         let graph = AccessGraph::from_trace(&trace);
         let mut p = Hybrid::default().place(&graph);
         TraceRefiner::new(2, 4).refine(&SinglePortCost::new(), &trace, &mut p);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for off in 0..16 {
             assert!(!seen[p.item_at(off)]);
             seen[p.item_at(off)] = true;

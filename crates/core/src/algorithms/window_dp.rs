@@ -260,7 +260,7 @@ mod tests {
         let g = random_graph(25, 0.4, 5, 3);
         let mut p = RandomPlacement::new(1).place(&g);
         WindowedDp::new(8).refine(&g, &mut p);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for off in 0..25 {
             assert!(!seen[p.item_at(off)]);
             seen[p.item_at(off)] = true;

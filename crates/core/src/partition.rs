@@ -13,20 +13,20 @@
 //! inside parts with small diameter — equivalently, heavy edges should
 //! not be split, and no part may overflow.
 
-use serde::{Deserialize, Serialize};
-
 use dwm_graph::AccessGraph;
 
 use crate::error::PlacementError;
 
 /// An assignment of items to `k` parts with a per-part capacity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// `part_of[item] = part index`.
     part_of: Vec<usize>,
     /// Items of each part, in ascending item order.
     parts: Vec<Vec<usize>>,
 }
+
+dwm_foundation::json_struct!(Partition { part_of, parts });
 
 impl Partition {
     fn from_assignment(part_of: Vec<usize>, k: usize) -> Self {

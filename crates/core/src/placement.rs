@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use dwm_trace::ItemId;
 
 use crate::error::PlacementError;
@@ -26,13 +24,15 @@ use crate::error::PlacementError;
 /// assert_eq!(p, same);
 /// # Ok::<(), dwm_core::PlacementError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Placement {
     /// `offsets[item] = offset`.
     offsets: Vec<usize>,
     /// `items[offset] = item` (inverse of `offsets`).
     items: Vec<usize>,
 }
+
+dwm_foundation::json_struct!(Placement { offsets, items });
 
 impl Placement {
     /// The identity placement: item `i` at offset `i`.
@@ -236,10 +236,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let p = Placement::from_order([3, 1, 0, 2]);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Placement = serde_json::from_str(&json).unwrap();
+        let json = dwm_foundation::json::to_string(&p);
+        let back: Placement = dwm_foundation::json::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }

@@ -6,8 +6,6 @@
 //! [`PlacementAlgorithm`], and the resulting [`SpmLayout`] is evaluated
 //! by replaying the trace with one displacement state per DBC.
 
-use serde::{Deserialize, Serialize};
-
 use dwm_device::shift::nearest_port_plan;
 use dwm_device::{PortLayout, ShiftStats};
 use dwm_graph::AccessGraph;
@@ -18,7 +16,7 @@ use crate::error::PlacementError;
 use crate::partition::{Objective, Partitioner};
 
 /// Where each item lives in a multi-DBC scratchpad.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpmLayout {
     /// `dbc_of[item] = DBC index`.
     dbc_of: Vec<usize>,
@@ -29,6 +27,13 @@ pub struct SpmLayout {
     /// Words per DBC.
     words_per_dbc: usize,
 }
+
+dwm_foundation::json_struct!(SpmLayout {
+    dbc_of,
+    offset_of,
+    dbcs,
+    words_per_dbc
+});
 
 impl SpmLayout {
     /// DBC index of `item`.
@@ -201,6 +206,8 @@ impl SpmAllocator {
             projected[dbc_of[item]].push(local_id[item] as u32);
         }
 
+        // `p` indexes the partition and `projected` in lockstep.
+        #[allow(clippy::needless_range_loop)]
         for p in 0..partition.num_parts() {
             let items = partition.part(p);
             if items.is_empty() {

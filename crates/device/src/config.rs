@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::error::DeviceError;
 use crate::port::PortLayout;
 
@@ -8,7 +6,7 @@ use crate::port::PortLayout;
 /// The defaults follow the parameters commonly used in the 2013–2015
 /// racetrack-memory literature (≈ 2 GHz controller clock, one cycle per
 /// single-domain shift, SRAM-like port access latency).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingConfig {
     /// Cycles to shift the tape by one domain position.
     pub shift_cycles: u64,
@@ -19,6 +17,13 @@ pub struct TimingConfig {
     /// Controller clock period in nanoseconds (for latency projection).
     pub clock_ns: f64,
 }
+
+dwm_foundation::json_struct!(TimingConfig {
+    shift_cycles,
+    read_cycles,
+    write_cycles,
+    clock_ns
+});
 
 impl Default for TimingConfig {
     fn default() -> Self {
@@ -36,7 +41,7 @@ impl Default for TimingConfig {
 /// `shift_pj_per_track` is charged once per track per single-domain
 /// shift; a DBC-level shift of distance `d` on a `W`-track cluster
 /// therefore costs `d * W * shift_pj_per_track`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyConfig {
     /// Energy to shift one track by one domain, in pJ.
     pub shift_pj_per_track: f64,
@@ -48,6 +53,13 @@ pub struct EnergyConfig {
     /// simulated interval).
     pub leakage_mw: f64,
 }
+
+dwm_foundation::json_struct!(EnergyConfig {
+    shift_pj_per_track,
+    read_pj,
+    write_pj,
+    leakage_mw
+});
 
 impl Default for EnergyConfig {
     fn default() -> Self {
@@ -80,7 +92,7 @@ impl Default for EnergyConfig {
 /// assert_eq!(config.port_layout().len(), 2);
 /// # Ok::<(), dwm_device::DeviceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     domains_per_track: usize,
     tracks_per_dbc: usize,
@@ -89,6 +101,15 @@ pub struct DeviceConfig {
     timing: TimingConfig,
     energy: EnergyConfig,
 }
+
+dwm_foundation::json_struct!(DeviceConfig {
+    domains_per_track,
+    tracks_per_dbc,
+    ports,
+    dbcs,
+    timing,
+    energy
+});
 
 impl DeviceConfig {
     /// Starts building a configuration from the literature defaults.
@@ -326,7 +347,7 @@ impl DeviceConfigBuilder {
         if sorted.len() != ports.len() {
             return Err(invalid("ports", "duplicate port positions".into()));
         }
-        if !(self.timing.clock_ns > 0.0) {
+        if self.timing.clock_ns.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(invalid("timing.clock_ns", "must be positive".into()));
         }
         for (name, v) in [
@@ -440,10 +461,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = DeviceConfig::builder().ports(2).build().unwrap();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        let json = dwm_foundation::json::to_string(&c);
+        let back: DeviceConfig = dwm_foundation::json::from_str(&json).unwrap();
         assert_eq!(c, back);
     }
 

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::config::DeviceConfig;
 use crate::error::DeviceError;
 use crate::port::PortLayout;
@@ -33,7 +31,7 @@ use crate::track::Track;
 /// assert!(dbc.stats().shifts > 0);
 /// # Ok::<(), dwm_device::DeviceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dbc {
     tracks: Vec<Track>,
     ports: PortLayout,
@@ -46,6 +44,15 @@ pub struct Dbc {
     /// `stats`. Per-word write counts capture endurance of write ports.
     write_counts: Vec<u64>,
 }
+
+dwm_foundation::json_struct!(Dbc {
+    tracks,
+    ports,
+    words,
+    displacement,
+    stats,
+    write_counts
+});
 
 impl Dbc {
     /// Creates a zero-filled DBC from a device configuration.
@@ -246,7 +253,7 @@ mod tests {
         dbc.read(5).unwrap(); // 0
         dbc.read(9).unwrap(); // 4
         dbc.read(0).unwrap(); // 9
-        assert_eq!(dbc.stats().shifts, 5 + 0 + 4 + 9);
+        assert_eq!(dbc.stats().shifts, 5 + 4 + 9);
         assert_eq!(dbc.stats().aligned_hits, 1);
         assert_eq!(dbc.stats().max_shift, 9);
     }

@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use crate::config::DeviceConfig;
 use crate::stats::ShiftStats;
 
 /// Energy breakdown of a replayed workload, in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AccessEnergy {
     /// Energy spent shifting tapes.
     pub shift_pj: f64,
@@ -15,6 +13,13 @@ pub struct AccessEnergy {
     /// Leakage over the active interval.
     pub leakage_pj: f64,
 }
+
+dwm_foundation::json_struct!(AccessEnergy {
+    shift_pj,
+    read_pj,
+    write_pj,
+    leakage_pj
+});
 
 impl AccessEnergy {
     /// Total energy in picojoules.
@@ -29,7 +34,7 @@ impl AccessEnergy {
 }
 
 /// Latency breakdown of a replayed workload, in controller cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessLatency {
     /// Cycles spent shifting.
     pub shift_cycles: u64,
@@ -38,6 +43,12 @@ pub struct AccessLatency {
     /// Cycles spent on port writes.
     pub write_cycles: u64,
 }
+
+dwm_foundation::json_struct!(AccessLatency {
+    shift_cycles,
+    read_cycles,
+    write_cycles
+});
 
 impl AccessLatency {
     /// Total cycles.

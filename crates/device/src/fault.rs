@@ -12,19 +12,19 @@
 //! simulator using a small self-contained SplitMix64 generator (the
 //! device crate takes no RNG dependency).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-shift-step position-error model.
 ///
 /// `slip_probability` is the chance that one single-domain shift step
 /// mis-positions the train by one domain (direction uniform). Typical
 /// figures explored in the DWM reliability literature run from 1e-5
 /// (conservative) to 1e-2 (aggressive overdrive).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShiftFaultModel {
     /// Probability that one shift step slips by one domain.
     pub slip_probability: f64,
 }
+
+dwm_foundation::json_struct!(ShiftFaultModel { slip_probability });
 
 impl ShiftFaultModel {
     /// A model with the given per-step slip probability.
@@ -58,11 +58,13 @@ impl ShiftFaultModel {
 /// Uses SplitMix64 so the device crate needs no external RNG; the same
 /// seed always produces the same fault pattern, which keeps
 /// fault-injection experiments reproducible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultInjector {
     model: ShiftFaultModel,
     state: u64,
 }
+
+dwm_foundation::json_struct!(FaultInjector { model, state });
 
 impl FaultInjector {
     /// An injector drawing from `model` with the given seed.

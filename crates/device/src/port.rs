@@ -1,13 +1,11 @@
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an access port within a [`PortLayout`].
 ///
 /// A newtype rather than a bare `usize` so that port ids cannot be
 /// confused with word offsets or shift distances in APIs that take both.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PortId(pub usize);
+
+dwm_foundation::json_newtype!(PortId);
 
 impl std::fmt::Display for PortId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -35,10 +33,12 @@ impl std::fmt::Display for PortId {
 /// assert_eq!(layout.positions()[port.0], 48);
 /// assert_eq!(dist, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PortLayout {
     positions: Vec<usize>,
 }
+
+dwm_foundation::json_struct!(PortLayout { positions });
 
 impl PortLayout {
     /// A single port at word offset 0 (the common low-cost design).
@@ -121,7 +121,7 @@ impl PortLayout {
     }
 }
 
-impl<'a> IntoIterator for &'a PortLayout {
+impl IntoIterator for &PortLayout {
     type Item = (PortId, usize);
     type IntoIter = std::vec::IntoIter<(PortId, usize)>;
 
@@ -137,13 +137,18 @@ impl<'a> IntoIterator for &'a PortLayout {
 /// read-only port costs a fraction of a read-write port's area. The
 /// typed layout models that asymmetry — writes may only align with
 /// read-write ports, reads with any port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortCapability {
     /// The port can only sense (read) the domain under it.
     ReadOnly,
     /// The port can sense and write the domain under it.
     ReadWrite,
 }
+
+dwm_foundation::json_unit_enum!(PortCapability {
+    ReadOnly,
+    ReadWrite
+});
 
 /// A port layout in which each port is read-only or read-write.
 ///
@@ -161,11 +166,13 @@ pub enum PortCapability {
 /// assert_eq!(layout.read_layout().len(), 3);
 /// assert_eq!(layout.write_layout().len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TypedPortLayout {
     read: PortLayout,
     write: PortLayout,
 }
+
+dwm_foundation::json_struct!(TypedPortLayout { read, write });
 
 impl TypedPortLayout {
     /// Builds a typed layout from `(position, capability)` pairs.

@@ -109,7 +109,7 @@ mod tests {
     fn single_port_replay_matches_pairwise_distances() {
         let ports = PortLayout::single();
         let seq = [4usize, 9, 1, 1, 7];
-        let expected: u64 = 4 + 5 + 8 + 0 + 6;
+        let expected: u64 = (4 + 5 + 8) + 6;
         assert_eq!(replay_shift_count(&ports, seq), expected);
     }
 

@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 /// Running counters of device activity.
 ///
 /// Collected by [`Dbc`](crate::Dbc) and by the simulator crate; the
 /// analytic cost models in `dwm-core` produce the same `shifts` figure,
 /// which the cross-validation test relies on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShiftStats {
     /// Total single-domain shift steps (summed over accesses, not
     /// multiplied by track count).
@@ -19,6 +17,14 @@ pub struct ShiftStats {
     /// Largest single-access shift distance observed.
     pub max_shift: u64,
 }
+
+dwm_foundation::json_struct!(ShiftStats {
+    shifts,
+    reads,
+    writes,
+    aligned_hits,
+    max_shift
+});
 
 impl ShiftStats {
     /// A zeroed counter set.

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A single magnetic nanowire holding one bit per domain.
 ///
 /// The track models the *physical* layout: a data region of `L` domains
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(track.displacement(), 3);
 /// assert!(track.bit(3)); // logical content is unchanged by shifting
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Track {
     /// Logical data bits, indexed by data offset. Shifting moves the
     /// whole train physically, so logical content never changes; we
@@ -39,6 +37,14 @@ pub struct Track {
     /// Total single-domain shift steps performed (wear proxy).
     shift_steps: u64,
 }
+
+dwm_foundation::json_struct!(Track {
+    bits,
+    displacement,
+    min_displacement,
+    max_displacement,
+    shift_steps
+});
 
 impl Track {
     /// Creates a track with `data_len` data domains and enough padding

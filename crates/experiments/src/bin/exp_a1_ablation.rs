@@ -22,7 +22,8 @@ use dwm_graph::AccessGraph;
 fn main() {
     println!("Ablation A1: gmean shifts normalized to naive (lower is better)\n");
     let workloads = workload_suite();
-    let mut columns: Vec<(String, Box<dyn Fn(&AccessGraph) -> u64>)> = vec![
+    type Column = (String, Box<dyn Fn(&AccessGraph) -> u64>);
+    let mut columns: Vec<Column> = vec![
         (
             "organ-pipe".into(),
             Box::new(|g: &AccessGraph| g.arrangement_cost(OrganPipe.place(g).offsets())),

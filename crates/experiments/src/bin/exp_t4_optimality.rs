@@ -35,7 +35,8 @@ fn main() {
         "grouped+ls",
         "spectral",
     ]);
-    let algs: Vec<(&str, Box<dyn Fn(&AccessGraph) -> u64>)> = vec![
+    type Alg<'a> = (&'a str, Box<dyn Fn(&AccessGraph) -> u64>);
+    let algs: Vec<Alg> = vec![
         (
             "organ-pipe",
             Box::new(|g: &AccessGraph| g.arrangement_cost(OrganPipe.place(g).offsets())),

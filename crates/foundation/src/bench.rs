@@ -1,0 +1,268 @@
+//! A lightweight timing harness — the in-tree criterion replacement.
+//!
+//! Each benchmark auto-calibrates an iteration count so one sample
+//! takes roughly a millisecond, runs a warmup, then collects N timed
+//! samples and reports min / median / p95 / mean per-iteration times.
+//! Results print as an aligned table and can be written as JSON for
+//! machine consumption.
+//!
+//! Environment knobs:
+//!
+//! * `DWM_BENCH_SAMPLES` — samples per benchmark (default 30)
+//! * `DWM_BENCH_WARMUP_MS` — warmup time per benchmark (default 100)
+//! * `DWM_BENCH_JSON` — path to write the JSON report to
+//!
+//! A single positional CLI argument acts as a substring filter on
+//! benchmark ids, mirroring `cargo bench <filter>`.
+
+use std::time::Instant;
+
+use crate::json::{Object, ToJson, Value};
+
+/// Re-export of [`std::hint::black_box`] so benches need no extra
+/// imports.
+pub use std::hint::black_box;
+
+/// Timing summary of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id (e.g. `placement/chain-growth/fft`).
+    pub id: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+}
+
+crate::json_struct!(BenchResult {
+    id,
+    iters_per_sample,
+    samples,
+    min_ns,
+    median_ns,
+    p95_ns,
+    mean_ns
+});
+
+/// The benchmark harness: collects [`BenchResult`]s and reports them.
+///
+/// # Example
+///
+/// ```no_run
+/// use dwm_foundation::bench::{black_box, Harness};
+///
+/// let mut h = Harness::from_env("demo");
+/// h.bench("sum/1k", || (0..1000u64).map(black_box).sum::<u64>());
+/// h.finish();
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    warmup_ms: u64,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness configured from the environment and CLI arguments
+    /// (see the module docs for the knobs).
+    pub fn from_env(suite: &str) -> Self {
+        let samples = std::env::var("DWM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30)
+            .max(3);
+        let warmup_ms = std::env::var("DWM_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        // `cargo bench` invokes bench binaries with `--bench` (and
+        // test-harness flags); the first non-flag argument is a
+        // substring filter, criterion-style.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            suite: suite.to_owned(),
+            samples,
+            warmup_ms,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count (primarily for tests).
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Overrides the warmup budget in milliseconds.
+    pub fn with_warmup_ms(mut self, warmup_ms: u64) -> Self {
+        self.warmup_ms = warmup_ms;
+        self
+    }
+
+    /// Times `f`, recording the result under `id`. Skipped (silently)
+    /// when a CLI filter is set and `id` does not contain it.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: grow the per-sample iteration count until one
+        // sample costs ≳ 1 ms (so timer resolution is negligible).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 1000 || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight at 1.2 ms instead of stepping by doubling.
+            let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
+            iters = (1_200_000 / per_iter.max(1)).max(iters * 2).min(1 << 30);
+        }
+
+        let warmup_deadline = Instant::now();
+        while warmup_deadline.elapsed().as_millis() < self.warmup_ms as u128 {
+            black_box(f());
+        }
+
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| sample_ns[((sample_ns.len() - 1) as f64 * q).round() as usize];
+        let result = BenchResult {
+            id: id.to_owned(),
+            iters_per_sample: iters,
+            samples: sample_ns.len(),
+            min_ns: sample_ns[0],
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+        };
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            result.id,
+            format_ns(result.median_ns),
+            format_ns(result.p95_ns),
+            format_ns(result.min_ns),
+        );
+        self.results.push(result);
+    }
+
+    /// The collected results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The whole run as a JSON value (`{"suite": …, "results": […]}`).
+    pub fn to_json(&self) -> Value {
+        let mut obj = Object::new();
+        obj.insert("suite", Value::Str(self.suite.clone()));
+        obj.insert("results", self.results.to_json());
+        Value::Obj(obj)
+    }
+
+    /// Prints the footer and, when `DWM_BENCH_JSON` is set, writes the
+    /// JSON report there.
+    pub fn finish(self) {
+        println!(
+            "{} benchmark(s) in suite '{}' (median/p95/min per iteration)",
+            self.results.len(),
+            self.suite
+        );
+        if let Ok(path) = std::env::var("DWM_BENCH_JSON") {
+            let json = self.to_json().to_pretty();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::from_str;
+
+    fn tiny() -> Harness {
+        Harness {
+            suite: "test".into(),
+            samples: 5,
+            warmup_ms: 0,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bench_produces_ordered_statistics() {
+        let mut h = tiny();
+        h.bench("noop", || black_box(1u64 + 1));
+        let r = &h.results()[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut h = tiny();
+        h.filter = Some("keep".into());
+        h.bench("keep/this", || black_box(0u8));
+        h.bench("drop/this", || black_box(0u8));
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].id, "keep/this");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut h = tiny();
+        h.bench("a", || black_box(2u32 * 2));
+        let json = h.to_json().to_compact();
+        let v = crate::json::parse(&json).unwrap();
+        let results = v.as_object().unwrap().get("results").unwrap();
+        let back: Vec<BenchResult> = from_str::<Vec<BenchResult>>(&results.to_compact()).unwrap();
+        assert_eq!(back, h.results());
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(1500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -1,0 +1,265 @@
+//! A seeded property-test harness — the in-tree proptest replacement.
+//!
+//! A property is a closure over inputs produced by a generator
+//! closure; the harness runs it for a configurable number of cases,
+//! each with an independent, deterministically derived sub-seed. On
+//! failure it panics with the failing case's seed and a `Debug` dump
+//! of the input, and that seed can be replayed in isolation with the
+//! `DWM_CHECK_SEED` environment variable:
+//!
+//! ```text
+//! DWM_CHECK_SEED=123456789 cargo test -q failing_test_name
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `DWM_CHECK_CASES` — cases per property (overrides the in-code
+//!   count; crank it up for soak runs)
+//! * `DWM_CHECK_SEED`  — run only the given case seed (replay mode)
+//!
+//! Properties report failure by returning `Err(String)`; the
+//! [`require!`](crate::require), [`require_eq!`](crate::require_eq),
+//! and [`require_ne!`](crate::require_ne) macros are the
+//! `prop_assert!` equivalents.
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 48;
+
+/// Runs seeded property tests. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use dwm_foundation::{require, Checker};
+///
+/// Checker::new("addition_commutes").run(
+///     |rng| (rng.gen::<u32>() as u64, rng.gen::<u32>() as u64),
+///     |&(a, b)| {
+///         require!(a + b == b + a, "{a} + {b} not commutative");
+///         Ok(())
+///     },
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checker {
+    name: String,
+    cases: usize,
+    seed: u64,
+}
+
+impl Checker {
+    /// A checker for the property `name` with the default case count
+    /// and a seed derived from the name (stable across runs, distinct
+    /// across properties).
+    pub fn new(name: &str) -> Self {
+        let mut seed = 0x5EED_0000_0000_0000u64;
+        for b in name.bytes() {
+            seed = splitmix64(&mut seed) ^ b as u64;
+        }
+        Checker {
+            name: name.to_owned(),
+            cases: DEFAULT_CASES,
+            seed,
+        }
+    }
+
+    /// Sets the case count (the `DWM_CHECK_CASES` environment variable
+    /// still takes precedence).
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases.max(1);
+        self
+    }
+
+    /// Sets the master seed explicitly.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates inputs with `generate` and checks `property` against
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, with its replay seed and the
+    /// `Debug` rendering of the input.
+    pub fn run<T, G, P>(&self, mut generate: G, mut property: P)
+    where
+        T: std::fmt::Debug,
+        G: FnMut(&mut Rng) -> T,
+        P: FnMut(&T) -> Result<(), String>,
+    {
+        if let Some(replay) = env_u64("DWM_CHECK_SEED") {
+            self.run_case(replay, usize::MAX, &mut generate, &mut property);
+            return;
+        }
+        let cases = env_u64("DWM_CHECK_CASES")
+            .map(|c| c.max(1) as usize)
+            .unwrap_or(self.cases);
+        let mut master = self.seed;
+        for case in 0..cases {
+            let case_seed = splitmix64(&mut master);
+            self.run_case(case_seed, case, &mut generate, &mut property);
+        }
+    }
+
+    fn run_case<T, G, P>(&self, case_seed: u64, case: usize, generate: &mut G, property: &mut P)
+    where
+        T: std::fmt::Debug,
+        G: FnMut(&mut Rng) -> T,
+        P: FnMut(&T) -> Result<(), String>,
+    {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let input = generate(&mut rng);
+        if let Err(message) = property(&input) {
+            let which = if case == usize::MAX {
+                "replayed case".to_owned()
+            } else {
+                format!("case {case}")
+            };
+            panic!(
+                "property '{}' failed on {which}\n  cause: {message}\n  input: {input:?}\n  \
+                 replay: DWM_CHECK_SEED={case_seed} cargo test -q",
+                self.name
+            );
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// `prop_assert!` equivalent: early-returns `Err` from the property
+/// when the condition is false.
+#[macro_export]
+macro_rules! require {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("requirement failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!` equivalent.
+#[macro_export]
+macro_rules! require_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} ({l:?} vs {r:?})",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!` equivalent.
+#[macro_export]
+macro_rules! require_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "{} == {} (both {l:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        Checker::new("counts_cases").cases(17).run(
+            |rng| rng.gen::<u64>(),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_property() {
+        let collect = || {
+            let mut inputs = Vec::new();
+            Checker::new("stable_inputs").cases(10).run(
+                |rng| rng.gen::<u64>(),
+                |&x| {
+                    inputs.push(x);
+                    Ok(())
+                },
+            );
+            inputs
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_properties_get_different_seeds() {
+        let first_input = |name: &str| {
+            let mut first = None;
+            Checker::new(name).cases(1).run(
+                |rng| rng.gen::<u64>(),
+                |&x| {
+                    first = Some(x);
+                    Ok(())
+                },
+            );
+            first.unwrap()
+        };
+        assert_ne!(first_input("prop_a"), first_input("prop_b"));
+    }
+
+    #[test]
+    fn failure_panics_with_replay_seed() {
+        let result = std::panic::catch_unwind(|| {
+            Checker::new("always_fails").cases(3).run(
+                |rng| rng.gen_range(0..100u64),
+                |_| Err("intentional".to_owned()),
+            );
+        });
+        let panic = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(panic.contains("always_fails"), "{panic}");
+        assert!(panic.contains("intentional"), "{panic}");
+        assert!(panic.contains("DWM_CHECK_SEED="), "{panic}");
+    }
+
+    #[test]
+    fn require_macros_produce_messages() {
+        fn prop(x: u64) -> Result<(), String> {
+            require!(x < 10, "x too big: {x}");
+            require_eq!(x % 2, 0);
+            require_ne!(x, 7);
+            Ok(())
+        }
+        assert!(prop(2).is_ok());
+        assert_eq!(prop(12).unwrap_err(), "x too big: 12");
+        assert!(prop(3).unwrap_err().contains("!="));
+    }
+}

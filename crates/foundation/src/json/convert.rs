@@ -1,0 +1,430 @@
+//! [`ToJson`] / [`FromJson`] traits and implementations for the
+//! standard types the workspace serializes.
+//!
+//! These replace `serde::Serialize` / `serde::Deserialize`: a type
+//! converts to and from the in-tree [`Value`] tree, and the
+//! [`json_struct!`](crate::json_struct), [`json_newtype!`](crate::json_newtype), and
+//! [`json_unit_enum!`](crate::json_unit_enum) macros generate the impls that
+//! `#[derive(Serialize, Deserialize)]` used to.
+
+use std::collections::{BTreeMap, HashMap};
+
+use super::parse::JsonError;
+use super::value::{Number, Object, Value};
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Conversion from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the value has the wrong shape.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Serializes `value` compactly (the `serde_json::to_string`
+/// replacement).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_compact()
+}
+
+/// Serializes `value` with indentation and a trailing newline (the
+/// `serde_json::to_string_pretty` replacement).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_pretty()
+}
+
+/// Parses and decodes in one step (the `serde_json::from_str`
+/// replacement).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON (with line/column) or on
+/// a shape mismatch.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json(&super::parse(input)?)
+}
+
+/// Decodes the field `name` of `obj`, tagging errors with the field
+/// name. Used by the impl macros.
+pub fn field<T: FromJson>(obj: &Object, name: &str) -> Result<T, JsonError> {
+    let v = obj
+        .get(name)
+        .ok_or_else(|| JsonError::decode(format!("missing field {name:?}")))?;
+    T::from_json(v).map_err(|e| e.context(&format!("field {name:?}")))
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::expected("bool", v))
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v
+                    .as_number()
+                    .and_then(Number::as_u64)
+                    .ok_or_else(|| JsonError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    JsonError::decode(format!(
+                        "{} out of range for {}", n, stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Num(Number::I(v))
+                } else {
+                    Value::Num(Number::U(v as u64))
+                }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v
+                    .as_number()
+                    .and_then(Number::as_i64)
+                    .ok_or_else(|| JsonError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    JsonError::decode(format!(
+                        "{} out of range for {}", n, stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null; accept the round trip.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(JsonError::expected("number", v)),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::expected("string", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| JsonError::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.context(&format!("element {i}"))))
+            .collect()
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:literal),+ $(,)?) => {$(
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let items = v.as_array().ok_or_else(|| JsonError::expected("array", v))?;
+                if items.len() != $len {
+                    return Err(JsonError::decode(format!(
+                        "expected a {}-tuple, got {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])
+                    .map_err(|e| e.context(&format!("tuple element {}", $idx)))?,)+))
+            }
+        }
+    )+};
+}
+
+impl_json_tuple!(
+    (A: 0, B: 1) with 2,
+    (A: 0, B: 1, C: 2) with 3,
+    (A: 0, B: 1, C: 2, D: 3) with 4,
+);
+
+/// Types usable as JSON object keys (serialized as strings, like
+/// serde_json does for integer-keyed maps).
+pub trait JsonKey: Sized {
+    /// The key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the key does not parse.
+    fn from_key(key: &str) -> Result<Self, JsonError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, JsonError> {
+                key.parse().map_err(|_| {
+                    JsonError::decode(format!(
+                        "bad {} object key {key:?}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Ord, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        let mut obj = Object::new();
+        for (k, v) in self {
+            obj.insert(k.to_key(), v.to_json());
+        }
+        Value::Obj(obj)
+    }
+}
+
+impl<K: JsonKey + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| JsonError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::from_key(k)?,
+                    V::from_json(val).map_err(|e| e.context(&format!("key {k:?}")))?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<K: JsonKey + Ord + std::hash::Hash, V: ToJson> ToJson for HashMap<K, V> {
+    fn to_json(&self) -> Value {
+        // Sorted key order: HashMap iteration order is nondeterministic
+        // and byte-identical output is a workspace-wide guarantee.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        let mut obj = Object::new();
+        for k in keys {
+            obj.insert(k.to_key(), self[k].to_json());
+        }
+        Value::Obj(obj)
+    }
+}
+
+impl<K: JsonKey + Eq + std::hash::Hash, V: FromJson> FromJson for HashMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| JsonError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::from_key(k)?,
+                    V::from_json(val).map_err(|e| e.context(&format!("key {k:?}")))?,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(from_str::<u64>(&to_string(&u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(from_str::<i32>(&to_string(&-5i32)).unwrap(), -5);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(from_str::<String>("\"x\"").unwrap(), "x");
+        assert_eq!(to_string("x"), "\"x\"");
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert!(from_str::<i8>("200").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, -2i64), (3, 4)];
+        assert_eq!(from_str::<Vec<(u32, i64)>>(&to_string(&v)).unwrap(), v);
+        let opt: Vec<Option<u8>> = vec![None, Some(7)];
+        assert_eq!(to_string(&opt), "[null,7]");
+        assert_eq!(from_str::<Vec<Option<u8>>>("[null,7]").unwrap(), opt);
+    }
+
+    #[test]
+    fn integer_keyed_maps_use_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(3usize, 30u64);
+        m.insert(1usize, 10u64);
+        assert_eq!(to_string(&m), r#"{"1":10,"3":30}"#);
+        assert_eq!(
+            from_str::<BTreeMap<usize, u64>>(r#"{"1":10,"3":30}"#).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn hashmap_output_is_sorted() {
+        let mut m = HashMap::new();
+        for k in [9u32, 1, 5, 3] {
+            m.insert(k, k);
+        }
+        assert_eq!(to_string(&m), r#"{"1":1,"3":3,"5":5,"9":9}"#);
+        assert_eq!(from_str::<HashMap<u32, u32>>(&to_string(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let err = from_str::<Vec<u32>>("[1,\"x\"]").unwrap_err();
+        assert!(err.message.contains("element 1"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_nan() {
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+}

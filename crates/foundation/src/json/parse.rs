@@ -1,0 +1,482 @@
+//! Recursive-descent JSON parser with line/column error reporting.
+
+use std::error::Error;
+use std::fmt;
+
+use super::value::{Number, Object, Value};
+
+/// Maximum nesting depth accepted by the parser (guards against stack
+/// overflow on adversarial input).
+const MAX_DEPTH: usize = 256;
+
+/// A JSON parse or decode error.
+///
+/// Parse errors carry the 1-based line and column of the offending
+/// input; decode errors (a well-formed value of the wrong shape) carry
+/// `line == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the error, or 0 for decode errors.
+    pub line: usize,
+    /// 1-based column of the error, or 0 for decode errors.
+    pub column: usize,
+}
+
+impl JsonError {
+    /// A decode (shape) error with no input position.
+    pub fn decode(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// A decode error of the form "expected X, got <type>".
+    pub fn expected(what: &str, got: &Value) -> Self {
+        JsonError::decode(format!("expected {what}, got {}", got.type_name()))
+    }
+
+    /// Prefixes the message with a field/element context, preserving
+    /// any input position.
+    pub fn context(mut self, ctx: &str) -> Self {
+        self.message = format!("{ctx}: {}", self.message);
+        self
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "JSON error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "JSON error: {}", self.message)
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+/// Parses a complete JSON document (one value plus trailing
+/// whitespace).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with line/column information on malformed
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use dwm_foundation::json::parse;
+///
+/// let v = parse(r#"{"shifts": 42}"#)?;
+/// assert_eq!(v.as_object().unwrap().get("shifts").unwrap().to_string(), "42");
+/// let err = parse("{\"a\": }").unwrap_err();
+/// assert_eq!((err.line, err.column), (1, 7));
+/// # Ok::<(), dwm_foundation::json::JsonError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        JsonError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{}', got {}",
+                b as char,
+                self.describe_here()
+            )))
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => format!("'{}'", b as char),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error(format!(
+                "expected a JSON value, got {}",
+                self.describe_here()
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(obj));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error(format!(
+                    "expected object key string, got {}",
+                    self.describe_here()
+                )));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            obj.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                _ => {
+                    return Err(self.error(format!(
+                        "expected ',' or '}}' in object, got {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(self.error(format!(
+                        "expected ',' or ']' in array, got {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "invalid escape sequence \\{}",
+                                other.map(|b| b as char).unwrap_or('?')
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pair handling for characters outside the BMP.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            return Err(self.error("unpaired surrogate in \\u escape"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("expected four hex digits after \\u")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        if int_digits > 1
+            && self.bytes[if self.bytes[start] == b'-' {
+                start + 1
+            } else {
+                start
+            }] == b'0'
+        {
+            return Err(self.error("leading zeros are not allowed"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let num = if is_float {
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|e| self.error(format!("bad number {text:?}: {e}")))?,
+            )
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            match stripped.parse::<u64>() {
+                Ok(0) => Number::U(0),
+                _ => Number::I(
+                    text.parse::<i64>()
+                        .map_err(|_| self.error(format!("integer out of range: {text}")))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::U(v),
+                Err(_) => Number::F(
+                    text.parse::<f64>()
+                        .map_err(|e| self.error(format!("bad number {text:?}: {e}")))?,
+                ),
+            }
+        };
+        Ok(Value::Num(num))
+    }
+
+    fn digits(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error(format!("expected a digit, got {}", self.describe_here())));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(Number::U(42)));
+        assert_eq!(parse("-7").unwrap(), Value::Num(Number::I(-7)));
+        assert_eq!(parse("2.5e3").unwrap(), Value::Num(Number::F(2500.0)));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], Value::Num(Number::U(1)));
+        assert_eq!(arr[1].as_object().unwrap().get("b").unwrap(), &Value::Null);
+        assert_eq!(obj.get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn round_trips_own_output() {
+        let v = parse(r#"{"s":"a\"b\\c\nd","n":[0.5,-3,18446744073709551615]}"#).unwrap();
+        assert_eq!(parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("{\n  \"a\": ]\n}").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 8));
+        assert!(err.to_string().contains("line 2"));
+        let err = parse("[1, 2").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected ',' or ']'"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\"}",
+            "[1,]",
+            "01",
+            "1.2.3",
+            "tru",
+            "nul",
+            "+1",
+            "\"\\x\"",
+            "[1] [2]",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Value::Str("😀".into()));
+        assert!(parse(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn big_u64_survives_exactly() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_number().unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(2000) + &"]".repeat(2000);
+        assert!(parse(&deep).is_err());
+    }
+}

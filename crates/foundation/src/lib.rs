@@ -1,0 +1,35 @@
+//! Hermetic, zero-dependency substrate for the DWM placement workspace.
+//!
+//! Every crate in this workspace used to pull `rand`, `serde`,
+//! `serde_json`, `proptest`, and `criterion` from crates.io; in the
+//! offline environments where the reproduction runs, dependency
+//! resolution is the first thing to fail. This crate replaces all five
+//! with four small, deterministic, in-tree modules:
+//!
+//! * [`rng`] — a SplitMix64-seeded xoshiro256\*\* generator with a
+//!   `rand`-shaped API (`gen_range`, `gen_bool`, `shuffle`, `choose`)
+//!   plus the [`rng::Zipf`] distribution helper the trace generators
+//!   use. Same seed, same stream, on every platform, forever.
+//! * [`json`] — a minimal JSON value type, serializer, and
+//!   recursive-descent parser with line/column error reporting, plus
+//!   [`json::ToJson`]/[`json::FromJson`] traits and the
+//!   [`json_struct!`], [`json_newtype!`], and [`json_unit_enum!`]
+//!   macros that replace `#[derive(Serialize, Deserialize)]`.
+//! * [`bench`] — a lightweight timing harness (warmup, N samples,
+//!   median/p95, JSON emission) that the `dwm-bench` targets run
+//!   instead of criterion.
+//! * [`check`] — a seeded property-test harness (configurable case
+//!   count, failing-seed replay) that the former proptest suites use.
+//!
+//! The determinism here is load-bearing, not incidental: shift-count
+//! comparisons between placement algorithms are only meaningful when
+//! every workload is byte-for-byte reproducible from its seed.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use check::Checker;
+pub use json::{FromJson, JsonError, ToJson, Value};
+pub use rng::Rng;

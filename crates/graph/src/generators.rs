@@ -4,8 +4,7 @@
 //! need graphs of controlled size and structure without going through a
 //! trace. All generators are deterministic given their seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dwm_foundation::Rng;
 
 use crate::graph::AccessGraph;
 
@@ -20,7 +19,7 @@ use crate::graph::AccessGraph;
 /// Panics if `max_weight == 0`.
 pub fn random_graph(n: usize, density: f64, max_weight: u64, seed: u64) -> AccessGraph {
     assert!(max_weight > 0, "max_weight must be nonzero");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = AccessGraph::with_items(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -70,7 +69,7 @@ pub fn clustered_graph(
     seed: u64,
 ) -> AccessGraph {
     assert!(k > 0, "cluster count must be nonzero");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = AccessGraph::with_items(n);
     let cluster = |v: usize| v * k / n.max(1);
     for u in 0..n {

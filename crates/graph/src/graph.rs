@@ -1,11 +1,9 @@
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use dwm_trace::Trace;
 
 /// One weighted undirected edge of an [`AccessGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge {
     /// Smaller endpoint.
     pub u: usize,
@@ -15,19 +13,23 @@ pub struct Edge {
     pub weight: u64,
 }
 
+dwm_foundation::json_struct!(Edge { u, v, weight });
+
 /// Undirected, integer-weighted graph over data items.
 ///
 /// Vertices are dense item indices `0..n`. Adjacency is stored as one
 /// ordered map per vertex, which keeps iteration deterministic (required
 /// for reproducible placements) and scales to the few-thousand-item
 /// graphs of the runtime-scaling experiment without a dense `n²` matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AccessGraph {
     adj: Vec<BTreeMap<usize, u64>>,
     /// Per-item total access count (vertex weights; used by
     /// frequency-aware placement).
     frequency: Vec<u64>,
 }
+
+dwm_foundation::json_struct!(AccessGraph { adj, frequency });
 
 impl AccessGraph {
     /// An edgeless graph over `n` items.
@@ -292,10 +294,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let g = diamond();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: AccessGraph = serde_json::from_str(&json).unwrap();
+        let json = dwm_foundation::json::to_string(&g);
+        let back: AccessGraph = dwm_foundation::json::from_str(&json).unwrap();
         assert_eq!(g, back);
     }
 }

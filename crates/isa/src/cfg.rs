@@ -1,15 +1,12 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use dwm_foundation::Rng;
 /// Identifier of a basic block.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(pub usize);
 
+dwm_foundation::json_newtype!(BlockId);
+
 /// A weighted, directed control-flow edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CfgEdge {
     /// Source block.
     pub from: BlockId,
@@ -18,6 +15,12 @@ pub struct CfgEdge {
     /// Execution frequency (profile count).
     pub frequency: u64,
 }
+
+dwm_foundation::json_struct!(CfgEdge {
+    from,
+    to,
+    frequency
+});
 
 /// A control-flow graph with block sizes and profiled edge
 /// frequencies.
@@ -34,11 +37,13 @@ pub struct CfgEdge {
 /// assert_eq!(cfg.num_blocks(), 2);
 /// assert_eq!(cfg.block_len(b), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Cfg {
     lens: Vec<usize>,
     edges: Vec<CfgEdge>,
 }
+
+dwm_foundation::json_struct!(Cfg { lens, edges });
 
 impl Cfg {
     /// An empty CFG.
@@ -100,15 +105,15 @@ impl Cfg {
     /// sizes are 1–8 instructions.
     pub fn random(blocks: usize, fanout: usize, seed: u64) -> Cfg {
         assert!(blocks >= 2);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut cfg = Cfg::new();
         for _ in 0..blocks {
-            let len = rng.gen_range(1..=8);
+            let len = rng.gen_range(1..=8usize);
             cfg.block(len);
         }
         // Chain edges (program order fallthrough candidates).
         for b in 0..blocks - 1 {
-            cfg.edge(BlockId(b), BlockId(b + 1), 10 + rng.gen_range(0..90));
+            cfg.edge(BlockId(b), BlockId(b + 1), 10 + rng.gen_range(0..90u64));
         }
         // Random extra edges: mostly forward, some back edges (loops)
         // with hot frequencies.
@@ -120,9 +125,9 @@ impl Cfg {
                 }
                 let hot = target < b; // back edge: loop, hotter
                 let freq = if hot {
-                    100 + rng.gen_range(0..400)
+                    100 + rng.gen_range(0..400u64)
                 } else {
-                    1 + rng.gen_range(0..50)
+                    1 + rng.gen_range(0..50u64)
                 };
                 cfg.edge(BlockId(b), BlockId(target), freq);
             }

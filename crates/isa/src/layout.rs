@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use crate::cfg::{BlockId, Cfg};
 
 /// A permutation of basic blocks along the instruction tape, with the
 /// cumulative start offset of each block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockOrder {
     /// `order[k]` = block at tape position `k`.
     order: Vec<BlockId>,
@@ -13,6 +11,8 @@ pub struct BlockOrder {
     /// `end[b]` = one past the last instruction offset of block `b`.
     end: Vec<usize>,
 }
+
+dwm_foundation::json_struct!(BlockOrder { order, start, end });
 
 impl BlockOrder {
     /// Lays blocks out in the given order, computing offsets from the
@@ -248,7 +248,7 @@ mod tests {
     fn layout_is_a_permutation() {
         let cfg = Cfg::random(24, 3, 7);
         let layout = chain_layout(&cfg);
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for k in 0..24 {
             let b = layout.block_at(k);
             assert!(!seen[b.0]);

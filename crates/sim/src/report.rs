@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use dwm_device::{AccessEnergy, AccessLatency, ShiftStats};
 
 /// Outcome of one simulated trace replay.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimReport {
     /// Aggregate shift/access counters.
     pub stats: ShiftStats,
@@ -22,6 +20,15 @@ pub struct SimReport {
     /// `stats.shifts` via the following access's re-alignment.
     pub slip_events: u64,
 }
+
+dwm_foundation::json_struct!(SimReport {
+    stats,
+    per_dbc,
+    latency,
+    energy,
+    integrity_errors,
+    slip_events
+});
 
 impl SimReport {
     /// Mean shifts per access.

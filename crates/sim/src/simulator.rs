@@ -194,13 +194,10 @@ impl SpmSimulator {
         let mut slip_events = 0u64;
         for a in trace.iter() {
             let item = a.item.index();
-            let (dbc, offset) = *self
-                .slot_of
-                .get(item)
-                .ok_or_else(|| SimError::UnknownItem {
-                    item,
-                    items: self.slot_of.len(),
-                })?;
+            let (dbc, offset) = *self.slot_of.get(item).ok_or(SimError::UnknownItem {
+                item,
+                items: self.slot_of.len(),
+            })?;
             let shifts_before = self.spm.dbc_stats(dbc).shifts;
             if a.kind.is_write() {
                 self.version[item] += 1;

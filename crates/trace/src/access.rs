@@ -1,7 +1,5 @@
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::TraceStats;
 
 /// Identifier of a data item (variable, array block, tree node, …).
@@ -9,10 +7,10 @@ use crate::stats::TraceStats;
 /// Item ids are dense indices into the placement problem: a trace over
 /// `n` distinct items uses ids `0..n` after [`Trace::normalize`]. The
 /// newtype keeps item ids from being confused with word offsets.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ItemId(pub u32);
+
+dwm_foundation::json_newtype!(ItemId);
 
 impl ItemId {
     /// The id as a `usize` index.
@@ -34,13 +32,15 @@ impl std::fmt::Display for ItemId {
 }
 
 /// Whether an access reads or writes its item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load of the item.
     Read,
     /// A store to the item.
     Write,
 }
+
+dwm_foundation::json_unit_enum!(AccessKind { Read, Write });
 
 impl AccessKind {
     /// `true` for [`AccessKind::Write`].
@@ -50,13 +50,15 @@ impl AccessKind {
 }
 
 /// One access in a trace: an item plus read/write kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Access {
     /// The item touched.
     pub item: ItemId,
     /// Read or write.
     pub kind: AccessKind,
 }
+
+dwm_foundation::json_struct!(Access { item, kind });
 
 impl Access {
     /// A read of `item`.
@@ -93,12 +95,14 @@ impl Access {
 /// let dense = trace.normalize();
 /// assert_eq!(dense.num_items(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     accesses: Vec<Access>,
     /// Optional human-readable label (kernel name, generator spec).
     label: String,
 }
+
+dwm_foundation::json_struct!(Trace { accesses, label });
 
 impl Trace {
     /// An empty, unlabeled trace.
@@ -323,10 +327,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = Trace::from_ids([1u32, 2, 1]).with_label("k");
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let json = dwm_foundation::json::to_string(&t);
+        let back: Trace = dwm_foundation::json::from_str(&json).unwrap();
         assert_eq!(t, back);
     }
 }

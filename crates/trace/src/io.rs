@@ -4,7 +4,8 @@
 //! `#`-prefixed comment lines; the first comment line of the form
 //! `# label: <name>` sets the trace label. This is easy to produce from
 //! external tools (pin tools, compiler instrumentation) and easy to
-//! diff. JSON goes through serde and preserves everything.
+//! diff. JSON goes through `dwm_foundation::json` and preserves
+//! everything.
 //!
 //! # Example
 //!
@@ -23,6 +24,8 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+
+use dwm_foundation::json::JsonError;
 
 use crate::access::{Access, AccessKind, ItemId, Trace};
 
@@ -133,16 +136,17 @@ pub fn load_text<P: AsRef<Path>>(path: P) -> std::io::Result<Trace> {
 
 /// Serializes a trace to JSON.
 pub fn to_json(trace: &Trace) -> String {
-    serde_json::to_string(trace).expect("trace serialization cannot fail")
+    dwm_foundation::json::to_string(trace)
 }
 
 /// Parses a trace from JSON.
 ///
 /// # Errors
 ///
-/// Returns the underlying `serde_json` error on malformed input.
-pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
-    serde_json::from_str(json)
+/// Returns a [`JsonError`] with line/column position on malformed
+/// input.
+pub fn from_json(json: &str) -> Result<Trace, JsonError> {
+    dwm_foundation::json::from_str(json)
 }
 
 #[cfg(test)]

@@ -1,12 +1,10 @@
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::access::Trace;
 
 /// Summary statistics of a trace, as reported in the benchmark
 /// characteristics table (experiment T2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Total number of accesses.
     pub length: usize,
@@ -28,6 +26,17 @@ pub struct TraceStats {
     /// shift cost of the *identity* placement per transition.
     pub mean_stride: f64,
 }
+
+dwm_foundation::json_struct!(TraceStats {
+    length,
+    distinct_items,
+    reads,
+    writes,
+    transitions,
+    self_transition_rate,
+    hot20_share,
+    mean_stride
+});
 
 impl TraceStats {
     /// Computes statistics for `trace`. Handles non-dense ids.
@@ -57,7 +66,7 @@ impl TraceStats {
         let pairs = trace.len().saturating_sub(1);
         let mut counts: Vec<u64> = freq.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
-        let hot_n = (counts.len().max(1) + 4) / 5; // ceil(20%)
+        let hot_n = counts.len().max(1).div_ceil(5); // ceil(20%)
         let hot_sum: u64 = counts.iter().take(hot_n).sum();
         let total: u64 = counts.iter().sum();
         TraceStats {

@@ -7,8 +7,8 @@
 //! dominated, the case placement exploits best). All generators are
 //! deterministic given their seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dwm_foundation::rng::Zipf;
+use dwm_foundation::Rng;
 
 use crate::access::{Access, AccessKind, Trace};
 
@@ -27,7 +27,7 @@ pub trait TraceGenerator {
     fn generate(&self, len: usize) -> Trace;
 }
 
-fn rw_kind(rng: &mut StdRng, write_ratio: f64) -> AccessKind {
+fn rw_kind(rng: &mut Rng, write_ratio: f64) -> AccessKind {
     if rng.gen_bool(write_ratio.clamp(0.0, 1.0)) {
         AccessKind::Write
     } else {
@@ -63,7 +63,7 @@ impl TraceGenerator for UniformGen {
     }
 
     fn generate(&self, len: usize) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut trace: Trace = (0..len)
             .map(|_| Access {
                 item: (rng.gen_range(0..self.items.max(1)) as u32).into(),
@@ -108,20 +108,6 @@ impl ZipfGen {
         self.exponent = exponent;
         self
     }
-
-    fn cdf(&self) -> Vec<f64> {
-        let mut cdf = Vec::with_capacity(self.items);
-        let mut acc = 0.0;
-        for i in 0..self.items {
-            acc += 1.0 / ((i + 1) as f64).powf(self.exponent);
-            cdf.push(acc);
-        }
-        let total = cdf.last().copied().unwrap_or(1.0);
-        for v in &mut cdf {
-            *v /= total;
-        }
-        cdf
-    }
 }
 
 impl TraceGenerator for ZipfGen {
@@ -130,12 +116,11 @@ impl TraceGenerator for ZipfGen {
     }
 
     fn generate(&self, len: usize) -> Trace {
-        let cdf = self.cdf();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.items.max(1), self.exponent);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let trace: Trace = (0..len)
             .map(|_| {
-                let u: f64 = rng.gen();
-                let idx = cdf.partition_point(|&c| c < u).min(self.items - 1);
+                let idx = zipf.sample(&mut rng);
                 Access {
                     item: (idx as u32).into(),
                     kind: rw_kind(&mut rng, self.write_ratio),
@@ -254,7 +239,7 @@ impl TraceGenerator for MarkovGen {
         let n = self.items.max(1);
         let k = self.clusters.min(n);
         let cluster_size = n.div_ceil(k);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut cluster = 0usize;
         let trace: Trace = (0..len)
             .map(|_| {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Entirely offline: the workspace
+# has no registry dependencies (tests/hermetic.rs enforces this), so
+# CARGO_NET_OFFLINE=1 must never cause a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed"

@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table/figure into results/.
+#
+# Runs every experiment binary even when one fails, then exits nonzero
+# listing the failures, so CI reports the full picture instead of
+# stopping at the first broken experiment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -11,7 +15,14 @@ bins=(
   exp_f7_runtime exp_f8_typed_ports exp_f9_reliability
   exp_f10_online exp_f11_wear exp_a1_ablation exp_v1_crosscheck
 )
+failed=()
 for b in "${bins[@]}"; do
   echo "== $b"
-  cargo run --release -q -p dwm-experiments --bin "$b" | tee "results/$b.txt"
+  if ! cargo run --release -q -p dwm-experiments --bin "$b" | tee "results/$b.txt"; then
+    failed+=("$b")
+  fi
 done
+if ((${#failed[@]} > 0)); then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi

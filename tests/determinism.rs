@@ -1,0 +1,91 @@
+//! End-to-end determinism: the same seed must produce byte-identical
+//! JSON artifacts every time.
+//!
+//! This pins the whole pipeline — seeded kernel trace generation,
+//! graph construction, placement, and bit-level simulation — to the
+//! deterministic contract of `dwm-foundation` (fixed PRNG stream,
+//! insertion-ordered JSON objects, exact integer serialization). A
+//! difference between two runs here means some component picked up
+//! ambient entropy or an iteration order that is not stable.
+
+use dwm_placement::core::algorithms::standard_suite;
+use dwm_placement::prelude::*;
+use dwm_placement::trace::io;
+use dwm_placement::trace::kernels::Kernel;
+
+const SEED: u64 = 0xD00D;
+
+/// One full pipeline pass: kernel trace → placement → simulator
+/// report, each serialized to JSON.
+fn pipeline(seed: u64) -> (String, String, String) {
+    let trace = Kernel::InsertionSort { n: 24, seed }.trace().normalize();
+    let trace_json = io::to_json(&trace);
+
+    let graph = AccessGraph::from_trace(&trace);
+    let placement = SimulatedAnnealing::new(seed).place(&graph);
+    let placement_json = dwm_foundation::json::to_string_pretty(&placement);
+
+    let config = DeviceConfig::builder()
+        .domains_per_track(graph.num_items().max(1))
+        .tracks_per_dbc(8)
+        .build()
+        .expect("valid");
+    let mut sim = SpmSimulator::new(&config, &placement).expect("fits");
+    let report = sim.run(&trace).expect("replay");
+    let report_json = dwm_foundation::json::to_string(&report);
+
+    (trace_json, placement_json, report_json)
+}
+
+#[test]
+fn same_seed_produces_byte_identical_artifacts() {
+    let (trace_a, placement_a, report_a) = pipeline(SEED);
+    let (trace_b, placement_b, report_b) = pipeline(SEED);
+    assert_eq!(trace_a, trace_b, "kernel trace JSON differs between runs");
+    assert_eq!(
+        placement_a, placement_b,
+        "placement JSON differs between runs"
+    );
+    assert_eq!(
+        report_a, report_b,
+        "simulator report JSON differs between runs"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    // Sanity check that the seed actually reaches the generator — a
+    // pipeline that ignored its seed would pass the identity test
+    // vacuously.
+    let (trace_a, _, _) = pipeline(SEED);
+    let (trace_b, _, _) = pipeline(SEED + 1);
+    assert_ne!(trace_a, trace_b, "seed does not influence the kernel trace");
+}
+
+#[test]
+fn artifacts_parse_back_losslessly() {
+    let (trace_json, placement_json, _) = pipeline(SEED);
+    let trace = io::from_json(&trace_json).expect("trace JSON parses");
+    assert_eq!(io::to_json(&trace), trace_json);
+    let placement: Placement =
+        dwm_foundation::json::from_str(&placement_json).expect("placement JSON parses");
+    assert_eq!(
+        dwm_foundation::json::to_string_pretty(&placement),
+        placement_json
+    );
+}
+
+/// Every placement algorithm in the standard suite is deterministic
+/// for a fixed seed.
+#[test]
+fn standard_suite_is_deterministic() {
+    let trace = Kernel::InsertionSort { n: 32, seed: SEED }
+        .trace()
+        .normalize();
+    let graph = AccessGraph::from_trace(&trace);
+    for alg in standard_suite(7) {
+        let a = dwm_foundation::json::to_string(&alg.place(&graph));
+        let b = dwm_foundation::json::to_string(&alg.place(&graph));
+        assert_eq!(a, b, "{} is not deterministic", alg.name());
+    }
+}

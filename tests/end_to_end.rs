@@ -44,7 +44,7 @@ fn simulator_cross_validates_analytic_model() {
         let graph = AccessGraph::from_trace(&trace);
         for alg in [
             &OrderOfAppearance as &dyn PlacementAlgorithm,
-            &GroupedChainGrowth::default(),
+            &GroupedChainGrowth,
             &Hybrid::default(),
         ] {
             let placement = alg.place(&graph);
@@ -136,9 +136,7 @@ fn spm_allocation_end_to_end() {
     for kernel in Kernel::suite() {
         let trace = kernel.trace();
         let rr = alloc.allocate_round_robin(trace.num_items()).expect("fits");
-        let anti = alloc
-            .allocate(&trace, &GroupedChainGrowth::default())
-            .expect("fits");
+        let anti = alloc.allocate(&trace, &GroupedChainGrowth).expect("fits");
         rr_total += rr.trace_cost(&trace, &ports).0.shifts;
         anti_total += anti.trace_cost(&trace, &ports).0.shifts;
 

@@ -1,0 +1,108 @@
+//! Guard test: the workspace must stay hermetic.
+//!
+//! Every dependency in every `Cargo.toml` must be an in-tree path
+//! crate (either `path = "…"` directly or `workspace = true` resolving
+//! to a path entry in the root manifest). A registry dependency would
+//! break offline builds — `CARGO_NET_OFFLINE=1 cargo build` from a
+//! clean checkout with an empty registry cache is a supported
+//! configuration — so this test fails the moment one sneaks in.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries are dependency declarations.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn manifest_paths() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut paths = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates)
+        .expect("crates/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            paths.push(manifest);
+        }
+    }
+    paths
+}
+
+/// `true` when the section header (the part between `[` and `]`)
+/// declares dependencies. Also matches target-specific tables such as
+/// `target.'cfg(unix)'.dependencies`.
+fn is_dep_section(header: &str) -> bool {
+    DEP_SECTIONS
+        .iter()
+        .any(|s| header == *s || header.ends_with(&format!(".{s}")))
+}
+
+/// `true` when the declaration pins the dependency to an in-tree path.
+fn is_path_dep(key: &str, value: &str) -> bool {
+    if key.ends_with(".workspace") || value.contains("workspace = true") {
+        return true;
+    }
+    value.contains("path = \"")
+}
+
+#[test]
+fn every_dependency_is_an_in_tree_path_crate() {
+    let mut violations = String::new();
+    let mut manifests = 0usize;
+    let mut deps = 0usize;
+    for manifest in manifest_paths() {
+        manifests += 1;
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                let header = line.trim_matches(|c| c == '[' || c == ']');
+                in_dep_section = is_dep_section(header);
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            deps += 1;
+            if !is_path_dep(key.trim(), value.trim()) {
+                writeln!(
+                    violations,
+                    "  {}:{}: `{}` is not a path dependency",
+                    manifest.display(),
+                    lineno + 1,
+                    line
+                )
+                .unwrap();
+            }
+        }
+    }
+    assert!(
+        manifests >= 12,
+        "expected the root manifest plus every workspace crate, saw {manifests}"
+    );
+    assert!(
+        deps > 0,
+        "the scan found no dependency declarations at all — parser broken?"
+    );
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (every dependency must be an \
+         in-tree path crate):\n{violations}"
+    );
+}

@@ -1,248 +1,357 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-based tests over the core invariants.
 //!
 //! These check the invariants listed in `DESIGN.md` §7 on randomly
 //! generated traces, graphs, and placements rather than hand-picked
-//! cases.
+//! cases, using the seeded [`Checker`] harness from `dwm-foundation`
+//! (48 cases per property; crank `DWM_CHECK_CASES` for soak runs, or
+//! replay one failure with `DWM_CHECK_SEED`).
 
-use proptest::prelude::*;
-
+use dwm_foundation::{require, require_eq, Checker, Rng};
 use dwm_placement::core::algorithms::standard_suite;
 use dwm_placement::core::exact::optimal_placement;
 use dwm_placement::prelude::*;
 
-/// Strategy: a random trace over `1..=max_items` items.
-fn arb_trace(max_items: usize, max_len: usize) -> impl Strategy<Value = Trace> {
-    (1..=max_items).prop_flat_map(move |items| {
-        proptest::collection::vec((0..items as u32, proptest::bool::ANY), 1..=max_len).prop_map(
-            |accs| {
-                Trace::from_accesses(accs.into_iter().map(|(id, w)| {
-                    if w {
-                        Access::write(id)
-                    } else {
-                        Access::read(id)
-                    }
-                }))
-                .normalize()
-            },
-        )
-    })
+/// Generator: a random trace over `1..=max_items` items.
+fn arb_trace(rng: &mut Rng, max_items: usize, max_len: usize) -> Trace {
+    let items = rng.gen_range(1..=max_items);
+    let len = rng.gen_range(1..=max_len);
+    Trace::from_accesses((0..len).map(|_| {
+        let id = rng.gen_range(0..items as u32);
+        if rng.gen_bool(0.5) {
+            Access::write(id)
+        } else {
+            Access::read(id)
+        }
+    }))
+    .normalize()
 }
 
-/// Strategy: a random access graph over `2..=n` items.
-fn arb_graph(n: usize) -> impl Strategy<Value = AccessGraph> {
-    arb_trace(n, 200).prop_map(|t| AccessGraph::from_trace(&t))
+/// Generator: a random access graph over `1..=n` items.
+fn arb_graph(rng: &mut Rng, n: usize) -> AccessGraph {
+    AccessGraph::from_trace(&arb_trace(rng, n, 200))
 }
 
-proptest! {
-    // 48 cases per property: the suite covers 15 properties, several
-    // of which run the full algorithm roster (annealing included), so
-    // the default 256 cases costs minutes without adding much power.
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every algorithm always produces a bijection.
-    #[test]
-    fn placements_are_permutations(graph in arb_graph(24), seed in 0u64..1000) {
-        for alg in standard_suite(seed) {
-            let p = alg.place(&graph);
-            prop_assert_eq!(p.num_items(), graph.num_items());
-            let mut seen = vec![false; graph.num_items()];
-            for off in 0..graph.num_items() {
-                let item = p.item_at(off);
-                prop_assert!(!seen[item], "{} duplicated item", alg.name());
-                seen[item] = true;
-                prop_assert_eq!(p.offset_of(item), off);
+/// Every algorithm always produces a bijection.
+#[test]
+fn placements_are_permutations() {
+    Checker::new("placements_are_permutations").run(
+        |rng| (arb_graph(rng, 24), rng.gen_range(0..1000u64)),
+        |(graph, seed)| {
+            for alg in standard_suite(*seed) {
+                let p = alg.place(graph);
+                require_eq!(p.num_items(), graph.num_items());
+                let mut seen = vec![false; graph.num_items()];
+                for off in 0..graph.num_items() {
+                    let item = p.item_at(off);
+                    require!(!seen[item], "{} duplicated item", alg.name());
+                    seen[item] = true;
+                    require_eq!(p.offset_of(item), off);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Trace replay cost = arrangement cost + first-access alignment,
-    /// for any placement and any trace (single-port model).
-    #[test]
-    fn trace_cost_equals_graph_cost_plus_alignment(trace in arb_trace(16, 300), seed in 0u64..100) {
-        let graph = AccessGraph::from_trace(&trace);
-        let placement = RandomPlacement::new(seed).place(&graph);
-        let model = SinglePortCost::new();
-        let replay = model.trace_cost(&placement, &trace).stats.shifts;
-        let arrangement = graph.arrangement_cost(placement.offsets());
-        let first = trace.accesses()[0].item;
-        let alignment = placement.offset_of_id(first) as u64;
-        prop_assert_eq!(replay, arrangement + alignment);
-    }
+/// Trace replay cost = arrangement cost + first-access alignment,
+/// for any placement and any trace (single-port model).
+#[test]
+fn trace_cost_equals_graph_cost_plus_alignment() {
+    Checker::new("trace_cost_equals_graph_cost_plus_alignment").run(
+        |rng| (arb_trace(rng, 16, 300), rng.gen_range(0..100u64)),
+        |(trace, seed)| {
+            let graph = AccessGraph::from_trace(trace);
+            let placement = RandomPlacement::new(*seed).place(&graph);
+            let model = SinglePortCost::new();
+            let replay = model.trace_cost(&placement, trace).stats.shifts;
+            let arrangement = graph.arrangement_cost(placement.offsets());
+            let first = trace.accesses()[0].item;
+            let alignment = placement.offset_of_id(first) as u64;
+            require_eq!(replay, arrangement + alignment);
+            Ok(())
+        },
+    );
+}
 
-    /// No heuristic ever beats the exact optimum (n ≤ 9 keeps the DP
-    /// fast under proptest's case count).
-    #[test]
-    fn heuristics_respect_the_optimum(graph in arb_graph(9), seed in 0u64..100) {
-        let (_, opt) = optimal_placement(&graph).expect("small instance");
-        for alg in standard_suite(seed) {
-            let cost = graph.arrangement_cost(alg.place(&graph).offsets());
-            prop_assert!(cost >= opt, "{} cost {} below optimum {}", alg.name(), cost, opt);
-        }
-    }
+/// No heuristic ever beats the exact optimum (n ≤ 9 keeps the DP fast
+/// under the property-case count).
+#[test]
+fn heuristics_respect_the_optimum() {
+    Checker::new("heuristics_respect_the_optimum").run(
+        |rng| (arb_graph(rng, 9), rng.gen_range(0..100u64)),
+        |(graph, seed)| {
+            let (_, opt) = optimal_placement(graph).expect("small instance");
+            for alg in standard_suite(*seed) {
+                let cost = graph.arrangement_cost(alg.place(graph).offsets());
+                require!(
+                    cost >= opt,
+                    "{} cost {} below optimum {}",
+                    alg.name(),
+                    cost,
+                    opt
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Local search never increases the arrangement cost, from any
-    /// starting placement.
-    #[test]
-    fn local_search_is_monotone(graph in arb_graph(20), seed in 0u64..1000) {
-        let mut p = RandomPlacement::new(seed).place(&graph);
-        let before = graph.arrangement_cost(p.offsets());
-        let saved = LocalSearch::default().refine(&graph, &mut p);
-        let after = graph.arrangement_cost(p.offsets());
-        prop_assert!(after <= before);
-        prop_assert_eq!(before - after, saved);
-    }
+/// Local search never increases the arrangement cost, from any
+/// starting placement.
+#[test]
+fn local_search_is_monotone() {
+    Checker::new("local_search_is_monotone").run(
+        |rng| (arb_graph(rng, 20), rng.gen_range(0..1000u64)),
+        |(graph, seed)| {
+            let mut p = RandomPlacement::new(*seed).place(graph);
+            let before = graph.arrangement_cost(p.offsets());
+            let saved = LocalSearch::default().refine(graph, &mut p);
+            let after = graph.arrangement_cost(p.offsets());
+            require!(after <= before);
+            require_eq!(before - after, saved);
+            Ok(())
+        },
+    );
+}
 
-    /// The multi-port model with a single port at offset 0 agrees with
-    /// the single-port model on every trace and placement.
-    #[test]
-    fn single_port_models_agree(trace in arb_trace(16, 200), seed in 0u64..100) {
-        let graph = AccessGraph::from_trace(&trace);
-        let p = RandomPlacement::new(seed).place(&graph);
-        let a = SinglePortCost::new().trace_cost(&p, &trace).stats.shifts;
-        let b = MultiPortCost::new(PortLayout::single())
-            .trace_cost(&p, &trace)
-            .stats
-            .shifts;
-        prop_assert_eq!(a, b);
-    }
+/// The multi-port model with a single port at offset 0 agrees with
+/// the single-port model on every trace and placement.
+#[test]
+fn single_port_models_agree() {
+    Checker::new("single_port_models_agree").run(
+        |rng| (arb_trace(rng, 16, 200), rng.gen_range(0..100u64)),
+        |(trace, seed)| {
+            let graph = AccessGraph::from_trace(trace);
+            let p = RandomPlacement::new(*seed).place(&graph);
+            let a = SinglePortCost::new().trace_cost(&p, trace).stats.shifts;
+            let b = MultiPortCost::new(PortLayout::single())
+                .trace_cost(&p, trace)
+                .stats
+                .shifts;
+            require_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// Mirroring a placement never changes its arrangement cost (the
-    /// cost model is symmetric).
-    #[test]
-    fn mirror_preserves_cost(graph in arb_graph(16), seed in 0u64..100) {
-        let mut p = RandomPlacement::new(seed).place(&graph);
-        let before = graph.arrangement_cost(p.offsets());
-        p.mirror();
-        prop_assert_eq!(graph.arrangement_cost(p.offsets()), before);
-    }
+/// Mirroring a placement never changes its arrangement cost (the cost
+/// model is symmetric).
+#[test]
+fn mirror_preserves_cost() {
+    Checker::new("mirror_preserves_cost").run(
+        |rng| (arb_graph(rng, 16), rng.gen_range(0..100u64)),
+        |(graph, seed)| {
+            let mut p = RandomPlacement::new(*seed).place(graph);
+            let before = graph.arrangement_cost(p.offsets());
+            p.mirror();
+            require_eq!(graph.arrangement_cost(p.offsets()), before);
+            Ok(())
+        },
+    );
+}
 
-    /// Text serialization round-trips every trace exactly.
-    #[test]
-    fn trace_text_round_trip(trace in arb_trace(32, 300)) {
-        use dwm_placement::trace::io;
-        let text = io::to_text(&trace);
-        let back = io::from_text(&text).expect("own output parses");
-        prop_assert_eq!(back, trace);
-    }
+/// Text serialization round-trips every trace exactly.
+#[test]
+fn trace_text_round_trip() {
+    use dwm_placement::trace::io;
+    Checker::new("trace_text_round_trip").run(
+        |rng| arb_trace(rng, 32, 300),
+        |trace| {
+            let text = io::to_text(trace);
+            let back = io::from_text(&text).expect("own output parses");
+            require_eq!(&back, trace);
+            Ok(())
+        },
+    );
+}
 
-    /// The simulator always matches the analytic model and never sees
-    /// integrity errors, on random traces and random placements.
-    #[test]
-    fn simulator_matches_model_on_random_traces(trace in arb_trace(12, 150), seed in 0u64..50) {
-        let graph = AccessGraph::from_trace(&trace);
-        let p = RandomPlacement::new(seed).place(&graph);
-        let analytic = SinglePortCost::new().trace_cost(&p, &trace).stats.shifts;
-        let config = DeviceConfig::builder()
-            .domains_per_track(graph.num_items().max(1))
-            .tracks_per_dbc(16)
-            .build()
-            .expect("valid");
-        let mut sim = SpmSimulator::new(&config, &p).expect("fits");
-        let report = sim.run(&trace).expect("replay");
-        prop_assert_eq!(report.stats.shifts, analytic);
-        prop_assert_eq!(report.integrity_errors, 0);
-    }
+/// JSON serialization round-trips every trace exactly.
+#[test]
+fn trace_json_round_trip() {
+    use dwm_placement::trace::io;
+    Checker::new("trace_json_round_trip").run(
+        |rng| arb_trace(rng, 32, 300),
+        |trace| {
+            let json = io::to_json(trace);
+            let back = io::from_json(&json).expect("own output parses");
+            require_eq!(&back, trace);
+            Ok(())
+        },
+    );
+}
 
-    /// Graph construction: total edge weight equals the number of
-    /// distinct-item transitions in the trace.
-    #[test]
-    fn graph_weight_matches_transitions(trace in arb_trace(24, 300)) {
-        let graph = AccessGraph::from_trace(&trace);
-        prop_assert_eq!(graph.total_weight() as usize, trace.stats().transitions);
-    }
+/// The simulator always matches the analytic model and never sees
+/// integrity errors, on random traces and random placements.
+#[test]
+fn simulator_matches_model_on_random_traces() {
+    Checker::new("simulator_matches_model_on_random_traces").run(
+        |rng| (arb_trace(rng, 12, 150), rng.gen_range(0..50u64)),
+        |(trace, seed)| {
+            let graph = AccessGraph::from_trace(trace);
+            let p = RandomPlacement::new(*seed).place(&graph);
+            let analytic = SinglePortCost::new().trace_cost(&p, trace).stats.shifts;
+            let config = DeviceConfig::builder()
+                .domains_per_track(graph.num_items().max(1))
+                .tracks_per_dbc(16)
+                .build()
+                .expect("valid");
+            let mut sim = SpmSimulator::new(&config, &p).expect("fits");
+            let report = sim.run(trace).expect("replay");
+            require_eq!(report.stats.shifts, analytic);
+            require_eq!(report.integrity_errors, 0);
+            Ok(())
+        },
+    );
+}
 
-    /// SPM layouts assign every item a unique in-capacity slot.
-    #[test]
-    fn spm_layouts_are_injective(trace in arb_trace(24, 300)) {
-        let alloc = SpmAllocator::new(4, 8);
-        let layout = alloc
-            .allocate(&trace, &GroupedChainGrowth::default())
-            .expect("24 items fit 4x8");
-        let mut slots = std::collections::HashSet::new();
-        for item in 0..layout.num_items() {
-            prop_assert!(layout.dbc_of(item) < 4);
-            prop_assert!(layout.offset_of(item) < 8);
-            prop_assert!(slots.insert((layout.dbc_of(item), layout.offset_of(item))));
-        }
-    }
+/// Graph construction: total edge weight equals the number of
+/// distinct-item transitions in the trace.
+#[test]
+fn graph_weight_matches_transitions() {
+    Checker::new("graph_weight_matches_transitions").run(
+        |rng| arb_trace(rng, 24, 300),
+        |trace| {
+            let graph = AccessGraph::from_trace(trace);
+            require_eq!(graph.total_weight() as usize, trace.stats().transitions);
+            Ok(())
+        },
+    );
+}
 
-    /// The branch-and-bound exact solver always matches the subset-DP
-    /// optimum on random access graphs.
-    #[test]
-    fn exact_solvers_agree(graph in arb_graph(10)) {
-        use dwm_placement::core::exact_bb::branch_and_bound_placement;
-        let (_, dp) = optimal_placement(&graph).expect("small instance");
-        let (p, bb) = branch_and_bound_placement(&graph).expect("small instance");
-        prop_assert_eq!(dp, bb);
-        prop_assert_eq!(graph.arrangement_cost(p.offsets()), bb);
-    }
+/// SPM layouts assign every item a unique in-capacity slot.
+#[test]
+fn spm_layouts_are_injective() {
+    Checker::new("spm_layouts_are_injective").run(
+        |rng| arb_trace(rng, 24, 300),
+        |trace| {
+            let alloc = SpmAllocator::new(4, 8);
+            let layout = alloc
+                .allocate(trace, &GroupedChainGrowth)
+                .expect("24 items fit 4x8");
+            let mut slots = std::collections::HashSet::new();
+            for item in 0..layout.num_items() {
+                require!(layout.dbc_of(item) < 4);
+                require!(layout.offset_of(item) < 8);
+                require!(slots.insert((layout.dbc_of(item), layout.offset_of(item))));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A typed port layout with every port read-write agrees with the
-    /// plain multi-port model; removing writers never helps.
-    #[test]
-    fn typed_ports_are_consistent(trace in arb_trace(16, 200), seed in 0u64..50) {
-        use dwm_placement::device::TypedPortLayout;
-        let graph = AccessGraph::from_trace(&trace);
-        let p = RandomPlacement::new(seed).place(&graph);
-        let l = 16usize;
-        let all_rw = TypedPortCost::new(TypedPortLayout::evenly_spaced(4, 4, l))
-            .trace_cost(&p, &trace).stats.shifts;
-        let multi = MultiPortCost::evenly_spaced(4, l).trace_cost(&p, &trace).stats.shifts;
-        prop_assert_eq!(all_rw, multi);
-        let one_rw = TypedPortCost::new(TypedPortLayout::evenly_spaced(4, 1, l))
-            .trace_cost(&p, &trace).stats.shifts;
-        prop_assert!(one_rw >= all_rw);
-    }
+/// The branch-and-bound exact solver always matches the subset-DP
+/// optimum on random access graphs.
+#[test]
+fn exact_solvers_agree() {
+    use dwm_placement::core::exact_bb::branch_and_bound_placement;
+    Checker::new("exact_solvers_agree").run(
+        |rng| arb_graph(rng, 10),
+        |graph| {
+            let (_, dp) = optimal_placement(graph).expect("small instance");
+            let (p, bb) = branch_and_bound_placement(graph).expect("small instance");
+            require_eq!(dp, bb);
+            require_eq!(graph.arrangement_cost(p.offsets()), bb);
+            Ok(())
+        },
+    );
+}
 
-    /// Cache invariants: hits + misses = accesses; capacity-sized
-    /// looping working sets eventually hit; shift count is consistent
-    /// with way distances (bounded by ways−1 per access + promotions).
-    #[test]
-    fn cache_counters_are_consistent(trace in arb_trace(64, 400)) {
-        let mut cache = DwmCache::new(CacheConfig::new(4, 4).expect("valid"));
-        let stats = cache.run_trace(&trace);
-        prop_assert_eq!(stats.accesses(), trace.len() as u64);
-        prop_assert!(stats.shifts <= stats.accesses() * 3);
-        prop_assert!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
-    }
+/// A typed port layout with every port read-write agrees with the
+/// plain multi-port model; removing writers never helps.
+#[test]
+fn typed_ports_are_consistent() {
+    use dwm_placement::device::TypedPortLayout;
+    Checker::new("typed_ports_are_consistent").run(
+        |rng| (arb_trace(rng, 16, 200), rng.gen_range(0..50u64)),
+        |(trace, seed)| {
+            let graph = AccessGraph::from_trace(trace);
+            let p = RandomPlacement::new(*seed).place(&graph);
+            let l = 16usize;
+            let all_rw = TypedPortCost::new(TypedPortLayout::evenly_spaced(4, 4, l))
+                .trace_cost(&p, trace)
+                .stats
+                .shifts;
+            let multi = MultiPortCost::evenly_spaced(4, l)
+                .trace_cost(&p, trace)
+                .stats
+                .shifts;
+            require_eq!(all_rw, multi);
+            let one_rw = TypedPortCost::new(TypedPortLayout::evenly_spaced(4, 1, l))
+                .trace_cost(&p, trace)
+                .stats
+                .shifts;
+            require!(one_rw >= all_rw);
+            Ok(())
+        },
+    );
+}
 
-    /// Start-gap rotation conserves total writes and never leaves the
-    /// slot histogram inconsistent with the trace's write count.
-    #[test]
-    fn wear_rotation_conserves_writes(trace in arb_trace(16, 300), period in 1u64..50) {
-        use dwm_placement::core::wear::{RotatingEvaluator, WearConfig};
-        let n = trace.num_items();
-        let placement = Placement::identity(n);
-        let report = RotatingEvaluator::new(WearConfig::every_writes(period, n))
-            .evaluate(&placement, &trace);
-        let total_writes: u64 = report.slot_writes.iter().sum();
-        prop_assert_eq!(total_writes, trace.stats().writes as u64);
-        prop_assert_eq!(
-            report.total_shifts(),
-            report.access_shifts + report.rotation_shifts
-        );
-    }
+/// Cache invariants: hits + misses = accesses; shift count is
+/// consistent with way distances (bounded by ways−1 per access +
+/// promotions).
+#[test]
+fn cache_counters_are_consistent() {
+    Checker::new("cache_counters_are_consistent").run(
+        |rng| arb_trace(rng, 64, 400),
+        |trace| {
+            let mut cache = DwmCache::new(CacheConfig::new(4, 4).expect("valid"));
+            let stats = cache.run_trace(trace);
+            require_eq!(stats.accesses(), trace.len() as u64);
+            require!(stats.shifts <= stats.accesses() * 3);
+            require!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
+            Ok(())
+        },
+    );
+}
 
-    /// The online placer's access+migration accounting is internally
-    /// consistent and its final placement is a valid permutation.
-    #[test]
-    fn online_placer_invariants(trace in arb_trace(16, 600)) {
-        use dwm_placement::core::online::{OnlineConfig, OnlinePlacer};
-        let report = OnlinePlacer::new(OnlineConfig {
-            window: 100,
-            migration_shifts_per_item: 8,
-            ..OnlineConfig::default()
-        })
-        .run(&trace);
-        prop_assert_eq!(
-            report.total_shifts(),
-            report.access_shifts + report.migration_shifts
-        );
-        let p = &report.final_placement;
-        let mut seen = vec![false; p.num_items()];
-        for off in 0..p.num_items() {
-            prop_assert!(!seen[p.item_at(off)]);
-            seen[p.item_at(off)] = true;
-        }
-    }
+/// Start-gap rotation conserves total writes and never leaves the
+/// slot histogram inconsistent with the trace's write count.
+#[test]
+fn wear_rotation_conserves_writes() {
+    use dwm_placement::core::wear::{RotatingEvaluator, WearConfig};
+    Checker::new("wear_rotation_conserves_writes").run(
+        |rng| (arb_trace(rng, 16, 300), rng.gen_range(1..50u64)),
+        |(trace, period)| {
+            let n = trace.num_items();
+            let placement = Placement::identity(n);
+            let report = RotatingEvaluator::new(WearConfig::every_writes(*period, n))
+                .evaluate(&placement, trace);
+            let total_writes: u64 = report.slot_writes.iter().sum();
+            require_eq!(total_writes, trace.stats().writes as u64);
+            require_eq!(
+                report.total_shifts(),
+                report.access_shifts + report.rotation_shifts
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The online placer's access+migration accounting is internally
+/// consistent and its final placement is a valid permutation.
+#[test]
+fn online_placer_invariants() {
+    use dwm_placement::core::online::{OnlineConfig, OnlinePlacer};
+    Checker::new("online_placer_invariants").run(
+        |rng| arb_trace(rng, 16, 600),
+        |trace| {
+            let report = OnlinePlacer::new(OnlineConfig {
+                window: 100,
+                migration_shifts_per_item: 8,
+                ..OnlineConfig::default()
+            })
+            .run(trace);
+            require_eq!(
+                report.total_shifts(),
+                report.access_shifts + report.migration_shifts
+            );
+            let p = &report.final_placement;
+            let mut seen = vec![false; p.num_items()];
+            for off in 0..p.num_items() {
+                require!(!seen[p.item_at(off)]);
+                seen[p.item_at(off)] = true;
+            }
+            Ok(())
+        },
+    );
 }
