@@ -1,7 +1,10 @@
-//! T4: exact subset-DP optimum vs. instance size.
+//! T4: exact subset-DP optimum vs. instance size, plus the parallel
+//! branch-and-bound solver (root-level fan-out over the
+//! `dwm_foundation::par` workers).
 
 use dwm_bench::BENCH_SEED;
 use dwm_core::exact::optimal_placement;
+use dwm_core::exact_bb::branch_and_bound_placement;
 use dwm_foundation::bench::{black_box, Harness};
 use dwm_graph::generators::random_graph;
 
@@ -11,6 +14,16 @@ fn main() {
         let graph = random_graph(n, 0.5, 8, BENCH_SEED);
         h.bench(&format!("exact_dp/{n}"), || {
             optimal_placement(black_box(&graph)).expect("solvable")
+        });
+    }
+    // Branch-and-bound explores one subtree per root item in parallel;
+    // the 1-vs-4-thread medians here are the exact-solver speedup the
+    // CI gate tracks. n = 12 keeps one gate iteration under a second;
+    // larger instances belong in manual runs, not the CI gate.
+    for n in [10usize, 12] {
+        let graph = random_graph(n, 0.5, 8, BENCH_SEED);
+        h.bench_threads(&format!("branch_and_bound/{n}"), || {
+            branch_and_bound_placement(black_box(&graph)).expect("solvable")
         });
     }
     h.finish();

@@ -1,9 +1,12 @@
-//! F4/F5: cost-model replay across tape lengths and port counts.
+//! F4/F5: cost-model replay across tape lengths and port counts, plus
+//! the parallel sweep (one hybrid-pipeline cell per workload, fanned
+//! over the `dwm_foundation::par` workers).
 
-use dwm_bench::markov_fixture;
+use dwm_bench::{markov_fixture, suite_fixture};
 use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost};
 use dwm_core::{Hybrid, PlacementAlgorithm};
 use dwm_foundation::bench::{black_box, Harness};
+use dwm_foundation::par;
 
 fn main() {
     let mut h = Harness::from_env("sweep");
@@ -23,5 +26,16 @@ fn main() {
             model.trace_cost(black_box(&placement), &trace)
         });
     }
+    // The F4/F5-style sweep the experiment bins actually run: place and
+    // replay every suite kernel. Cells are independent, so this is the
+    // sequential-vs-parallel comparison the CI gate tracks.
+    let suite = suite_fixture();
+    let model = SinglePortCost::new();
+    h.bench_threads("suite_hybrid_sweep", || {
+        par::par_map(&suite, |(_, trace, graph)| {
+            let placement = Hybrid::default().place(black_box(graph));
+            model.trace_cost(&placement, trace).stats.shifts
+        })
+    });
     h.finish();
 }

@@ -1,0 +1,145 @@
+//! CLI front-end for the benchmark regression gate (see
+//! [`dwm_bench::gate`]).
+//!
+//! ```text
+//! bench_compare [--threshold F] [--write-baseline] <baseline.json> <report>...
+//! ```
+//!
+//! Each `<report>` is a suite JSON written by the harness
+//! (`DWM_BENCH_JSON`), or a directory of them. Normal mode compares the
+//! reports against the baseline and exits non-zero when any median
+//! regressed beyond the threshold (default 0.25 = 25%).
+//! `--write-baseline` instead (re)writes `<baseline.json>` from the
+//! reports — run it after intentional performance changes and commit
+//! the file.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dwm_bench::gate::{self, Entry};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare [--threshold F] [--write-baseline] <baseline.json> <report>..."
+    );
+    std::process::exit(2);
+}
+
+fn collect_reports(paths: &[String]) -> Result<Vec<Entry>, String> {
+    let mut files: Vec<String> = Vec::new();
+    for p in paths {
+        if Path::new(p).is_dir() {
+            let mut in_dir: Vec<String> = std::fs::read_dir(p)
+                .map_err(|e| format!("{p}: {e}"))?
+                .filter_map(|entry| entry.ok())
+                .map(|entry| entry.path().to_string_lossy().into_owned())
+                .filter(|name| name.ends_with(".json"))
+                .collect();
+            in_dir.sort();
+            if in_dir.is_empty() {
+                return Err(format!("{p}: no .json reports in directory"));
+            }
+            files.extend(in_dir);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    let mut entries = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        entries.extend(gate::parse_suite_report(&text).map_err(|e| format!("{file}: {e}"))?);
+    }
+    Ok(entries)
+}
+
+fn run() -> Result<bool, String> {
+    let mut threshold = 0.25f64;
+    let mut write_baseline = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                threshold = v.parse().map_err(|_| format!("invalid threshold '{v}'"))?;
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() < 2 {
+        usage();
+    }
+    let baseline_path = positional.remove(0);
+    let current = collect_reports(&positional)?;
+
+    if write_baseline {
+        std::fs::write(&baseline_path, gate::baseline_json(&current))
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        println!(
+            "wrote {} entr{} to {baseline_path}",
+            current.len(),
+            if current.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(true);
+    }
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("{baseline_path}: {e} (run with --write-baseline first?)"))?;
+    let baseline = gate::parse_baseline(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let report = gate::compare(&baseline, &current);
+
+    println!(
+        "{:<52} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for c in &report.comparisons {
+        println!(
+            "{:<52} {:>11.0} ns {:>11.0} ns {:>7.2}x{}",
+            c.id,
+            c.baseline_ns,
+            c.current_ns,
+            c.ratio(),
+            if c.regressed(threshold) {
+                "  REGRESSED"
+            } else {
+                ""
+            }
+        );
+    }
+    for id in &report.missing {
+        eprintln!("warning: baseline id '{id}' missing from current run (re-baseline?)");
+    }
+    for id in &report.added {
+        eprintln!("warning: new benchmark '{id}' not in baseline (re-baseline to track)");
+    }
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        println!(
+            "gate OK: {} benchmark(s) within {:.0}% of baseline",
+            report.comparisons.len(),
+            threshold * 100.0
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "gate FAILED: {} benchmark(s) regressed more than {:.0}%",
+            regressions.len(),
+            threshold * 100.0
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The benchmark regression gate: compares a fresh benchmark run
+//! against the checked-in baseline (`results/bench_baseline.json`) and
+//! reports any benchmark whose median slowed down beyond a threshold.
+//!
+//! The comparison logic lives here (rather than in the
+//! [`bench_compare`](../../src/bin/bench_compare.rs) binary) so the
+//! threshold semantics are unit-testable against fixture JSON —
+//! `scripts/bench_gate.sh` is then a thin wrapper.
+//!
+//! Baseline format: `{"entries": [{"id": "...", "median_ns": ...}]}`
+//! with ids of the form `<suite>/<bench id>`. Re-baseline with
+//! `scripts/bench_gate.sh --rebaseline` after intentional performance
+//! changes (and commit the result).
+
+use dwm_foundation::json::{parse, Number, Object, Value};
+
+/// One benchmark median, keyed by `<suite>/<bench id>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Suite-qualified benchmark id.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// A baseline/current pair for one benchmark id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Suite-qualified benchmark id.
+    pub id: String,
+    /// Median in the baseline.
+    pub baseline_ns: f64,
+    /// Median in the current run.
+    pub current_ns: f64,
+}
+
+impl Comparison {
+    /// `current / baseline` — 1.0 is unchanged, 2.0 is twice as slow.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            1.0
+        } else {
+            self.current_ns / self.baseline_ns
+        }
+    }
+
+    /// Whether the current median exceeds the baseline by more than
+    /// `threshold` (0.25 = fail when >25% slower).
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio() > 1.0 + threshold
+    }
+}
+
+/// Outcome of matching a current run against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GateReport {
+    /// Ids present in both, with their medians.
+    pub comparisons: Vec<Comparison>,
+    /// Baseline ids absent from the current run (renamed or filtered
+    /// benchmarks — re-baseline to silence).
+    pub missing: Vec<String>,
+    /// Current ids absent from the baseline (new benchmarks —
+    /// re-baseline to start tracking them).
+    pub added: Vec<String>,
+}
+
+impl GateReport {
+    /// The comparisons that regressed beyond `threshold`.
+    pub fn regressions(&self, threshold: f64) -> Vec<&Comparison> {
+        self.comparisons
+            .iter()
+            .filter(|c| c.regressed(threshold))
+            .collect()
+    }
+}
+
+fn entry_list(value: &Value, key: &str, id_prefix: &str) -> Result<Vec<Entry>, String> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("expected a JSON object with '{key}'"))?;
+    let items = obj
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing '{key}' array"))?;
+    items
+        .iter()
+        .map(|item| {
+            let o = item.as_object().ok_or("entry is not an object")?;
+            let id = o
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("entry without string 'id'")?;
+            let median_ns = o
+                .get("median_ns")
+                .and_then(Value::as_number)
+                .ok_or("entry without numeric 'median_ns'")?
+                .as_f64();
+            Ok(Entry {
+                id: format!("{id_prefix}{id}"),
+                median_ns,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(str::to_owned)
+}
+
+/// Parses one suite report as written by
+/// [`Harness::finish`](dwm_foundation::bench::Harness::finish),
+/// qualifying each id with the suite name.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (not JSON, no
+/// `suite`/`results`, malformed result entries).
+pub fn parse_suite_report(text: &str) -> Result<Vec<Entry>, String> {
+    let value = parse(text).map_err(|e| e.to_string())?;
+    let suite = value
+        .as_object()
+        .and_then(|o| o.get("suite"))
+        .and_then(Value::as_str)
+        .ok_or("report without string 'suite'")?
+        .to_owned();
+    entry_list(&value, "results", &format!("{suite}/"))
+}
+
+/// Parses a baseline file (`{"entries": [...]}`).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_baseline(text: &str) -> Result<Vec<Entry>, String> {
+    let value = parse(text).map_err(|e| e.to_string())?;
+    entry_list(&value, "entries", "")
+}
+
+/// Serializes entries as a baseline file (pretty JSON, trailing
+/// newline, ids sorted so diffs are stable).
+pub fn baseline_json(entries: &[Entry]) -> String {
+    let mut sorted: Vec<&Entry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    let items: Vec<Value> = sorted
+        .into_iter()
+        .map(|e| {
+            let mut o = Object::new();
+            o.insert("id", Value::Str(e.id.clone()));
+            o.insert("median_ns", Value::Num(Number::F(e.median_ns)));
+            Value::Obj(o)
+        })
+        .collect();
+    let mut root = Object::new();
+    root.insert("entries", Value::Arr(items));
+    let mut text = Value::Obj(root).to_pretty();
+    text.push('\n');
+    text
+}
+
+/// Matches `current` against `baseline` by id.
+pub fn compare(baseline: &[Entry], current: &[Entry]) -> GateReport {
+    let mut report = GateReport::default();
+    for b in baseline {
+        match current.iter().find(|c| c.id == b.id) {
+            Some(c) => report.comparisons.push(Comparison {
+                id: b.id.clone(),
+                baseline_ns: b.median_ns,
+                current_ns: c.median_ns,
+            }),
+            None => report.missing.push(b.id.clone()),
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            report.added.push(c.id.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<Entry> {
+        pairs
+            .iter()
+            .map(|&(id, median_ns)| Entry {
+                id: id.into(),
+                median_ns,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn suite_report_is_parsed_with_qualified_ids() {
+        // Shape produced by Harness::to_json (extra fields ignored).
+        let text = r#"{
+            "suite": "sweep",
+            "results": [
+                {"id": "replay/16", "iters_per_sample": 4, "samples": 3,
+                 "min_ns": 9.0, "median_ns": 10.0, "p95_ns": 12.0, "mean_ns": 10.5},
+                {"id": "replay/64", "median_ns": 40.0}
+            ]
+        }"#;
+        let entries = parse_suite_report(text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                Entry {
+                    id: "sweep/replay/16".into(),
+                    median_ns: 10.0
+                },
+                Entry {
+                    id: "sweep/replay/64".into(),
+                    median_ns: 40.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected_with_reasons() {
+        assert!(parse_suite_report("nonsense").is_err());
+        assert!(parse_suite_report(r#"{"results": []}"#)
+            .unwrap_err()
+            .contains("suite"));
+        assert!(parse_suite_report(r#"{"suite": "s"}"#)
+            .unwrap_err()
+            .contains("results"));
+        assert!(
+            parse_suite_report(r#"{"suite": "s", "results": [{"id": "x"}]}"#)
+                .unwrap_err()
+                .contains("median_ns")
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips_sorted() {
+        let text = baseline_json(&entries(&[("b/2", 2.0), ("a/1", 1.5)]));
+        let back = parse_baseline(&text).unwrap();
+        assert_eq!(back, entries(&[("a/1", 1.5), ("b/2", 2.0)]));
+    }
+
+    #[test]
+    fn threshold_is_strictly_greater_than() {
+        let c = Comparison {
+            id: "x".into(),
+            baseline_ns: 100.0,
+            current_ns: 125.0,
+        };
+        // Exactly 25% slower is NOT a regression at threshold 0.25 —
+        // the gate fails only strictly beyond it.
+        assert!(!c.regressed(0.25));
+        let c = Comparison {
+            current_ns: 125.1,
+            ..c
+        };
+        assert!(c.regressed(0.25));
+        // Speedups never trip the gate.
+        let c = Comparison {
+            current_ns: 10.0,
+            ..c
+        };
+        assert!(!c.regressed(0.0));
+    }
+
+    #[test]
+    fn compare_classifies_matched_missing_and_added() {
+        let baseline = entries(&[("s/a", 100.0), ("s/gone", 50.0)]);
+        let current = entries(&[("s/a", 90.0), ("s/new", 5.0)]);
+        let report = compare(&baseline, &current);
+        assert_eq!(
+            report.comparisons,
+            vec![Comparison {
+                id: "s/a".into(),
+                baseline_ns: 100.0,
+                current_ns: 90.0
+            }]
+        );
+        assert_eq!(report.missing, vec!["s/gone".to_string()]);
+        assert_eq!(report.added, vec!["s/new".to_string()]);
+        assert!(report.regressions(0.25).is_empty());
+    }
+
+    #[test]
+    fn regressions_filter_by_threshold_from_fixture_json() {
+        let baseline = parse_baseline(
+            r#"{"entries": [
+                {"id": "s/fast", "median_ns": 100.0},
+                {"id": "s/slow", "median_ns": 100.0},
+                {"id": "s/awful", "median_ns": 100.0}
+            ]}"#,
+        )
+        .unwrap();
+        let current = entries(&[("s/fast", 80.0), ("s/slow", 130.0), ("s/awful", 300.0)]);
+        let report = compare(&baseline, &current);
+        let ids = |th: f64| -> Vec<&str> {
+            report
+                .regressions(th)
+                .iter()
+                .map(|c| c.id.as_str())
+                .collect()
+        };
+        assert_eq!(ids(0.25), vec!["s/slow", "s/awful"]);
+        assert_eq!(ids(0.5), vec!["s/awful"]);
+        assert_eq!(ids(3.0), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn zero_baseline_never_divides() {
+        let c = Comparison {
+            id: "z".into(),
+            baseline_ns: 0.0,
+            current_ns: 50.0,
+        };
+        assert_eq!(c.ratio(), 1.0);
+        assert!(!c.regressed(0.25));
+    }
+}

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use dwm_graph::AccessGraph;
 use dwm_trace::kernels::Kernel;
 use dwm_trace::synth::{MarkovGen, TraceGenerator};

@@ -45,6 +45,11 @@ COMMANDS:
   cache <trace> [--sets N] [--ways N] [--window N]
                      DWM cache policy comparison (LRU vs shift-aware)
   help               this text
+
+GLOBAL FLAGS:
+  --threads N        cap the parallel worker count (1 = sequential;
+                     default: DWM_THREADS env var, then all cores).
+                     Results are identical at any thread count.
 ";
 
 /// Dispatches a parsed command line.

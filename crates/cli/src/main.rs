@@ -15,6 +15,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global --threads N caps the parallel workers for every command
+    // (equivalent to DWM_THREADS=N; --threads 1 forces sequential).
+    // The override lives for the whole process, so the guard is leaked.
+    match parsed.opt_num("threads", 0usize) {
+        Ok(0) => {}
+        Ok(n) => std::mem::forget(dwm_foundation::par::override_threads(n)),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    }
     match commands::dispatch(&parsed) {
         Ok(out) => {
             println!("{out}");

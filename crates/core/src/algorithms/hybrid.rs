@@ -1,3 +1,4 @@
+use dwm_foundation::par;
 use dwm_graph::AccessGraph;
 
 use crate::algorithms::chain::{ChainGrowth, GroupedChainGrowth};
@@ -58,25 +59,34 @@ impl PlacementAlgorithm for Hybrid {
     }
 
     fn place(&self, graph: &AccessGraph) -> Placement {
+        // The portfolio's constructive candidates run in parallel (they
+        // are independent); the winner is picked by (cost, roster
+        // position), so the choice is identical at any worker count.
+        // The naive identity placement leads the roster, preserving the
+        // never-worse-than-naive guarantee.
+        type Candidate = Box<dyn Fn(&AccessGraph) -> Placement + Sync>;
+        let mut candidates: Vec<Candidate> = vec![
+            Box::new(|g: &AccessGraph| Placement::identity(g.num_items())),
+            Box::new(|g: &AccessGraph| OrganPipe.place(g)),
+            Box::new(|g: &AccessGraph| ChainGrowth.place(g)),
+            Box::new(|g: &AccessGraph| GroupedChainGrowth.place(g)),
+            Box::new(|g: &AccessGraph| Spectral::default().place(g)),
+        ];
         // GreedyInsertion is O(n²·d̄); skip it on large graphs where
         // its marginal benefit cannot justify the latency.
-        let insertion = GreedyInsertion;
-        let spectral = Spectral::default();
-        let mut candidates: Vec<&dyn PlacementAlgorithm> =
-            vec![&OrganPipe, &ChainGrowth, &GroupedChainGrowth, &spectral];
         if graph.num_items() <= 512 {
-            candidates.push(&insertion);
+            candidates.push(Box::new(|g: &AccessGraph| GreedyInsertion.place(g)));
         }
-        let mut best = Placement::identity(graph.num_items());
-        let mut best_cost = graph.arrangement_cost(best.offsets());
-        for alg in candidates {
-            let p = alg.place(graph);
+        let scored = par::par_map(&candidates, |candidate| {
+            let p = candidate(graph);
             let cost = graph.arrangement_cost(p.offsets());
-            if cost < best_cost {
-                best = p;
-                best_cost = cost;
-            }
-        }
+            (cost, p)
+        });
+        let mut best = scored
+            .into_iter()
+            .min_by_key(|(cost, _)| *cost)
+            .expect("roster is never empty")
+            .1;
         self.refiner.refine(graph, &mut best);
         best
     }

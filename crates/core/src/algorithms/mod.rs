@@ -27,6 +27,7 @@ mod frequency;
 mod hybrid;
 mod insertion;
 mod local_search;
+mod multi_start;
 mod spectral;
 mod trace_refine;
 mod window_dp;
@@ -38,6 +39,7 @@ pub use frequency::OrganPipe;
 pub use hybrid::Hybrid;
 pub use insertion::GreedyInsertion;
 pub use local_search::LocalSearch;
+pub use multi_start::MultiStart;
 pub use spectral::Spectral;
 pub use trace_refine::TraceRefiner;
 pub use window_dp::WindowedDp;
@@ -52,8 +54,11 @@ use crate::placement::Placement;
 /// [`place`](PlacementAlgorithm::place) is a pure function of the
 /// graph (seeded algorithms hold their seed, so results are
 /// reproducible). The trait is object-safe: experiment sweeps iterate
-/// over `&[&dyn PlacementAlgorithm]`.
-pub trait PlacementAlgorithm {
+/// over `&[&dyn PlacementAlgorithm]`. The `Send + Sync` bound lets
+/// those sweeps fan algorithm×workload cells out over the
+/// [`dwm_foundation::par`] workers; every implementor is a plain value
+/// type, so the bound costs nothing.
+pub trait PlacementAlgorithm: Send + Sync {
     /// Short, stable name for report tables.
     fn name(&self) -> String;
 
@@ -82,6 +87,11 @@ pub fn standard_suite(seed: u64) -> Vec<Box<dyn PlacementAlgorithm>> {
 pub(crate) mod test_support {
     use dwm_graph::AccessGraph;
     use dwm_trace::Trace;
+
+    /// Serializes tests that install `par::override_threads` guards —
+    /// the override is process-global, so concurrent installs from
+    /// parallel test threads would interleave.
+    pub static PAR_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     /// A small graph with an obvious good order: two heavy clusters.
     pub fn two_cluster_graph() -> AccessGraph {

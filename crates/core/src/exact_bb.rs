@@ -17,7 +17,26 @@
 //! boundary may contribute nothing more. The incumbent is seeded with
 //! the [`Hybrid`](crate::Hybrid) heuristic so pruning bites from the
 //! first descent, and children are explored weakest-cut-first.
+//!
+//! # Parallel root branching
+//!
+//! The first level of the search tree (the choice of leftmost item) is
+//! fanned out over [`dwm_foundation::par`] workers, which share the
+//! incumbent *bound* through an [`AtomicMin`]. Sharing is asymmetric by
+//! design to keep the result byte-deterministic at any `DWM_THREADS`:
+//!
+//! * each root subtree records only orders **strictly better** than its
+//!   own local record (seeded at the heuristic cost), so which order a
+//!   root reports never depends on other workers;
+//! * the shared bound prunes only nodes whose lower bound is
+//!   **strictly above** it. Since the bound never drops below the true
+//!   optimum `C`, a path to a cost-`C` order (every prefix of which has
+//!   lower bound `≤ C`) can never be cut by another worker's progress —
+//!   pruning timing affects wasted work, not recorded optima;
+//! * the final winner is the lowest-cost root record, ties broken by
+//!   root order.
 
+use dwm_foundation::par::{self, AtomicMin};
 use dwm_graph::AccessGraph;
 
 use crate::algorithms::PlacementAlgorithm;
@@ -31,10 +50,14 @@ pub const MAX_BB_ITEMS: usize = 24;
 struct Search<'g> {
     graph: &'g AccessGraph,
     n: usize,
-    /// Best complete cost found so far.
-    best_cost: u64,
-    /// Order achieving `best_cost`.
-    best_order: Vec<usize>,
+    /// Record threshold: starts at the heuristic seed cost; only
+    /// strictly better complete orders are recorded. Purely local, so
+    /// the recorded order is independent of other workers' timing.
+    local_best: u64,
+    /// Best complete order found in this subtree, if any beat the seed.
+    best_order: Option<Vec<usize>>,
+    /// Shared incumbent bound across all root subtrees.
+    global_best: &'g AtomicMin,
     /// Current prefix.
     prefix: Vec<usize>,
     in_prefix: Vec<bool>,
@@ -49,15 +72,19 @@ struct Search<'g> {
 impl<'g> Search<'g> {
     fn run(&mut self, cost_so_far: u64, cut: u64) {
         if self.prefix.len() == self.n {
-            if cost_so_far < self.best_cost {
-                self.best_cost = cost_so_far;
-                self.best_order = self.prefix.clone();
+            if cost_so_far < self.local_best {
+                self.local_best = cost_so_far;
+                self.best_order = Some(self.prefix.clone());
+                self.global_best.improve(cost_so_far);
             }
             return;
         }
         // Lower bound: every still-internal edge of the complement
         // contributes at least its weight once both ends are placed.
-        if cost_so_far + self.remaining_edge_weight >= self.best_cost {
+        // Local pruning is non-strict (nothing >= our own record can
+        // improve it); shared pruning is strict (see module docs).
+        let bound = cost_so_far + self.remaining_edge_weight;
+        if bound >= self.local_best || bound > self.global_best.get() {
             return;
         }
         // Order candidates by the cut they would produce (weakest cut
@@ -101,9 +128,11 @@ impl<'g> Search<'g> {
 
 /// Computes a provably optimal placement by branch and bound.
 ///
-/// Produces the same cost as [`crate::exact::optimal_placement`]
-/// (verified by tests); the returned order may differ when several
-/// optima exist.
+/// The root level of the search fans out over `DWM_THREADS` workers
+/// (see the module docs); the returned order is identical at any
+/// worker count. Produces the same cost as
+/// [`crate::exact::optimal_placement`] (verified by tests); the
+/// returned order may differ when several optima exist.
 ///
 /// # Errors
 ///
@@ -136,23 +165,47 @@ pub fn branch_and_bound_placement(graph: &AccessGraph) -> Result<(Placement, u64
     // immediately.
     let seed = crate::algorithms::Hybrid::default().place(graph);
     let seed_cost = graph.arrangement_cost(seed.offsets());
+    let global_best = AtomicMin::new(seed_cost);
 
-    let mut search = Search {
-        graph,
-        n,
-        best_cost: seed_cost,
-        best_order: seed.order().to_vec(),
-        prefix: Vec::with_capacity(n),
-        in_prefix: vec![false; n],
-        remaining_edge_weight: graph.total_weight(),
-    };
-    search.run(0, 0);
-    let placement = Placement::from_order(search.best_order.clone());
-    debug_assert_eq!(
-        graph.arrangement_cost(placement.offsets()),
-        search.best_cost
-    );
-    Ok((placement, search.best_cost))
+    // Root candidates, ordered exactly as the sequential search orders
+    // children: weakest first cut (here: degree) first.
+    let mut roots: Vec<(u64, usize)> = (0..n).map(|v| (graph.degree(v), v)).collect();
+    roots.sort_unstable();
+
+    // One independent subtree search per root; the shared bound only
+    // accelerates pruning (see module docs for why this stays
+    // deterministic at any worker count).
+    let results: Vec<(u64, Option<Vec<usize>>)> = par::par_map(&roots, |&(root_cut, v)| {
+        let mut in_prefix = vec![false; n];
+        in_prefix[v] = true;
+        let mut search = Search {
+            graph,
+            n,
+            local_best: seed_cost,
+            best_order: None,
+            global_best: &global_best,
+            prefix: vec![v],
+            in_prefix,
+            remaining_edge_weight: graph.total_weight() - graph.degree(v),
+        };
+        let add = if n == 1 { 0 } else { root_cut };
+        search.run(add, root_cut);
+        (search.local_best, search.best_order)
+    });
+
+    let mut best_cost = seed_cost;
+    let mut best_order = seed.order().to_vec();
+    for (cost, order) in results {
+        if let Some(order) = order {
+            if cost < best_cost {
+                best_cost = cost;
+                best_order = order;
+            }
+        }
+    }
+    let placement = Placement::from_order(best_order);
+    debug_assert_eq!(graph.arrangement_cost(placement.offsets()), best_cost);
+    Ok((placement, best_cost))
 }
 
 #[cfg(test)]
@@ -213,5 +266,25 @@ mod tests {
         let g = path_graph(22, 2);
         let (_, cost) = branch_and_bound_placement(&g).unwrap();
         assert_eq!(cost, 21 * 2);
+    }
+
+    #[test]
+    fn identical_placement_at_any_worker_count() {
+        use dwm_foundation::par::override_threads;
+        let _l = crate::algorithms::test_support::PAR_TEST_LOCK
+            .lock()
+            .unwrap();
+        for seed in 0..5 {
+            let g = random_graph(11, 0.45, 6, seed);
+            let sequential = {
+                let _g = override_threads(1);
+                branch_and_bound_placement(&g).unwrap()
+            };
+            let parallel = {
+                let _g = override_threads(8);
+                branch_and_bound_placement(&g).unwrap()
+            };
+            assert_eq!(sequential, parallel, "seed {seed}");
+        }
     }
 }

@@ -57,9 +57,9 @@ pub mod spm;
 pub mod wear;
 
 pub use algorithms::{
-    ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, OrderOfAppearance,
-    OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing, Spectral, TraceRefiner,
-    WindowedDp,
+    ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, MultiStart,
+    OrderOfAppearance, OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing,
+    Spectral, TraceRefiner, WindowedDp,
 };
 pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
 pub use error::PlacementError;
@@ -68,9 +68,9 @@ pub use placement::Placement;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::algorithms::{
-        ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, OrderOfAppearance,
-        OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing, Spectral, TraceRefiner,
-        WindowedDp,
+        ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, MultiStart,
+        OrderOfAppearance, OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing,
+        Spectral, TraceRefiner, WindowedDp,
     };
     pub use crate::cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
     pub use crate::exact::optimal_placement;

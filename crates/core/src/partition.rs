@@ -12,7 +12,13 @@
 //! refinement. The objective is to *maximize* the weight captured
 //! inside parts with small diameter — equivalently, heavy edges should
 //! not be split, and no part may overflow.
+//!
+//! Each refinement pass scores every cross-part swap in parallel
+//! against the frozen pass-start state, then applies the improving
+//! swaps best-first with sequential re-validation, so the result is
+//! byte-identical at any `DWM_THREADS` worker count.
 
+use dwm_foundation::par;
 use dwm_graph::AccessGraph;
 
 use crate::error::PlacementError;
@@ -280,18 +286,43 @@ impl Partitioner {
             Objective::MinimizeInternal => -1,
         };
         for _ in 0..self.refine_passes {
-            let mut improved = false;
-            for a in 0..n {
+            // Score all candidate swaps against the frozen pass-start
+            // state in parallel (scoring is the O(n²·d̄) hot loop), then
+            // apply them sequentially best-gain-first, re-validating
+            // each against the mutated state. Both phases are
+            // deterministic, so the result is identical at any
+            // `DWM_THREADS` setting.
+            let rows: Vec<usize> = (0..n).collect();
+            let mut candidates: Vec<(i64, usize, usize)> = par::par_map(&rows, |&a| {
+                let mut improving = Vec::new();
                 for b in (a + 1)..n {
                     if partition.part_of[a] == partition.part_of[b] {
                         continue;
                     }
-                    if sign * Self::swap_gain(graph, partition, a, b) < 0 {
-                        let (pa, pb) = (partition.part_of[a], partition.part_of[b]);
-                        partition.part_of[a] = pb;
-                        partition.part_of[b] = pa;
-                        improved = true;
+                    let gain = sign * Self::swap_gain(graph, partition, a, b);
+                    if gain < 0 {
+                        improving.push((gain, a, b));
                     }
+                }
+                improving
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            candidates.sort_unstable();
+
+            let mut improved = false;
+            for (_, a, b) in candidates {
+                if partition.part_of[a] == partition.part_of[b] {
+                    continue;
+                }
+                // Earlier applied swaps may have invalidated the
+                // pass-start score; recheck before committing.
+                if sign * Self::swap_gain(graph, partition, a, b) < 0 {
+                    let (pa, pb) = (partition.part_of[a], partition.part_of[b]);
+                    partition.part_of[a] = pb;
+                    partition.part_of[b] = pa;
+                    improved = true;
                 }
             }
             if !improved {
@@ -383,6 +414,27 @@ mod tests {
         let p = Partitioner::new(1, 8).partition(&g).unwrap();
         assert_eq!(p.part(0).len(), 8);
         assert_eq!(p.external_weight(&g), 0);
+    }
+
+    #[test]
+    fn identical_partition_at_any_worker_count() {
+        use dwm_foundation::par::override_threads;
+        let _l = crate::algorithms::test_support::PAR_TEST_LOCK
+            .lock()
+            .unwrap();
+        for objective in [Objective::MinimizeExternal, Objective::MinimizeInternal] {
+            let g = clustered_graph(30, 5, 0.8, 0.1, 8, 4);
+            let partitioner = Partitioner::new(5, 6).with_objective(objective);
+            let sequential = {
+                let _g = override_threads(1);
+                partitioner.partition(&g).unwrap()
+            };
+            let parallel = {
+                let _g = override_threads(8);
+                partitioner.partition(&g).unwrap()
+            };
+            assert_eq!(sequential, parallel, "{objective:?}");
+        }
     }
 
     #[test]

@@ -17,12 +17,13 @@ use dwm_core::algorithms::{
 };
 use dwm_core::Placement;
 use dwm_experiments::{workload_suite, Table};
+use dwm_foundation::par;
 use dwm_graph::AccessGraph;
 
 fn main() {
     println!("Ablation A1: gmean shifts normalized to naive (lower is better)\n");
     let workloads = workload_suite();
-    type Column = (String, Box<dyn Fn(&AccessGraph) -> u64>);
+    type Column = (String, Box<dyn Fn(&AccessGraph) -> u64 + Sync>);
     let mut columns: Vec<Column> = vec![
         (
             "organ-pipe".into(),
@@ -88,10 +89,11 @@ fn main() {
         .collect();
 
     // For "wins": per workload, which variant achieves the minimum.
-    let costs: Vec<Vec<u64>> = columns
-        .iter()
-        .map(|(_, f)| graphs.iter().map(|(g, _)| f(g)).collect())
-        .collect();
+    // The variant×workload cost matrix is embarrassingly parallel; one
+    // worker per variant column, results gathered in column order.
+    let costs: Vec<Vec<u64>> = par::par_map(&columns, |(_, f)| {
+        graphs.iter().map(|(g, _)| f(g)).collect()
+    });
 
     for (ci, (name, _)) in columns.iter().enumerate() {
         let mut log_sum = 0.0f64;

@@ -8,6 +8,7 @@
 use dwm_core::cost::{CostModel, SinglePortCost};
 use dwm_core::{GroupedChainGrowth, LocalSearch};
 use dwm_experiments::{algorithm_suite, percent_reduction, workload_suite, Table};
+use dwm_foundation::par;
 use dwm_graph::AccessGraph;
 
 fn main() {
@@ -19,15 +20,18 @@ fn main() {
     let mut t = Table::new(header);
 
     let model = SinglePortCost::new();
-    for (name, trace) in workload_suite() {
-        let graph = AccessGraph::from_trace(&trace);
-        let mut cells = vec![name];
+    // One row per benchmark, computed independently; row order follows
+    // the workload suite at every DWM_THREADS setting.
+    let workloads = workload_suite();
+    let rows = par::par_map(&workloads, |(name, trace)| {
+        let graph = AccessGraph::from_trace(trace);
+        let mut cells = vec![name.clone()];
         let naive_shifts = model
-            .trace_cost(&algorithms[0].place(&graph), &trace)
+            .trace_cost(&algorithms[0].place(&graph), trace)
             .stats
             .shifts;
         for alg in &algorithms {
-            let shifts = model.trace_cost(&alg.place(&graph), &trace).stats.shifts;
+            let shifts = model.trace_cost(&alg.place(&graph), trace).stats.shifts;
             if alg.name() == "naive" {
                 cells.push(shifts.to_string());
             } else {
@@ -39,13 +43,16 @@ fn main() {
             }
         }
         let refined = LocalSearch::default().refine_placement_of(&GroupedChainGrowth, &graph);
-        let shifts = model.trace_cost(&refined, &trace).stats.shifts;
+        let shifts = model.trace_cost(&refined, trace).stats.shifts;
         cells.push(format!(
             "{} ({})",
             shifts,
             percent_reduction(naive_shifts, shifts)
         ));
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
 }

@@ -8,6 +8,7 @@
 use dwm_core::cost::{CostModel, SinglePortCost};
 use dwm_core::{Hybrid, OrderOfAppearance, OrganPipe, PlacementAlgorithm};
 use dwm_experiments::{percent_reduction, Table};
+use dwm_foundation::par;
 use dwm_graph::AccessGraph;
 use dwm_trace::kernels::Kernel;
 
@@ -23,7 +24,9 @@ fn main() {
         "reduction",
     ]);
     let model = SinglePortCost::new();
-    for kernel in Kernel::extended_suite() {
+    // Kernels are independent; rows come back in suite order.
+    let kernels = Kernel::extended_suite();
+    let rows = par::par_map(&kernels, |kernel| {
         let trace = kernel.trace();
         let graph = AccessGraph::from_trace(&trace);
         let naive = model
@@ -38,7 +41,7 @@ fn main() {
             .trace_cost(&Hybrid::default().place(&graph), &trace)
             .stats
             .shifts;
-        t.row([
+        [
             kernel.name().to_string(),
             graph.num_items().to_string(),
             trace.len().to_string(),
@@ -46,7 +49,10 @@ fn main() {
             pipe.to_string(),
             hybrid.to_string(),
             percent_reduction(naive, hybrid),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
 }

@@ -10,10 +10,16 @@
 //!
 //! * `DWM_BENCH_SAMPLES` — samples per benchmark (default 30)
 //! * `DWM_BENCH_WARMUP_MS` — warmup time per benchmark (default 100)
-//! * `DWM_BENCH_JSON` — path to write the JSON report to
+//! * `DWM_BENCH_JSON` — where to write the JSON report: a file path,
+//!   or an existing directory (the report lands at `<dir>/<suite>.json`
+//!   so one `cargo bench` run with several suites keeps them all)
 //!
 //! A single positional CLI argument acts as a substring filter on
 //! benchmark ids, mirroring `cargo bench <filter>`.
+//!
+//! [`Harness::bench_threads`] times the same closure at 1 thread and at
+//! [`THREAD_POINTS`]`[1]` threads (via [`crate::par::override_threads`])
+//! and records both, so parallel speedup is visible in every report.
 
 use std::time::Instant;
 
@@ -72,23 +78,37 @@ pub struct Harness {
     results: Vec<BenchResult>,
 }
 
+/// The thread counts [`Harness::bench_threads`] records, low to high.
+/// Fixed (rather than `available_parallelism`) so benchmark ids — and
+/// therefore the checked-in regression baseline — are machine-stable.
+pub const THREAD_POINTS: [usize; 2] = [1, 4];
+
 impl Harness {
     /// A harness configured from the environment and CLI arguments
     /// (see the module docs for the knobs).
     pub fn from_env(suite: &str) -> Self {
-        let samples = std::env::var("DWM_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(30)
-            .max(3);
-        let warmup_ms = std::env::var("DWM_BENCH_WARMUP_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(100);
         // `cargo bench` invokes bench binaries with `--bench` (and
         // test-harness flags); the first non-flag argument is a
         // substring filter, criterion-style.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self::from_lookup(suite, |key| std::env::var(key).ok(), filter)
+    }
+
+    /// [`Harness::from_env`] with the environment abstracted behind
+    /// `lookup`, so the knob parsing is testable without mutating the
+    /// process environment.
+    pub fn from_lookup<L: Fn(&str) -> Option<String>>(
+        suite: &str,
+        lookup: L,
+        filter: Option<String>,
+    ) -> Self {
+        let samples = lookup("DWM_BENCH_SAMPLES")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30)
+            .max(3);
+        let warmup_ms = lookup("DWM_BENCH_WARMUP_MS")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
         Harness {
             suite: suite.to_owned(),
             samples,
@@ -169,6 +189,18 @@ impl Harness {
         self.results.push(result);
     }
 
+    /// Times `f` once per entry of [`THREAD_POINTS`], recording
+    /// `{id}/t{n}` under a [`crate::par::override_threads`] guard for
+    /// each, so the report shows sequential-vs-parallel medians side by
+    /// side. The closure should run a `par_*`-based workload for the
+    /// comparison to mean anything.
+    pub fn bench_threads<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
+        for threads in THREAD_POINTS {
+            let _guard = crate::par::override_threads(threads);
+            self.bench(&format!("{id}/t{threads}"), &mut f);
+        }
+    }
+
     /// The collected results so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -183,7 +215,8 @@ impl Harness {
     }
 
     /// Prints the footer and, when `DWM_BENCH_JSON` is set, writes the
-    /// JSON report there.
+    /// JSON report there. A directory value receives
+    /// `<dir>/<suite>.json`; anything else is treated as a file path.
     pub fn finish(self) {
         println!(
             "{} benchmark(s) in suite '{}' (median/p95/min per iteration)",
@@ -191,9 +224,14 @@ impl Harness {
             self.suite
         );
         if let Ok(path) = std::env::var("DWM_BENCH_JSON") {
+            let target = if std::path::Path::new(&path).is_dir() {
+                format!("{path}/{}.json", self.suite)
+            } else {
+                path
+            };
             let json = self.to_json().to_pretty();
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {path}: {e}");
+            if let Err(e) = std::fs::write(&target, json) {
+                eprintln!("warning: could not write {target}: {e}");
             }
         }
     }
@@ -256,6 +294,59 @@ mod tests {
         let results = v.as_object().unwrap().get("results").unwrap();
         let back: Vec<BenchResult> = from_str::<Vec<BenchResult>>(&results.to_compact()).unwrap();
         assert_eq!(back, h.results());
+    }
+
+    #[test]
+    fn from_lookup_parses_env_knobs() {
+        let env = |key: &str| match key {
+            "DWM_BENCH_SAMPLES" => Some("12".to_string()),
+            "DWM_BENCH_WARMUP_MS" => Some("7".to_string()),
+            _ => None,
+        };
+        let h = Harness::from_lookup("suite", env, Some("flt".into()));
+        assert_eq!(h.samples, 12);
+        assert_eq!(h.warmup_ms, 7);
+        assert_eq!(h.filter.as_deref(), Some("flt"));
+    }
+
+    #[test]
+    fn from_lookup_defaults_and_clamps() {
+        // No knobs set: defaults.
+        let h = Harness::from_lookup("s", |_| None, None);
+        assert_eq!(h.samples, 30);
+        assert_eq!(h.warmup_ms, 100);
+        assert_eq!(h.filter, None);
+        // Garbage values fall back; tiny sample counts clamp to 3.
+        let env = |key: &str| match key {
+            "DWM_BENCH_SAMPLES" => Some("1".to_string()),
+            "DWM_BENCH_WARMUP_MS" => Some("banana".to_string()),
+            _ => None,
+        };
+        let h = Harness::from_lookup("s", env, None);
+        assert_eq!(h.samples, 3);
+        assert_eq!(h.warmup_ms, 100);
+    }
+
+    #[test]
+    fn substring_filter_applies_to_thread_variants_too() {
+        let _l = crate::par::TEST_OVERRIDE_LOCK.lock().unwrap();
+        let mut h = tiny();
+        h.filter = Some("keep".into());
+        h.bench_threads("keep/job", || black_box(1u8));
+        h.bench_threads("drop/job", || black_box(1u8));
+        let ids: Vec<&str> = h.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["keep/job/t1", "keep/job/t4"]);
+    }
+
+    #[test]
+    fn bench_threads_records_every_thread_point() {
+        let _l = crate::par::TEST_OVERRIDE_LOCK.lock().unwrap();
+        let mut h = tiny();
+        h.bench_threads("tp", || {
+            crate::par::par_map(&[1u64, 2, 3], |&x| black_box(x + 1))
+        });
+        let ids: Vec<&str> = h.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["tp/t1", "tp/t4"]);
     }
 
     #[test]

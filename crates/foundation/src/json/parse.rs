@@ -34,7 +34,7 @@ impl JsonError {
         }
     }
 
-    /// A decode error of the form "expected X, got <type>".
+    /// A decode error of the form "expected X, got `<type>`".
     pub fn expected(what: &str, got: &Value) -> Self {
         JsonError::decode(format!("expected {what}, got {}", got.type_name()))
     }

@@ -15,11 +15,16 @@
 //!   [`json::ToJson`]/[`json::FromJson`] traits and the
 //!   [`json_struct!`], [`json_newtype!`], and [`json_unit_enum!`]
 //!   macros that replace `#[derive(Serialize, Deserialize)]`.
-//! * [`bench`] — a lightweight timing harness (warmup, N samples,
+//! * [`mod@bench`] — a lightweight timing harness (warmup, N samples,
 //!   median/p95, JSON emission) that the `dwm-bench` targets run
 //!   instead of criterion.
 //! * [`check`] — a seeded property-test harness (configurable case
 //!   count, failing-seed replay) that the former proptest suites use.
+//!
+//! A fifth module, [`par`], is the workspace's parallel substrate: a
+//! scoped work-stealing pool (std `thread`/atomics only) whose `par_*`
+//! combinators return results in input order, so parallelized sweeps
+//! and solvers stay byte-deterministic at any `DWM_THREADS` setting.
 //!
 //! The determinism here is load-bearing, not incidental: shift-count
 //! comparisons between placement algorithms are only meaningful when
@@ -28,6 +33,7 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod par;
 pub mod rng;
 
 pub use check::Checker;

@@ -1,0 +1,502 @@
+//! A zero-dependency scoped work-stealing parallel substrate.
+//!
+//! The workspace is hermetic (no registry dependencies, enforced by
+//! `tests/hermetic.rs`), so rayon is off the table; this module covers
+//! the workloads the reproduction actually has — embarrassingly
+//! parallel sweeps, per-DBC simulation, portfolio/multi-start
+//! placement, and bound-sharing branch and bound — with nothing but
+//! `std::thread`, atomics, and a mutex.
+//!
+//! # Scheduling
+//!
+//! [`par_map`] / [`par_map_indexed`] / [`par_chunks`] split the index
+//! range into one contiguous block per worker. Each worker claims
+//! indices from the front of its own block; a worker whose block runs
+//! dry *steals the back half* of the richest remaining block (classic
+//! range-stealing), falling back to single-index claims for blocks too
+//! small to split. All claims go through atomics, so no index is ever
+//! processed twice and none is dropped.
+//!
+//! # Determinism
+//!
+//! Every `par_*` function returns results **in input order**, so a
+//! computation whose per-item closure is pure produces byte-identical
+//! output at any worker count. `DWM_THREADS=1` (or
+//! [`override_threads`]`(1)`) forces the fully sequential path, which
+//! the pool-size invariance tests in `tests/parallel.rs` compare
+//! against.
+//!
+//! # Thread-count selection
+//!
+//! [`num_threads`] resolves, in order: the process-local
+//! [`override_threads`] value, the `DWM_THREADS` environment variable,
+//! and finally [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-local thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes tests (across this crate's test binary) that install
+/// thread overrides, since the override is process-global.
+#[cfg(test)]
+pub(crate) static TEST_OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the previous [`override_threads`] value when dropped.
+#[derive(Debug)]
+#[must_use = "the override is reverted when the guard drops"]
+pub struct ThreadOverrideGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// Overrides the worker count for the current process until the
+/// returned guard drops. Takes precedence over `DWM_THREADS`. Used by
+/// the bench harness to time the same workload at several thread
+/// counts, and by tests that must not touch the process environment.
+pub fn override_threads(n: usize) -> ThreadOverrideGuard {
+    ThreadOverrideGuard {
+        prev: OVERRIDE.swap(n, Ordering::SeqCst),
+    }
+}
+
+/// The worker count `par_*` calls will use right now.
+///
+/// Resolution order: [`override_threads`], then the `DWM_THREADS`
+/// environment variable (values `>= 1`; `0` or garbage fall through),
+/// then [`std::thread::available_parallelism`]. Always `>= 1`.
+pub fn num_threads() -> usize {
+    let over = OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Some(n) = std::env::var("DWM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A shared monotonically decreasing `u64` — the atomic-best reducer
+/// for branch-and-bound incumbent sharing.
+///
+/// Workers publish every improvement with [`improve`](Self::improve)
+/// and prune against [`get`](Self::get). Because the value only ever
+/// decreases toward the true optimum, sharing it across threads cannot
+/// change *what* the search converges to, only how fast subtrees are
+/// pruned.
+#[derive(Debug)]
+pub struct AtomicMin(AtomicU64);
+
+impl AtomicMin {
+    /// A reducer starting at `initial` (typically a heuristic seed
+    /// cost, so pruning bites from the first node).
+    pub fn new(initial: u64) -> Self {
+        AtomicMin(AtomicU64::new(initial))
+    }
+
+    /// The current best value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Publishes `candidate`; returns `true` when it strictly improved
+    /// the shared best.
+    pub fn improve(&self, candidate: u64) -> bool {
+        self.0.fetch_min(candidate, Ordering::SeqCst) > candidate
+    }
+}
+
+/// A scope handle for coarse fork-join work; see [`scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env> {
+    inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Runs `f` on a scoped worker thread — or inline, right now, when
+    /// the pool is sequential ([`num_threads`]` == 1`).
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        match self.inner {
+            Some(s) => {
+                s.spawn(f);
+            }
+            None => f(),
+        }
+    }
+}
+
+/// Scoped fork-join: tasks spawned on the [`Scope`] may borrow from the
+/// caller's stack and are all joined before `scope` returns. With one
+/// thread every task runs inline in spawn order, which keeps the
+/// sequential path allocation- and thread-free.
+pub fn scope<'env, T, F>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    if num_threads() <= 1 {
+        f(&Scope { inner: None })
+    } else {
+        std::thread::scope(|s| f(&Scope { inner: Some(s) }))
+    }
+}
+
+/// A contiguous index block `[start, end)` packed into one atomic so
+/// claim and steal are single CAS operations.
+struct Block(AtomicU64);
+
+impl Block {
+    fn new(start: usize, end: usize) -> Self {
+        Block(AtomicU64::new(Self::pack(start, end)))
+    }
+
+    fn pack(start: usize, end: usize) -> u64 {
+        ((start as u64) << 32) | end as u64
+    }
+
+    fn unpack(v: u64) -> (usize, usize) {
+        ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+    }
+
+    /// Claims the front index of the block, if any.
+    fn claim(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::SeqCst);
+        loop {
+            let (start, end) = Self::unpack(cur);
+            if start >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(start + 1, end),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(start),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of unclaimed indices left in the block.
+    fn remaining(&self) -> usize {
+        let (start, end) = Self::unpack(self.0.load(Ordering::SeqCst));
+        end.saturating_sub(start)
+    }
+
+    /// Steals the back half of the block (only when it holds at least
+    /// two indices — singletons are claimed, not stolen). Returns the
+    /// stolen range.
+    fn steal_half(&self) -> Option<(usize, usize)> {
+        let mut cur = self.0.load(Ordering::SeqCst);
+        loop {
+            let (start, end) = Self::unpack(cur);
+            if end.saturating_sub(start) < 2 {
+                return None;
+            }
+            let mid = start + (end - start).div_ceil(2);
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(start, mid),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some((mid, end)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Applies `f` to every item, returning the results **in input order**.
+///
+/// Work is distributed over [`num_threads`] workers with range
+/// stealing; with one thread (or one item) this is a plain sequential
+/// map. A panic in `f` propagates to the caller.
+///
+/// # Example
+///
+/// ```
+/// let squares = dwm_foundation::par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// [`par_map`] with the item index passed to the closure.
+pub fn par_map_indexed<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let n = items.len();
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    assert!(n < u32::MAX as usize, "index range too large to pack");
+
+    // One contiguous block per worker; sizes differ by at most one.
+    let blocks: Vec<Block> = (0..workers)
+        .map(|w| Block::new(w * n / workers, (w + 1) * n / workers))
+        .collect();
+    let completed = AtomicUsize::new(0);
+
+    let run_worker = |me: usize| -> Vec<(usize, R)> {
+        let mut out = Vec::new();
+        let process = |i: usize, out: &mut Vec<(usize, R)>| {
+            out.push((i, f(i, &items[i])));
+            completed.fetch_add(1, Ordering::SeqCst);
+        };
+        loop {
+            if let Some(i) = blocks[me].claim() {
+                process(i, &mut out);
+                continue;
+            }
+            // Own block dry: steal the back half of the richest block.
+            let victim = (0..blocks.len())
+                .filter(|&w| w != me)
+                .max_by_key(|&w| (blocks[w].remaining(), w));
+            if let Some((start, end)) = victim.and_then(|w| blocks[w].steal_half()) {
+                // No other worker installs into our slot (they only
+                // shrink blocks with >= 2 items; ours is empty).
+                blocks[me]
+                    .0
+                    .store(Block::pack(start, end), Ordering::SeqCst);
+                continue;
+            }
+            // Nothing to split: drain stragglers one index at a time.
+            if let Some(i) = blocks.iter().find_map(Block::claim) {
+                process(i, &mut out);
+                continue;
+            }
+            if completed.load(Ordering::SeqCst) >= n {
+                return out;
+            }
+            std::thread::yield_now();
+        }
+    };
+
+    let gathered: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| s.spawn(move || run_worker(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    into_ordered(n, gathered.into_iter().flatten())
+}
+
+/// Applies `f` to chunks of at most `chunk_size` consecutive items,
+/// returning per-chunk results in chunk order. The closure receives the
+/// chunk index and the chunk slice.
+pub fn par_chunks<T: Sync, R: Send, F: Fn(usize, &[T]) -> R + Sync>(
+    items: &[T],
+    chunk_size: usize,
+    f: F,
+) -> Vec<R> {
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    par_map_indexed(&chunks, |i, chunk| f(i, chunk))
+}
+
+/// Applies `f` to every item through a mutable reference, returning the
+/// results in input order. Items are handed out from a shared queue
+/// (coarse tasks — per-DBC simulation — are the intended use), so
+/// uneven items still balance across workers.
+pub fn par_map_mut<T: Send, R: Send, F: Fn(usize, &mut T) -> R + Sync>(
+    items: &mut [T],
+    f: F,
+) -> Vec<R> {
+    let n = items.len();
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let queue: Mutex<Vec<(usize, &mut T)>> = Mutex::new(items.iter_mut().enumerate().collect());
+    let gathered: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let task = queue.lock().expect("queue poisoned").pop();
+                        match task {
+                            Some((i, item)) => out.push((i, f(i, item))),
+                            None => return out,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    into_ordered(n, gathered.into_iter().flatten())
+}
+
+/// Reassembles `(index, result)` pairs into input order.
+fn into_ordered<R>(n: usize, pairs: impl Iterator<Item = (usize, R)>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in pairs {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::TEST_OVERRIDE_LOCK as LOCK;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(8);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_passes_correct_indices() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(4);
+        let items = vec!["a"; 257];
+        let out = par_map_indexed(&items, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_uneven_work() {
+        let _l = LOCK.lock().unwrap();
+        let work = |i: usize, x: &u64| -> u64 {
+            // Skewed cost: later items spin longer, forcing steals.
+            let mut acc = *x;
+            for _ in 0..(i * 37) % 4096 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let items: Vec<u64> = (0..500).collect();
+        let seq = {
+            let _g = override_threads(1);
+            par_map_indexed(&items, work)
+        };
+        let par = {
+            let _g = override_threads(7);
+            par_map_indexed(&items, work)
+        };
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(3);
+        let items: Vec<u64> = (0..101).collect();
+        let sums = par_chunks(&items, 10, |_, c| c.iter().sum::<u64>());
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+        assert_eq!(sums[0], (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_orders_results() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(4);
+        let mut items: Vec<u64> = (0..64).collect();
+        let old = par_map_mut(&mut items, |i, x| {
+            let prev = *x;
+            *x += i as u64;
+            prev
+        });
+        assert_eq!(old, (0..64).collect::<Vec<_>>());
+        assert_eq!(items, (0..64).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn atomic_min_keeps_the_minimum() {
+        let m = AtomicMin::new(100);
+        assert!(m.improve(40));
+        assert!(!m.improve(40));
+        assert!(!m.improve(90));
+        assert!(m.improve(7));
+        assert_eq!(m.get(), 7);
+    }
+
+    #[test]
+    fn atomic_min_under_contention() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(8);
+        let m = AtomicMin::new(u64::MAX);
+        let values: Vec<u64> = (0..400).map(|i| 1000 - (i % 997)).collect();
+        par_map(&values, |&v| m.improve(v));
+        assert_eq!(m.get(), *values.iter().min().unwrap());
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let _l = LOCK.lock().unwrap();
+        for threads in [1usize, 4] {
+            let _g = override_threads(threads);
+            let counter = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 16);
+        }
+    }
+
+    #[test]
+    fn override_guard_restores_previous_value() {
+        let _l = LOCK.lock().unwrap();
+        let outer = override_threads(5);
+        assert_eq!(num_threads(), 5);
+        {
+            let _inner = override_threads(2);
+            assert_eq!(num_threads(), 2);
+        }
+        assert_eq!(num_threads(), 5);
+        drop(outer);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(8);
+        assert_eq!(par_map::<u64, u64, _>(&[], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_map(&[9u64], |&x| x + 1), vec![10]);
+    }
+}

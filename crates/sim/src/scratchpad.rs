@@ -75,6 +75,13 @@ impl Scratchpad {
         self.dbc_mut(dbc)?.write(offset, word)
     }
 
+    /// Mutable access to the DBC bank, for the simulator's parallel
+    /// per-DBC replay (DBCs shift independently, so disjoint `&mut`
+    /// borrows commute).
+    pub(crate) fn dbcs_mut(&mut self) -> &mut [Dbc] {
+        &mut self.dbcs
+    }
+
     /// Counters of one DBC.
     pub fn dbc_stats(&self, dbc: usize) -> &ShiftStats {
         self.dbcs[dbc].stats()

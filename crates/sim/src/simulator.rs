@@ -1,10 +1,12 @@
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use dwm_core::spm::SpmLayout;
 use dwm_core::Placement;
 use dwm_device::fault::{FaultInjector, ShiftFaultModel};
-use dwm_device::{CostProjection, DeviceConfig, DeviceError};
+use dwm_device::{CostProjection, Dbc, DeviceConfig, DeviceError};
+use dwm_foundation::par;
 use dwm_trace::Trace;
 
 use crate::report::SimReport;
@@ -184,12 +186,23 @@ impl SpmSimulator {
     /// and the integrity-check result. Counters accumulate across
     /// calls until [`reset`](Self::reset).
     ///
+    /// Multi-DBC replays run one worker per DBC when `DWM_THREADS`
+    /// allows (DBCs shift independently, so the per-DBC access
+    /// subsequences never interact); the report is merged in DBC order
+    /// and is byte-identical to the sequential replay at any worker
+    /// count. Fault-injection runs always replay sequentially: the
+    /// injector draws one slip per access from a single RNG stream, so
+    /// its results are defined by trace order.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownItem`] if the trace touches an item
     /// outside the placement, or a device error bubbled up from the
     /// bit-level model.
     pub fn run(&mut self, trace: &Trace) -> Result<SimReport, SimError> {
+        if self.injector.is_none() && self.spm.num_dbcs() > 1 && par::num_threads() > 1 {
+            return self.run_parallel(trace);
+        }
         let mut integrity_errors = 0u64;
         let mut slip_events = 0u64;
         for a in trace.iter() {
@@ -201,12 +214,7 @@ impl SpmSimulator {
             let shifts_before = self.spm.dbc_stats(dbc).shifts;
             if a.kind.is_write() {
                 self.version[item] += 1;
-                // Token mixes item and version so stale or misplaced
-                // data is distinguishable.
-                let token = (item as u64)
-                    .wrapping_mul(0x9E37_79B9)
-                    .wrapping_add(self.version[item])
-                    & self.word_mask;
+                let token = write_token(item, self.version[item], self.word_mask);
                 self.spm.write(dbc, offset, token)?;
                 self.shadow[item] = token;
             } else {
@@ -224,6 +232,82 @@ impl SpmSimulator {
                 }
             }
         }
+        self.report(integrity_errors, slip_events)
+    }
+
+    /// Parallel multi-DBC replay: the trace is split into per-DBC
+    /// access subsequences, each DBC (with the shadow state of the
+    /// items living on it) is simulated on its own worker, and the
+    /// outcomes merge back in DBC order.
+    fn run_parallel(&mut self, trace: &Trace) -> Result<SimReport, SimError> {
+        let num_dbcs = self.spm.num_dbcs();
+        // Validate and bucket accesses up front; order within each DBC
+        // is trace order, which is all the per-DBC state depends on.
+        let mut accesses_of: Vec<Vec<(usize, bool, usize)>> = vec![Vec::new(); num_dbcs];
+        for a in trace.iter() {
+            let item = a.item.index();
+            let (dbc, offset) = *self.slot_of.get(item).ok_or(SimError::UnknownItem {
+                item,
+                items: self.slot_of.len(),
+            })?;
+            accesses_of[dbc].push((offset, a.kind.is_write(), item));
+        }
+        // Each unit owns one DBC plus the shadow/version entries of the
+        // items placed on it — disjoint by construction.
+        let mut state_of: Vec<HashMap<usize, (u64, u64)>> = vec![HashMap::new(); num_dbcs];
+        for (item, &(dbc, _)) in self.slot_of.iter().enumerate() {
+            state_of[dbc].insert(item, (self.shadow[item], self.version[item]));
+        }
+        struct Unit<'a> {
+            dbc: &'a mut Dbc,
+            accesses: Vec<(usize, bool, usize)>,
+            /// `item -> (shadow value, write version)`.
+            state: HashMap<usize, (u64, u64)>,
+        }
+        let word_mask = self.word_mask;
+        let mut units: Vec<Unit<'_>> = self
+            .spm
+            .dbcs_mut()
+            .iter_mut()
+            .zip(accesses_of.into_iter().zip(state_of))
+            .map(|(dbc, (accesses, state))| Unit {
+                dbc,
+                accesses,
+                state,
+            })
+            .collect();
+        let outcomes: Vec<Result<u64, DeviceError>> = par::par_map_mut(&mut units, |_, unit| {
+            let mut integrity_errors = 0u64;
+            for &(offset, is_write, item) in &unit.accesses {
+                let (shadow, version) = unit.state.get_mut(&item).expect("item lives on this DBC");
+                if is_write {
+                    *version += 1;
+                    let token = write_token(item, *version, word_mask);
+                    unit.dbc.write(offset, token)?;
+                    *shadow = token;
+                } else if unit.dbc.read(offset)? != *shadow {
+                    integrity_errors += 1;
+                }
+            }
+            Ok(integrity_errors)
+        });
+        // Merge in DBC order: shadow state back into the flat arrays,
+        // integrity counts summed, first device error (by DBC index)
+        // reported.
+        let mut integrity_errors = 0u64;
+        for unit in units {
+            for (item, (shadow, version)) in unit.state {
+                self.shadow[item] = shadow;
+                self.version[item] = version;
+            }
+        }
+        for outcome in outcomes {
+            integrity_errors += outcome?;
+        }
+        self.report(integrity_errors, 0)
+    }
+
+    fn report(&self, integrity_errors: u64, slip_events: u64) -> Result<SimReport, SimError> {
         let stats = self.spm.total_stats();
         let projection = CostProjection::new(self.spm.config());
         Ok(SimReport {
@@ -245,6 +329,15 @@ impl SpmSimulator {
         self.shadow.iter_mut().for_each(|v| *v = 0);
         self.version.iter_mut().for_each(|v| *v = 0);
     }
+}
+
+/// Token stored on a write: mixes item and version so stale or
+/// misplaced data is distinguishable on read-back.
+fn write_token(item: usize, version: u64, word_mask: u64) -> u64 {
+    (item as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(version)
+        & word_mask
 }
 
 #[cfg(test)]
@@ -418,5 +511,50 @@ mod tests {
         let (analytic, _) = layout.trace_cost(&trace, &PortLayout::single());
         assert_eq!(report.stats.shifts, analytic.shifts);
         assert_eq!(report.integrity_errors, 0);
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential() {
+        use dwm_core::spm::SpmAllocator;
+        use dwm_foundation::par::override_threads;
+        // The override is process-global; this is the only test in the
+        // dwm-sim binary that installs it, so no lock is needed yet.
+        let trace = Kernel::MergeSort {
+            n: 48,
+            block: 4,
+            seed: 9,
+        }
+        .trace();
+        let layout = SpmAllocator::new(4, 16)
+            .allocate(&trace, &GroupedChainGrowth)
+            .unwrap();
+        let cfg = DeviceConfig::builder()
+            .dbcs(4)
+            .domains_per_track(16)
+            .tracks_per_dbc(32)
+            .build()
+            .unwrap();
+        let sequential = {
+            let _g = override_threads(1);
+            let mut sim = SpmSimulator::with_layout(&cfg, &layout).unwrap();
+            sim.run(&trace).unwrap()
+        };
+        let parallel = {
+            let _g = override_threads(8);
+            let mut sim = SpmSimulator::with_layout(&cfg, &layout).unwrap();
+            sim.run(&trace).unwrap()
+        };
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel.integrity_errors, 0);
+        // Repeated runs accumulate identically too (shadow state must
+        // survive the merge back out of the workers).
+        let twice = {
+            let _g = override_threads(8);
+            let mut sim = SpmSimulator::with_layout(&cfg, &layout).unwrap();
+            sim.run(&trace).unwrap();
+            sim.run(&trace).unwrap()
+        };
+        assert_eq!(twice.integrity_errors, 0);
+        assert_eq!(twice.stats.accesses(), 2 * sequential.stats.accesses());
     }
 }

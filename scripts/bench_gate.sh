@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: runs the gated bench suites with JSON
+# output and compares medians against the checked-in baseline
+# (results/bench_baseline.json). Fails when any benchmark's median is
+# more than DWM_BENCH_GATE_THRESHOLD (default 0.25 = 25%) slower.
+#
+# After an intentional performance change (or on a new reference
+# machine), re-baseline and commit the result:
+#
+#   bash scripts/bench_gate.sh --rebaseline
+#
+# The comparison logic lives in crates/bench/src/gate.rs (unit-tested);
+# this script only runs the suites and invokes the bench_compare CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+BASELINE=results/bench_baseline.json
+THRESHOLD="${DWM_BENCH_GATE_THRESHOLD:-0.25}"
+# Few samples: the gate wants medians that are stable to tens of
+# percent, not publication-grade statistics. Override via env.
+export DWM_BENCH_SAMPLES="${DWM_BENCH_SAMPLES:-10}"
+export DWM_BENCH_WARMUP_MS="${DWM_BENCH_WARMUP_MS:-50}"
+
+reports="$(mktemp -d)"
+trap 'rm -rf "$reports"' EXIT
+
+# Only the two suites with parallel (bench_threads) coverage are gated —
+# fast enough to run on every CI push.
+for suite in bench_sweep bench_exact; do
+  echo "== $suite"
+  DWM_BENCH_JSON="$reports" cargo bench -q -p dwm-bench --bench "$suite"
+done
+
+mkdir -p results
+if [[ "${1:-}" == "--rebaseline" ]]; then
+  cargo run --release -q -p dwm-bench --bin bench_compare -- \
+    --write-baseline "$BASELINE" "$reports"
+else
+  cargo run --release -q -p dwm-bench --bin bench_compare -- \
+    --threshold "$THRESHOLD" "$BASELINE" "$reports"
+fi

@@ -13,10 +13,16 @@ cargo fmt --all --check
 echo "== cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo build --release"
 cargo build --workspace --release
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== bench regression gate"
+bash scripts/bench_gate.sh
 
 echo "CI gate passed"

@@ -4,8 +4,15 @@
 # Runs every experiment binary even when one fails, then exits nonzero
 # listing the failures, so CI reports the full picture instead of
 # stopping at the first broken experiment.
+#
+# With --csv, each binary additionally runs in CSV mode and the output
+# lands in results/<bin>.csv (the plain-text tables are still written).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+csv=0
+if [[ "${1:-}" == "--csv" ]]; then
+  csv=1
+fi
 mkdir -p results
 bins=(
   exp_t1_device_config exp_t2_benchmarks exp_t3_shift_reduction
@@ -20,6 +27,12 @@ for b in "${bins[@]}"; do
   echo "== $b"
   if ! cargo run --release -q -p dwm-experiments --bin "$b" | tee "results/$b.txt"; then
     failed+=("$b")
+  fi
+  if ((csv)); then
+    if ! cargo run --release -q -p dwm-experiments --bin "$b" -- --csv \
+      >"results/$b.csv"; then
+      failed+=("$b (csv)")
+    fi
   fi
 done
 if ((${#failed[@]} > 0)); then

@@ -1,0 +1,105 @@
+//! Pool-size invariance: every parallel code path must produce
+//! byte-identical artifacts at any `DWM_THREADS` setting.
+//!
+//! This is the contract that makes the `dwm_foundation::par` substrate
+//! safe to thread through solvers and experiments: parallelism is an
+//! execution detail, never an observable one. Each test runs the same
+//! pipeline under `DWM_THREADS=1` (forced sequential) and
+//! `DWM_THREADS=8` (more workers than the experiment has rows) and
+//! compares the serialized JSON byte for byte.
+//!
+//! The env knob itself is exercised (rather than
+//! `par::override_threads`) so the user-facing configuration surface is
+//! what is tested.
+
+use std::sync::Mutex;
+
+use dwm_placement::graph::generators::{clustered_graph, random_graph};
+use dwm_placement::prelude::*;
+use dwm_placement::trace::kernels::Kernel;
+
+/// `DWM_THREADS` is process-global; tests that flip it must not
+/// interleave.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("DWM_THREADS", threads.to_string());
+    let result = f();
+    std::env::remove_var("DWM_THREADS");
+    result
+}
+
+/// Every parallel artifact the workspace produces, serialized: hybrid
+/// portfolio placement, exact branch-and-bound order + cost, parallel
+/// multi-start annealing, multi-DBC partitioned layout, and the
+/// bit-level multi-DBC simulation report.
+fn artifacts() -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+
+    let trace = Kernel::MatMul { n: 8, block: 2 }.trace();
+    let graph = AccessGraph::from_trace(&trace);
+
+    let hybrid = Hybrid::default().place(&graph);
+    out.push(("hybrid placement", dwm_foundation::json::to_string(&hybrid)));
+
+    let bb_graph = random_graph(12, 0.5, 8, 0xD15C);
+    let (bb_placement, bb_cost) = branch_and_bound_placement(&bb_graph).expect("solvable");
+    out.push((
+        "branch-and-bound placement",
+        format!(
+            "{} cost={bb_cost}",
+            dwm_foundation::json::to_string(&bb_placement)
+        ),
+    ));
+
+    let ms_graph = clustered_graph(24, 4, 0.85, 0.1, 8, 3);
+    let multi = MultiStart::new(5, 0xD15C).place(&ms_graph);
+    out.push((
+        "multi-start placement",
+        dwm_foundation::json::to_string(&multi),
+    ));
+
+    let layout = SpmAllocator::new(4, 16)
+        .allocate(&trace, &GroupedChainGrowth)
+        .expect("fits");
+    let assignment: Vec<String> = (0..layout.num_items())
+        .map(|i| format!("{i}:{}/{}", layout.dbc_of(i), layout.offset_of(i)))
+        .collect();
+    out.push(("spm layout", assignment.join(",")));
+
+    let config = DeviceConfig::builder()
+        .dbcs(4)
+        .domains_per_track(16)
+        .tracks_per_dbc(32)
+        .build()
+        .expect("valid");
+    let mut sim = SpmSimulator::with_layout(&config, &layout).expect("fits");
+    let report = sim.run(&trace).expect("replay");
+    out.push(("sim report", dwm_foundation::json::to_string(&report)));
+
+    out
+}
+
+#[test]
+fn pipeline_artifacts_are_identical_at_1_and_8_threads() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let sequential = with_threads(1, artifacts);
+    let parallel = with_threads(8, artifacts);
+    assert_eq!(sequential.len(), parallel.len());
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(a, b, "{name} differs between DWM_THREADS=1 and 8");
+    }
+}
+
+#[test]
+fn dwm_threads_env_knob_is_honoured() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    assert_eq!(with_threads(1, dwm_foundation::par::num_threads), 1);
+    assert_eq!(with_threads(8, dwm_foundation::par::num_threads), 8);
+    // Garbage and zero fall back to the hardware default (≥ 1).
+    std::env::set_var("DWM_THREADS", "0");
+    assert!(dwm_foundation::par::num_threads() >= 1);
+    std::env::set_var("DWM_THREADS", "many");
+    assert!(dwm_foundation::par::num_threads() >= 1);
+    std::env::remove_var("DWM_THREADS");
+}
