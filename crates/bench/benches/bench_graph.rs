@@ -1,0 +1,66 @@
+//! Frozen-graph (CSR) microbenchmarks and the solver entries the CSR
+//! rewire accelerates.
+//!
+//! `graph/*` times the representation itself — freezing an access
+//! graph and streaming swap deltas through an [`ArrangementEval`] —
+//! while `algo/*` times the three inner-loop consumers whose medians
+//! the regression gate tracks: greedy insertion (the former worst
+//! offender), simulated annealing, and windowed local search.
+
+use dwm_bench::{markov_fixture, BENCH_SEED};
+use dwm_core::SimulatedAnnealing;
+use dwm_core::{GreedyInsertion, LocalSearch, PlacementAlgorithm, RandomPlacement};
+use dwm_foundation::bench::{black_box, Harness};
+use dwm_foundation::par;
+use dwm_graph::{ArrangementEval, CsrGraph};
+
+fn main() {
+    let mut h = Harness::from_env("graph");
+    for n in [64usize, 256, 1024] {
+        let (_, graph) = markov_fixture(n);
+
+        // A batch of independent freezes, fanned over the workers, so
+        // the t1/t4 medians show both the single-freeze cost and that
+        // freezing parallelizes trivially.
+        let batch = [&graph, &graph, &graph, &graph];
+        h.bench_threads(&format!("graph/csr_build/{n}"), || {
+            par::par_map(&batch, |g| CsrGraph::freeze(black_box(g)).num_edges())
+        });
+
+        let csr = CsrGraph::freeze(&graph);
+        let start: Vec<usize> = (0..n).collect();
+        let eval = ArrangementEval::new(&csr, &start);
+        // Every in-window swap delta of a local-search pass, split into
+        // per-worker chunks of query pairs.
+        let pairs: Vec<(usize, usize)> = (0..n - 1)
+            .flat_map(|k| ((k + 1)..(k + 13).min(n)).map(move |j| (k, j)))
+            .collect();
+        let chunks: Vec<&[(usize, usize)]> = pairs.chunks(pairs.len().div_ceil(4)).collect();
+        h.bench_threads(&format!("graph/swap_delta/{n}"), || {
+            par::par_map(&chunks, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(k, j)| eval.swap_delta(eval.item_at(k), eval.item_at(j)))
+                    .sum::<i64>()
+            })
+        });
+
+        let csrs = [&csr, &csr, &csr, &csr];
+        h.bench_threads(&format!("algo/insertion/{n}"), || {
+            par::par_map(&csrs, |c| GreedyInsertion.place_frozen(black_box(c)))
+        });
+
+        let annealer = SimulatedAnnealing::new(BENCH_SEED).with_iterations(5_000);
+        h.bench(&format!("algo/annealing/{n}"), || {
+            annealer.place(black_box(&graph))
+        });
+
+        let rough = RandomPlacement::new(BENCH_SEED).place(&graph);
+        h.bench(&format!("algo/local_search/{n}"), || {
+            let mut p = rough.clone();
+            LocalSearch::default().refine_frozen(black_box(&csr), &mut p);
+            p
+        });
+    }
+    h.finish();
+}

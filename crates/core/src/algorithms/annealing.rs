@@ -1,6 +1,6 @@
 use dwm_foundation::Rng;
 
-use dwm_graph::AccessGraph;
+use dwm_graph::{AccessGraph, ArrangementEval, CsrGraph};
 
 use crate::algorithms::chain::ChainGrowth;
 use crate::algorithms::PlacementAlgorithm;
@@ -10,9 +10,12 @@ use crate::placement::Placement;
 ///
 /// A strong stochastic comparator: starts from the [`ChainGrowth`]
 /// solution and explores swaps of two items' offsets with the classic
-/// Metropolis acceptance rule and geometric cooling. Cost deltas are
-/// computed incrementally from the two items' incident edges, so each
-/// move is `O(deg(a) + deg(b))` rather than `O(E)`.
+/// Metropolis acceptance rule and geometric cooling. The graph is
+/// frozen to a [`CsrGraph`] at entry and all cost deltas come from an
+/// [`ArrangementEval`], so each move is `O(deg(a) + deg(b))` over flat
+/// arrays rather than `O(E)` tree walks. The best placement is not
+/// cloned on improvement; it is recorded as a depth into the
+/// evaluator's move log and recovered by unwinding at the end.
 ///
 /// Deterministic for a fixed seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,25 +47,69 @@ impl SimulatedAnnealing {
         self
     }
 
-    /// Cost change of swapping the offsets of items `a` and `b`.
-    fn swap_delta(graph: &AccessGraph, placement: &Placement, a: usize, b: usize) -> i64 {
-        let (pa, pb) = (placement.offset_of(a) as i64, placement.offset_of(b) as i64);
-        let mut delta = 0i64;
-        for (v, w) in graph.neighbors(a) {
-            if v == b {
-                continue; // the (a,b) edge distance is unchanged by a swap
-            }
-            let pv = placement.offset_of(v) as i64;
-            delta += w as i64 * ((pb - pv).abs() - (pa - pv).abs());
+    /// Anneals from `start` on an already-frozen graph. This is the
+    /// whole algorithm; [`place`](PlacementAlgorithm::place) just
+    /// freezes and delegates. Callers that run many anneals on one
+    /// graph (e.g. [`MultiStart`](crate::MultiStart)) freeze once and
+    /// call this directly.
+    pub fn place_frozen(&self, csr: &CsrGraph, start: Placement) -> Placement {
+        let n = csr.num_items();
+        if n < 2 {
+            return start;
         }
-        for (v, w) in graph.neighbors(b) {
-            if v == a {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut eval = ArrangementEval::new(csr, start.offsets());
+        let mut current_cost = eval.total() as i64;
+        let mut best_cost = current_cost;
+        // Depth into the move log at which the best placement lives;
+        // unwound at the end instead of cloning on every improvement.
+        let mut best_depth = 0usize;
+
+        let mut temperature = self.initial_temperature.max(f64::MIN_POSITIVE);
+        let cool_every = (self.iterations / 100).max(1);
+
+        for step in 0..self.iterations {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
                 continue;
             }
-            let pv = placement.offset_of(v) as i64;
-            delta += w as i64 * ((pa - pv).abs() - (pb - pv).abs());
+            let delta = eval.swap_delta(a, b);
+            // Metropolis acceptance, `u < exp(−delta/temperature)`
+            // with `u = next_f64()`. The uniform draw comes first so
+            // the comparison can usually skip the transcendental:
+            // `u` is a multiple of 2⁻⁵³, and for exponents ≤ −37,
+            // exp() is below e⁻³⁷ < 2⁻⁵³ — smaller than every nonzero
+            // `u` — so the draw decides by itself unless it is exactly
+            // 0.0 (probability 2⁻⁵³). Identical accept decisions and
+            // RNG stream as computing exp() every time.
+            let accept = delta <= 0 || {
+                let x = -(delta as f64) / temperature;
+                let u = rng.next_f64();
+                if x <= -37.0 {
+                    u == 0.0 && x.exp() > 0.0
+                } else {
+                    u < x.exp()
+                }
+            };
+            if accept {
+                eval.apply_swap_with_delta(a, b, delta);
+                current_cost += delta;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best_depth = eval.log_len();
+                }
+            }
+            if step % cool_every == cool_every - 1 {
+                temperature = (temperature * self.cooling).max(1e-9);
+            }
         }
-        delta
+        while eval.log_len() > best_depth {
+            eval.undo();
+        }
+        debug_assert_eq!(eval.total() as i64, best_cost);
+        Placement::from_offsets(eval.positions().to_vec())
+            .expect("evaluator maintains a permutation")
     }
 }
 
@@ -76,39 +123,9 @@ impl PlacementAlgorithm for SimulatedAnnealing {
         if n < 2 {
             return Placement::identity(n);
         }
-        let mut rng = Rng::seed_from_u64(self.seed);
-        let mut current = ChainGrowth.place(graph);
-        let mut current_cost = graph.arrangement_cost(current.offsets()) as i64;
-        let mut best = current.clone();
-        let mut best_cost = current_cost;
-
-        let mut temperature = self.initial_temperature.max(f64::MIN_POSITIVE);
-        let cool_every = (self.iterations / 100).max(1);
-
-        for step in 0..self.iterations {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
-            if a == b {
-                continue;
-            }
-            let delta = Self::swap_delta(graph, &current, a, b);
-            let accept = delta <= 0 || {
-                let p = (-(delta as f64) / temperature).exp();
-                rng.gen_bool(p.clamp(0.0, 1.0))
-            };
-            if accept {
-                current.swap_items(a, b);
-                current_cost += delta;
-                if current_cost < best_cost {
-                    best_cost = current_cost;
-                    best = current.clone();
-                }
-            }
-            if step % cool_every == cool_every - 1 {
-                temperature = (temperature * self.cooling).max(1e-9);
-            }
-        }
-        best
+        let start = ChainGrowth.place(graph);
+        let csr = CsrGraph::freeze(graph);
+        self.place_frozen(&csr, start)
     }
 }
 
@@ -118,12 +135,14 @@ mod tests {
     use crate::algorithms::test_support::{kernel_graph, two_cluster_graph};
 
     #[test]
-    fn swap_delta_matches_recomputation() {
+    fn eval_swap_delta_matches_graph_recomputation() {
         let g = kernel_graph();
+        let csr = CsrGraph::freeze(&g);
         let mut p = ChainGrowth.place(&g);
         let before = g.arrangement_cost(p.offsets()) as i64;
+        let eval = ArrangementEval::new(&csr, p.offsets());
         for (a, b) in [(0usize, 3usize), (1, 5), (2, 4)] {
-            let delta = SimulatedAnnealing::swap_delta(&g, &p, a, b);
+            let delta = eval.swap_delta(a, b);
             p.swap_items(a, b);
             let after = g.arrangement_cost(p.offsets()) as i64;
             assert_eq!(after - before, delta, "delta mismatch for swap {a},{b}");
@@ -160,5 +179,16 @@ mod tests {
         let g = kernel_graph();
         let p = SimulatedAnnealing::new(1).with_iterations(0).place(&g);
         assert_eq!(p, ChainGrowth.place(&g));
+    }
+
+    #[test]
+    fn frozen_entry_point_matches_place() {
+        let g = two_cluster_graph();
+        let via_place = SimulatedAnnealing::new(5).with_iterations(3000).place(&g);
+        let csr = CsrGraph::freeze(&g);
+        let via_frozen = SimulatedAnnealing::new(5)
+            .with_iterations(3000)
+            .place_frozen(&csr, ChainGrowth.place(&g));
+        assert_eq!(via_place, via_frozen);
     }
 }

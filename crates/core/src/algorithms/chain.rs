@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use dwm_graph::{AccessGraph, Edge};
+use dwm_graph::AccessGraph;
 
 use crate::algorithms::frequency::OrganPipe;
 use crate::algorithms::PlacementAlgorithm;
@@ -46,65 +46,107 @@ pub(crate) struct Chains {
 }
 
 pub(crate) fn grow_chains(graph: &AccessGraph) -> Chains {
+    const NONE: usize = usize::MAX;
     let n = graph.num_items();
-    // chain_of[v] = index of the chain containing v, or usize::MAX.
-    let mut chain_of = vec![usize::MAX; n];
-    let mut chains: Vec<Option<VecDeque<usize>>> = Vec::new();
+    assert!(n <= 1 << 32, "item ids must fit the packed u32 edge key");
 
-    let mut edges: Vec<Edge> = graph.edges().collect();
     // Heaviest first; ties in (u, v) lexicographic order for
-    // reproducibility.
-    edges.sort_by_key(|e| (std::cmp::Reverse(e.weight), e.u, e.v));
+    // reproducibility. Each edge packs into one u128 — `!weight` in
+    // the high bits (so ascending order means descending weight),
+    // then `u`, then `v` — turning every comparison into a single
+    // branchless integer compare instead of a three-field tuple walk.
+    let mut edges: Vec<u128> = graph
+        .edges()
+        .map(|e| (u128::from(!e.weight) << 64) | (e.u as u128) << 32 | e.v as u128)
+        .collect();
+    edges.sort_unstable();
 
-    let is_end = |chains: &[Option<VecDeque<usize>>], chain_of: &[usize], v: usize| -> bool {
-        match chain_of[v] {
-            usize::MAX => true, // singleton: trivially an end
-            c => {
-                let chain = chains[c].as_ref().expect("live chain");
-                *chain.front().unwrap() == v || *chain.back().unwrap() == v
-            }
-        }
-    };
+    // Chains live as undirected paths over per-item neighbour slots
+    // (slot 0 fills first), with a union-find over membership — no
+    // chain is materialised or relabelled until the final collection,
+    // so merging is near-O(1) instead of O(chain length).
+    let mut link = vec![[NONE; 2]; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+    // Per-root [front, back] traversal ends; a singleton is its own
+    // front and back.
+    let mut ends: Vec<[usize; 2]> = (0..n).map(|v| [v, v]).collect();
+    // The historical Vec-of-chains implementation re-pushed a merged
+    // chain at a fresh index on every join, so chains came out ordered
+    // by the index of their *last* merge; `last_merge` reproduces that
+    // ordering (0 = never merged).
+    let mut last_merge = vec![0usize; n];
+    let mut merges = 0usize;
 
-    for e in edges {
-        let (u, v) = (e.u, e.v);
-        let cu = chain_of[u];
-        let cv = chain_of[v];
-        if cu != usize::MAX && cu == cv {
-            continue; // already in the same chain
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
         }
-        if !is_end(&chains, &chain_of, u) || !is_end(&chains, &chain_of, v) {
-            continue; // one endpoint is interior: cannot join
-        }
-        // Materialize both sides as chains (singletons become chains).
-        let mut left = match cu {
-            usize::MAX => VecDeque::from([u]),
-            c => chains[c].take().expect("live chain"),
-        };
-        let mut right = match cv {
-            usize::MAX => VecDeque::from([v]),
-            c => chains[c].take().expect("live chain"),
-        };
-        // Orient so `left` ends with u and `right` starts with v.
-        if *left.back().unwrap() != u {
-            left = left.into_iter().rev().collect();
-        }
-        if *right.front().unwrap() != v {
-            right = right.into_iter().rev().collect();
-        }
-        left.extend(right);
-        let idx = chains.len();
-        for &x in &left {
-            chain_of[x] = idx;
-        }
-        chains.push(Some(left));
+        v
     }
 
-    // Collect live chains plus leftover singletons, preserving a
-    // deterministic order.
-    let mut out: Vec<VecDeque<usize>> = chains.into_iter().flatten().collect();
-    for (v, &chain) in chain_of.iter().enumerate().take(n) {
-        if chain == usize::MAX {
+    for e in edges {
+        let (u, v) = ((e >> 32) as u32 as usize, e as u32 as usize);
+        // An item with both slots filled is interior to its chain.
+        if link[u][1] != NONE || link[v][1] != NONE {
+            continue;
+        }
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru == rv {
+            continue; // already in the same chain
+        }
+        // The historical merge oriented u's chain to end with u and
+        // v's chain to start with v, so the joined path runs from u's
+        // chain's other end to v's chain's other end.
+        let front = if ends[ru][0] == u {
+            ends[ru][1]
+        } else {
+            ends[ru][0]
+        };
+        let back = if ends[rv][0] == v {
+            ends[rv][1]
+        } else {
+            ends[rv][0]
+        };
+        let su = usize::from(link[u][0] != NONE);
+        link[u][su] = v;
+        let sv = usize::from(link[v][0] != NONE);
+        link[v][sv] = u;
+        parent[ru] = rv;
+        ends[rv] = [front, back];
+        merges += 1;
+        last_merge[rv] = merges;
+    }
+
+    // Collect merged chains by last-merge order, then leftover
+    // singletons by item index — the order the historical
+    // implementation produced.
+    let mut roots: Vec<(usize, usize)> = (0..n)
+        .filter(|&r| parent[r] == r && last_merge[r] > 0)
+        .map(|r| (last_merge[r], r))
+        .collect();
+    roots.sort_unstable();
+    let mut out: Vec<VecDeque<usize>> = Vec::with_capacity(roots.len());
+    for (_, r) in roots {
+        let [front, back] = ends[r];
+        let mut chain = VecDeque::new();
+        let (mut prev, mut cur) = (NONE, front);
+        while cur != NONE {
+            chain.push_back(cur);
+            let next = if link[cur][0] == prev {
+                link[cur][1]
+            } else {
+                link[cur][0]
+            };
+            prev = cur;
+            cur = next;
+        }
+        debug_assert_eq!(*chain.back().expect("nonempty"), back);
+        out.push(chain);
+    }
+    for (v, l) in link.iter().enumerate() {
+        if l[0] == NONE {
             out.push(VecDeque::from([v]));
         }
     }
@@ -124,7 +166,9 @@ impl PlacementAlgorithm for ChainGrowth {
     fn place(&self, graph: &AccessGraph) -> Placement {
         let mut chains = grow_chains(graph).chains;
         // Concatenate heaviest-first (hot chains near the port end).
-        chains.sort_by_key(|c| {
+        // Cached keys: `chain_weight` is O(chain length), too heavy to
+        // recompute on every comparison.
+        chains.sort_by_cached_key(|c| {
             (
                 std::cmp::Reverse(chain_weight(graph, c)),
                 c.front().copied().unwrap_or(0),
@@ -157,8 +201,9 @@ impl PlacementAlgorithm for GroupedChainGrowth {
     fn place(&self, graph: &AccessGraph) -> Placement {
         let mut chains = grow_chains(graph).chains;
         // Sort chains by descending weight, then arrange in organ-pipe
-        // profile at chain granularity.
-        chains.sort_by_key(|c| {
+        // profile at chain granularity (cached keys: the weight sum is
+        // O(chain length)).
+        chains.sort_by_cached_key(|c| {
             (
                 std::cmp::Reverse(chain_weight(graph, c)),
                 c.front().copied().unwrap_or(0),

@@ -1,4 +1,4 @@
-use dwm_graph::AccessGraph;
+use dwm_graph::{AccessGraph, ArrangementEval, CsrGraph};
 
 use crate::algorithms::PlacementAlgorithm;
 use crate::placement::Placement;
@@ -11,12 +11,16 @@ use crate::placement::Placement;
 /// every `k` and every `d ≤ window`. Adjacent swaps (`window = 1`)
 /// converge fast but get trapped in shallow minima on structured
 /// graphs (grids, butterflies); a modest window escapes most of them
-/// while keeping a pass at `O(n · window · d̄)`.
+/// while keeping a pass at `O(n · window · d̄)`. Deltas come from an
+/// [`ArrangementEval`] over the frozen [`CsrGraph`], so the inner loop
+/// streams flat neighbour arrays instead of walking adjacency trees.
 ///
 /// `LocalSearch` is both a standalone refiner ([`LocalSearch::refine`])
 /// and composable: call [`refine`](LocalSearch::refine) on any
 /// algorithm's output, which is what the experiment harness's "+LS"
 /// variants and the [`Hybrid`](crate::algorithms::Hybrid) pipeline do.
+/// Pipelines that already hold a frozen graph use
+/// [`refine_frozen`](LocalSearch::refine_frozen) to skip re-freezing.
 ///
 /// Refinement never increases cost (each accepted move strictly
 /// decreases it), an invariant the property tests enforce.
@@ -52,48 +56,56 @@ impl LocalSearch {
         self
     }
 
-    /// Cost change of swapping the items at offsets `k` and `j`.
-    fn position_swap_delta(graph: &AccessGraph, placement: &Placement, k: usize, j: usize) -> i64 {
-        let a = placement.item_at(k);
-        let b = placement.item_at(j);
-        let (pa, pb) = (k as i64, j as i64);
-        let mut delta = 0i64;
-        for (v, w) in graph.neighbors(a) {
-            if v == b {
-                continue; // the (a,b) edge length is unchanged by a swap
-            }
-            let pv = placement.offset_of(v) as i64;
-            delta += w as i64 * ((pb - pv).abs() - (pa - pv).abs());
-        }
-        for (v, w) in graph.neighbors(b) {
-            if v == a {
-                continue;
-            }
-            let pv = placement.offset_of(v) as i64;
-            delta += w as i64 * ((pa - pv).abs() - (pb - pv).abs());
-        }
-        delta
-    }
-
     /// Refines `placement` in place; returns the total cost reduction
     /// achieved (non-negative).
     pub fn refine(&self, graph: &AccessGraph, placement: &mut Placement) -> u64 {
+        if placement.num_items() < 2 {
+            return 0;
+        }
+        let csr = CsrGraph::freeze(graph);
+        self.refine_frozen(&csr, placement)
+    }
+
+    /// [`refine`](Self::refine) on an already-frozen graph.
+    pub fn refine_frozen(&self, csr: &CsrGraph, placement: &mut Placement) -> u64 {
         let n = placement.num_items();
         if n < 2 {
             return 0;
         }
+        let w = self.window;
+        let mut eval = ArrangementEval::new(csr, placement.offsets());
         let mut saved = 0i64;
+        // Anchor profile: ga[q − k] = Σ_{v∈N(a)} w(a,v)·|q − pos[v]|
+        // for the window slots q ∈ [k, hi], a = item_at(k). Filled in
+        // one row walk, it turns each pair's delta into a single walk
+        // of the *other* item's row (see the identity below) instead
+        // of two — the anchor's row is not re-walked per pair.
+        let mut ga = vec![0i64; w + 1];
+        let mut mid: Vec<(i64, i64)> = Vec::new();
         for _ in 0..self.max_passes {
             let mut improved = false;
             for k in 0..n - 1 {
-                for j in (k + 1)..(k + 1 + self.window).min(n) {
-                    let delta = Self::position_swap_delta(graph, placement, k, j);
+                let hi = (k + w).min(n - 1);
+                let mut a = eval.item_at(k);
+                window_profile(csr, &eval, a, k, hi, &mut ga, &mut mid);
+                for j in (k + 1)..=hi {
+                    let b = eval.item_at(j);
+                    // One walk of b's row: G_b(k) − G_b(j) and w(a,b).
+                    let (half_b, wab) = eval.half_swap_delta(b, j, k, a);
+                    // Swapping a (slot k) with b (slot j) changes their
+                    // own-edge terms by the profile differences; both
+                    // differences double-count the shared edge (a, b),
+                    // whose length a swap preserves, hence the
+                    // +2·w(a,b)·(j − k) correction. All-integer, so the
+                    // value equals `eval.swap_delta(a, b)` exactly (the
+                    // apply below re-checks that in debug builds).
+                    let delta = (ga[j - k] - ga[0]) + half_b + 2 * wab * (j - k) as i64;
                     if delta < 0 {
-                        let a = placement.item_at(k);
-                        let b = placement.item_at(j);
-                        placement.swap_items(a, b);
+                        eval.apply_swap_with_delta(a, b, delta);
                         saved -= delta;
                         improved = true;
+                        a = b; // slot k now holds b
+                        window_profile(csr, &eval, a, k, hi, &mut ga, &mut mid);
                     }
                 }
             }
@@ -101,6 +113,8 @@ impl LocalSearch {
                 break;
             }
         }
+        *placement = Placement::from_offsets(eval.positions().to_vec())
+            .expect("evaluator maintains a permutation");
         saved as u64
     }
 
@@ -113,6 +127,47 @@ impl LocalSearch {
         let mut p = base.place(graph);
         self.refine(graph, &mut p);
         p
+    }
+}
+
+/// Fills `ga[q − k] = Σ_{v∈N(a)} w(a,v)·|q − pos[v]|` for every window
+/// slot `q ∈ [k, hi]` in one walk of `a`'s row. Neighbours left of the
+/// window contribute the linear ramp `q·W − S` (weight and moment
+/// sums), neighbours right of it the mirrored ramp; only the few
+/// neighbours *inside* the window need per-slot absolute values.
+fn window_profile(
+    csr: &CsrGraph,
+    eval: &ArrangementEval<'_>,
+    a: usize,
+    k: usize,
+    hi: usize,
+    ga: &mut [i64],
+    mid: &mut Vec<(i64, i64)>,
+) {
+    let (vs, ws) = csr.neighbor_slices(a);
+    let (ki, hii) = (k as i64, hi as i64);
+    let (mut wl, mut sl, mut wr, mut sr) = (0i64, 0i64, 0i64, 0i64);
+    mid.clear();
+    for (&v, &wt) in vs.iter().zip(ws) {
+        let pv = eval.position_of(v as usize) as i64;
+        let wt = wt as i64;
+        if pv <= ki {
+            wl += wt;
+            sl += wt * pv;
+        } else if pv >= hii {
+            wr += wt;
+            sr += wt * pv;
+        } else {
+            mid.push((pv, wt));
+        }
+    }
+    for (i, g) in ga[..=hi - k].iter_mut().enumerate() {
+        let q = ki + i as i64;
+        let mut acc = (q * wl - sl) + (sr - q * wr);
+        for &(pv, wt) in mid.iter() {
+            acc += wt * (q - pv).abs();
+        }
+        *g = acc;
     }
 }
 
@@ -153,15 +208,17 @@ mod tests {
     }
 
     #[test]
-    fn position_swap_delta_matches_recomputation() {
+    fn eval_position_swap_delta_matches_recomputation() {
         let g = two_cluster_graph();
+        let csr = CsrGraph::freeze(&g);
         let mut p = RandomPlacement::new(11).place(&g);
         let n = p.num_items();
         for k in 0..n {
             for j in (k + 1)..n {
                 let before = g.arrangement_cost(p.offsets()) as i64;
-                let delta = LocalSearch::position_swap_delta(&g, &p, k, j);
+                let eval = ArrangementEval::new(&csr, p.offsets());
                 let (a, b) = (p.item_at(k), p.item_at(j));
+                let delta = eval.swap_delta(a, b);
                 p.swap_items(a, b);
                 let after = g.arrangement_cost(p.offsets()) as i64;
                 assert_eq!(after - before, delta);
@@ -173,15 +230,29 @@ mod tests {
     #[test]
     fn converges_to_local_optimum() {
         let g = kernel_graph();
+        let csr = CsrGraph::freeze(&g);
         let mut p = RandomPlacement::new(3).place(&g);
         LocalSearch::default().refine(&g, &mut p);
         // No in-window swap may improve further.
+        let eval = ArrangementEval::new(&csr, p.offsets());
         let n = p.num_items();
         for k in 0..n - 1 {
             for j in (k + 1)..(k + 1 + LocalSearch::default().window).min(n) {
-                assert!(LocalSearch::position_swap_delta(&g, &p, k, j) >= 0);
+                assert!(eval.swap_delta(eval.item_at(k), eval.item_at(j)) >= 0);
             }
         }
+    }
+
+    #[test]
+    fn frozen_entry_point_matches_refine() {
+        let g = two_cluster_graph();
+        let csr = CsrGraph::freeze(&g);
+        let mut a = RandomPlacement::new(7).place(&g);
+        let mut b = a.clone();
+        let saved_a = LocalSearch::default().refine(&g, &mut a);
+        let saved_b = LocalSearch::default().refine_frozen(&csr, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(saved_a, saved_b);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 use dwm_foundation::par;
-use dwm_graph::AccessGraph;
+use dwm_graph::{AccessGraph, CsrGraph};
 
 use crate::algorithms::annealing::SimulatedAnnealing;
+use crate::algorithms::chain::ChainGrowth;
 use crate::algorithms::local_search::LocalSearch;
 use crate::algorithms::PlacementAlgorithm;
 use crate::placement::Placement;
@@ -68,13 +69,22 @@ impl PlacementAlgorithm for MultiStart {
     }
 
     fn place(&self, graph: &AccessGraph) -> Placement {
+        // Freeze once and compute the (seed-independent) ChainGrowth
+        // start once; every restart shares both.
+        let n = graph.num_items();
+        let csr = CsrGraph::freeze(graph);
+        let start = if n < 2 {
+            Placement::identity(n)
+        } else {
+            ChainGrowth.place(graph)
+        };
         let seeds: Vec<u64> = (0..self.starts as u64).map(|i| self.seed + i).collect();
         let scored = par::par_map(&seeds, |&restart_seed| {
             let mut annealer = self.annealer;
             annealer.seed = restart_seed;
-            let mut p = annealer.place(graph);
-            self.refiner.refine(graph, &mut p);
-            (graph.arrangement_cost(p.offsets()), p)
+            let mut p = annealer.place_frozen(&csr, start.clone());
+            self.refiner.refine_frozen(&csr, &mut p);
+            (csr.arrangement_cost(p.offsets()), p)
         });
         scored
             .into_iter()

@@ -1,4 +1,4 @@
-use dwm_graph::AccessGraph;
+use dwm_graph::{AccessGraph, CsrGraph};
 
 use crate::algorithms::PlacementAlgorithm;
 use crate::placement::Placement;
@@ -34,11 +34,20 @@ impl Spectral {
     ///
     /// Returns a zero vector for graphs with fewer than 2 vertices.
     pub fn fiedler_vector(&self, graph: &AccessGraph) -> Vec<f64> {
-        let n = graph.num_items();
+        self.fiedler_vector_frozen(&CsrGraph::freeze(graph))
+    }
+
+    /// [`fiedler_vector`](Self::fiedler_vector) on an already-frozen
+    /// graph. The power iteration streams CSR neighbour slices in the
+    /// same order the `BTreeMap` walk used, so the floating-point
+    /// accumulation — and therefore the resulting ordering — is
+    /// unchanged.
+    pub fn fiedler_vector_frozen(&self, csr: &CsrGraph) -> Vec<f64> {
+        let n = csr.num_items();
         if n < 2 {
             return vec![0.0; n];
         }
-        let c = 2.0 * (0..n).map(|u| graph.degree(u) as f64).fold(0.0, f64::max) + 1.0;
+        let c = 2.0 * (0..n).map(|u| csr.degree(u) as f64).fold(0.0, f64::max) + 1.0;
 
         // Deterministic, non-degenerate start vector orthogonal to 1.
         let mut x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.25).collect();
@@ -48,12 +57,13 @@ impl Spectral {
         let mut y = vec![0.0; n];
         for _ in 0..self.max_iters {
             // y = (cI − L)x = c·x − D·x + W·x, matrix-free.
-            for u in 0..n {
-                let mut acc = (c - graph.degree(u) as f64) * x[u];
-                for (v, w) in graph.neighbors(u) {
-                    acc += w as f64 * x[v];
+            for (u, out) in y.iter_mut().enumerate() {
+                let mut acc = (c - csr.degree(u) as f64) * x[u];
+                let (vs, ws) = csr.neighbor_slices(u);
+                for (&v, &w) in vs.iter().zip(ws) {
+                    acc += w as f64 * x[v as usize];
                 }
-                y[u] = acc;
+                *out = acc;
             }
             project_out_ones(&mut y);
             normalize(&mut y);
@@ -69,6 +79,25 @@ impl Spectral {
         }
         x
     }
+
+    /// [`place`](PlacementAlgorithm::place) on an already-frozen graph.
+    pub fn place_frozen(&self, csr: &CsrGraph) -> Placement {
+        let fiedler = self.fiedler_vector_frozen(csr);
+        spectral_order(&fiedler, csr.num_items())
+    }
+}
+
+/// Sorts items by Fiedler component (ties break by index) into a
+/// placement.
+fn spectral_order(fiedler: &[f64], n: usize) -> Placement {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        fiedler[a]
+            .partial_cmp(&fiedler[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    Placement::from_order(order)
 }
 
 fn project_out_ones(x: &mut [f64]) {
@@ -99,17 +128,7 @@ impl PlacementAlgorithm for Spectral {
     }
 
     fn place(&self, graph: &AccessGraph) -> Placement {
-        let fiedler = self.fiedler_vector(graph);
-        let mut order: Vec<usize> = (0..graph.num_items()).collect();
-        // Sort by Fiedler component; ties (e.g. disconnected parts that
-        // collapsed) break by index for determinism.
-        order.sort_by(|&a, &b| {
-            fiedler[a]
-                .partial_cmp(&fiedler[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        Placement::from_order(order)
+        self.place_frozen(&CsrGraph::freeze(graph))
     }
 }
 

@@ -1,4 +1,4 @@
-use dwm_graph::AccessGraph;
+use dwm_graph::{AccessGraph, CsrGraph};
 
 use crate::placement::Placement;
 
@@ -58,37 +58,46 @@ impl WindowedDp {
 
     /// Optimally reorders the items at positions `base..base+w` of
     /// `placement`; returns `true` if the order changed.
-    fn solve_window(&self, graph: &AccessGraph, placement: &mut Placement, base: usize) -> bool {
+    fn solve_window(
+        &self,
+        csr: &CsrGraph,
+        placement: &mut Placement,
+        base: usize,
+        local_of: &mut [usize],
+    ) -> bool {
         let n = placement.num_items();
         let w = self.window.min(n - base);
         if w < 2 {
             return false;
         }
         let items: Vec<usize> = (0..w).map(|k| placement.item_at(base + k)).collect();
-        let in_window = |v: usize| items.iter().position(|&x| x == v);
-
-        // ext[v_local][k] = cost of v's external edges if v sits at
-        // slot base + k.
-        let mut ext = vec![vec![0u64; w]; w];
+        // Scatter index: local_of[v] = v's window slot, usize::MAX
+        // outside (reset before returning).
         for (li, &v) in items.iter().enumerate() {
-            for (u, weight) in graph.neighbors(v) {
-                if in_window(u).is_some() {
+            local_of[v] = li;
+        }
+
+        // One CSR pass builds both the external-edge slot costs
+        // (ext[v_local][k] = cost of v's external edges if v sits at
+        // slot base + k) and the internal weights in local indexing.
+        let mut ext = vec![vec![0u64; w]; w];
+        let mut wmat = vec![0u64; w * w];
+        for (li, &v) in items.iter().enumerate() {
+            let (us, ws) = csr.neighbor_slices(v);
+            for (&u, &weight) in us.iter().zip(ws) {
+                let lj = local_of[u as usize];
+                if lj != usize::MAX {
+                    wmat[li * w + lj] = weight;
                     continue;
                 }
-                let pu = placement.offset_of(u) as i64;
+                let pu = placement.offset_of(u as usize) as i64;
                 for (k, slot_cost) in ext[li].iter_mut().enumerate() {
                     *slot_cost += weight * ((base + k) as i64).abs_diff(pu);
                 }
             }
         }
-        // Internal weights, local indexing.
-        let mut wmat = vec![0u64; w * w];
-        for (li, &v) in items.iter().enumerate() {
-            for (u, weight) in graph.neighbors(v) {
-                if let Some(lj) = in_window(u) {
-                    wmat[li * w + lj] = weight;
-                }
-            }
+        for &v in &items {
+            local_of[v] = usize::MAX;
         }
         let degree: Vec<u64> = (0..w)
             .map(|li| (0..w).map(|lj| wmat[li * w + lj]).sum())
@@ -152,10 +161,10 @@ impl WindowedDp {
         }
         // Apply only if the full arrangement cost actually improves
         // (guards the window model against edge-case mismatches).
-        let before = graph.arrangement_cost(placement.offsets());
+        let before = csr.arrangement_cost(placement.offsets());
         let mut candidate = placement.clone();
         apply_window_order(&mut candidate, base, &items, &order);
-        let after = graph.arrangement_cost(candidate.offsets());
+        let after = csr.arrangement_cost(candidate.offsets());
         if after < before {
             *placement = candidate;
             true
@@ -166,24 +175,33 @@ impl WindowedDp {
 
     /// Refines `placement` in place; returns the total cost reduction.
     pub fn refine(&self, graph: &AccessGraph, placement: &mut Placement) -> u64 {
+        if placement.num_items() < 3 {
+            return 0;
+        }
+        self.refine_frozen(&CsrGraph::freeze(graph), placement)
+    }
+
+    /// [`refine`](Self::refine) on an already-frozen graph.
+    pub fn refine_frozen(&self, csr: &CsrGraph, placement: &mut Placement) -> u64 {
         let n = placement.num_items();
         if n < 3 {
             return 0;
         }
-        let before = graph.arrangement_cost(placement.offsets());
+        let before = csr.arrangement_cost(placement.offsets());
         let step = (self.window / 2).max(1);
+        let mut local_of = vec![usize::MAX; n];
         for _ in 0..self.max_passes {
             let mut improved = false;
             let mut base = 0usize;
             while base + 2 <= n {
-                improved |= self.solve_window(graph, placement, base);
+                improved |= self.solve_window(csr, placement, base, &mut local_of);
                 base += step;
             }
             if !improved {
                 break;
             }
         }
-        before - graph.arrangement_cost(placement.offsets())
+        before - csr.arrangement_cost(placement.offsets())
     }
 }
 

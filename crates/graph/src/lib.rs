@@ -33,13 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod generators;
 mod graph;
 
+pub use csr::{ArrangementEval, CsrGraph};
 pub use graph::{AccessGraph, Edge};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::generators::{clustered_graph, path_graph, random_graph};
-    pub use crate::{AccessGraph, Edge};
+    pub use crate::{AccessGraph, ArrangementEval, CsrGraph, Edge};
 }

@@ -26,9 +26,9 @@ export DWM_BENCH_WARMUP_MS="${DWM_BENCH_WARMUP_MS:-50}"
 reports="$(mktemp -d)"
 trap 'rm -rf "$reports"' EXIT
 
-# Only the two suites with parallel (bench_threads) coverage are gated —
+# Only the suites with parallel (bench_threads) coverage are gated —
 # fast enough to run on every CI push.
-for suite in bench_sweep bench_exact; do
+for suite in bench_sweep bench_exact bench_graph; do
   echo "== $suite"
   DWM_BENCH_JSON="$reports" cargo bench -q -p dwm-bench --bench "$suite"
 done

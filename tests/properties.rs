@@ -190,6 +190,12 @@ fn simulator_matches_model_on_random_traces() {
             let graph = AccessGraph::from_trace(trace);
             let p = RandomPlacement::new(*seed).place(&graph);
             let analytic = SinglePortCost::new().trace_cost(&p, trace).stats.shifts;
+            // Three-way cross-validation: the frozen CSR arrangement
+            // cost must match the analytic replay (minus the first
+            // alignment) and the bit-level simulator below.
+            let csr_cost = CsrGraph::freeze(&graph).arrangement_cost(p.offsets());
+            let alignment = p.offset_of_id(trace.accesses()[0].item) as u64;
+            require_eq!(csr_cost + alignment, analytic);
             let config = DeviceConfig::builder()
                 .domains_per_track(graph.num_items().max(1))
                 .tracks_per_dbc(16)
@@ -199,6 +205,97 @@ fn simulator_matches_model_on_random_traces() {
             let report = sim.run(trace).expect("replay");
             require_eq!(report.stats.shifts, analytic);
             require_eq!(report.integrity_errors, 0);
+            Ok(())
+        },
+    );
+}
+
+/// Freezing a graph into CSR form preserves every query: edge
+/// iteration (order included), degrees, total weight, arrangement
+/// costs, and bitmask cut weights.
+#[test]
+fn csr_freeze_preserves_graph_queries() {
+    Checker::new("csr_freeze_preserves_graph_queries").run(
+        |rng| {
+            (
+                arb_graph(rng, 24),
+                rng.gen_range(0..1000u64),
+                rng.gen_range(0..u64::MAX),
+            )
+        },
+        |(graph, seed, raw_set)| {
+            let csr = CsrGraph::freeze(graph);
+            require_eq!(csr.num_items(), graph.num_items());
+            let a: Vec<Edge> = graph.edges().collect();
+            let b: Vec<Edge> = csr.edges().collect();
+            require_eq!(a, b);
+            require_eq!(csr.total_weight(), graph.total_weight());
+            for v in 0..graph.num_items() {
+                require_eq!(csr.degree(v), graph.degree(v));
+                let gn: Vec<(usize, u64)> = graph.neighbors(v).collect();
+                let cn: Vec<(usize, u64)> = csr.neighbors(v).collect();
+                require_eq!(gn, cn);
+            }
+            let p = RandomPlacement::new(*seed).place(graph);
+            require_eq!(
+                csr.arrangement_cost(p.offsets()),
+                graph.arrangement_cost(p.offsets())
+            );
+            let set = raw_set & ((1u64 << graph.num_items()) - 1);
+            require_eq!(csr.cut_weight_mask(set), graph.cut_weight_mask(set));
+            Ok(())
+        },
+    );
+}
+
+/// The incremental arrangement evaluator's running total equals a full
+/// recomputation after any sequence of swaps, relocations, and undos,
+/// and a full unwind restores the starting state exactly.
+#[test]
+fn arrangement_eval_matches_full_recompute() {
+    Checker::new("arrangement_eval_matches_full_recompute").run(
+        |rng| {
+            let graph = arb_graph(rng, 20);
+            let n = graph.num_items();
+            let seed = rng.gen_range(0..1000u64);
+            let moves: Vec<(u8, usize, usize)> = (0..40)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u8..5),
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                    )
+                })
+                .collect();
+            (graph, seed, moves)
+        },
+        |(graph, seed, moves)| {
+            let csr = CsrGraph::freeze(graph);
+            let start = RandomPlacement::new(*seed).place(graph);
+            let mut eval = ArrangementEval::new(&csr, start.offsets());
+            let initial = eval.total();
+            require_eq!(initial, graph.arrangement_cost(start.offsets()));
+            for &(kind, x, y) in moves {
+                match kind {
+                    // Swap two items (by item index).
+                    0 | 1 => {
+                        let delta = eval.swap_delta(x, y);
+                        eval.apply_swap_with_delta(x, y, delta);
+                    }
+                    // Relocate between two slots.
+                    2 | 3 => {
+                        eval.apply_relocate(x, y);
+                    }
+                    // Undo the most recent move, if any.
+                    _ => {
+                        eval.undo();
+                    }
+                }
+                require_eq!(eval.total(), graph.arrangement_cost(eval.positions()));
+            }
+            while eval.undo() {}
+            require_eq!(eval.total(), initial);
+            require_eq!(eval.positions(), start.offsets());
             Ok(())
         },
     );
