@@ -1,0 +1,59 @@
+//! S17: `dwm-serve` request latency — memoized vs fresh solves, and
+//! full loopback round-trips.
+//!
+//! `serve/solve_hit` and `serve/solve_miss` time the transport-free
+//! [`Engine`] path, so their ratio is the value of the solve cache;
+//! `serve/throughput` times one keep-alive round-trip of a cached
+//! solve over a real loopback socket — the unit the CI smoke job's
+//! req/s floor is made of.
+
+use dwm_bench::BENCH_SEED;
+use dwm_foundation::bench::{black_box, Harness};
+use dwm_foundation::net::Request;
+use dwm_serve::client::ClientConn;
+use dwm_serve::{start, Engine, ServeConfig};
+use dwm_trace::synth::{TraceGenerator, ZipfGen};
+
+fn solve_body(items: usize, len: usize) -> String {
+    let trace = ZipfGen::new(items, BENCH_SEED).generate(len);
+    let ids: Vec<String> = trace.iter().map(|a| a.item.index().to_string()).collect();
+    format!(r#"{{"algorithm":"hybrid","ids":[{}]}}"#, ids.join(","))
+}
+
+fn main() {
+    let body = solve_body(48, 2400);
+    let request = Request::post("/solve", body.clone().into_bytes());
+
+    let mut h = Harness::from_env("serve");
+
+    // Memoized path: the first call populates the cache, every timed
+    // call is a fingerprint + shard lookup.
+    let cached = Engine::new(64);
+    assert!(cached.handle(&request).is_success());
+    h.bench("serve/solve_hit", || black_box(cached.handle(&request)));
+
+    // Capacity 0 disables memoization, so every call runs the solver.
+    let uncached = Engine::new(0);
+    h.bench("serve/solve_miss", || black_box(uncached.handle(&request)));
+
+    // Full loopback round-trip of the cached solve: framing, socket,
+    // worker dispatch, cache hit, response.
+    let handle = start(ServeConfig {
+        workers: 2,
+        cache_capacity: 64,
+        ..ServeConfig::ephemeral()
+    })
+    .expect("loopback server starts");
+    let mut conn = ClientConn::connect(handle.local_addr()).expect("connect");
+    assert!(conn
+        .post_json("/solve", body.as_str())
+        .expect("prime")
+        .is_success());
+    h.bench("serve/throughput", || {
+        black_box(conn.post_json("/solve", body.as_str()).expect("round-trip"))
+    });
+    handle.shutdown();
+    handle.join();
+
+    h.finish();
+}

@@ -3,8 +3,19 @@
 //! Each command is a pure function from parsed arguments to a text
 //! report (plus optional file side effects), which keeps the whole CLI
 //! unit-testable without spawning processes.
+//!
+//! Failures carry a [`CliError`] with a distinct process exit code per
+//! failure class, so scripts can tell a typo from a missing file from a
+//! corrupt one:
+//!
+//! | code | class                                            |
+//! |------|--------------------------------------------------|
+//! | 1    | internal/model error                             |
+//! | 2    | usage: bad flags, unknown command/algorithm      |
+//! | 3    | I/O: missing or unreadable file                  |
+//! | 4    | malformed input: unparseable trace or JSON       |
 
-use std::error::Error;
+use std::fmt;
 
 use dwm_core::algorithms::{standard_suite, PlacementAlgorithm};
 use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost};
@@ -20,7 +31,97 @@ use dwm_trace::{io as trace_io, Trace};
 
 use crate::args::{ParseArgsError, ParsedArgs};
 
-type CommandResult = Result<String, Box<dyn Error>>;
+/// A command failure: user-facing message plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Process exit code (see the module table).
+    pub code: u8,
+    /// One-line message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// Exit code for usage errors (bad flags, unknown names).
+    pub const USAGE: u8 = 2;
+    /// Exit code for I/O errors (missing/unreadable files).
+    pub const IO: u8 = 3;
+    /// Exit code for malformed input files.
+    pub const MALFORMED: u8 = 4;
+
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: Self::USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            code: Self::IO,
+            message: message.into(),
+        }
+    }
+
+    fn malformed(message: impl Into<String>) -> Self {
+        CliError {
+            code: Self::MALFORMED,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError::usage(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::io(e.to_string())
+    }
+}
+
+impl From<dwm_foundation::json::JsonError> for CliError {
+    fn from(e: dwm_foundation::json::JsonError) -> Self {
+        CliError::malformed(e.to_string())
+    }
+}
+
+impl From<dwm_trace::io::ParseTraceError> for CliError {
+    fn from(e: dwm_trace::io::ParseTraceError) -> Self {
+        CliError::malformed(e.to_string())
+    }
+}
+
+impl From<dwm_core::PlacementError> for CliError {
+    fn from(e: dwm_core::PlacementError) -> Self {
+        CliError::internal(e.to_string())
+    }
+}
+
+impl From<dwm_cache::CacheConfigError> for CliError {
+    fn from(e: dwm_cache::CacheConfigError) -> Self {
+        CliError::usage(e.to_string())
+    }
+}
+
+type CommandResult = Result<String, CliError>;
 
 /// Usage text printed by `dwmplace help` (and on errors).
 pub const USAGE: &str = "\
@@ -33,6 +134,8 @@ COMMANDS:
       [--items N] [--len N] [--seed N] [--out FILE]
                      generate a trace (text format to stdout or FILE)
   stats <trace>      trace statistics and reuse profile
+  hash <trace>       canonical 128-bit workload fingerprint (the
+                     solve-cache key used by `serve`)
   place <trace> [--algorithm NAME] [--out FILE]
                      compute a placement; report shifts vs naive
   sweep <trace>      compare the full algorithm suite
@@ -44,12 +147,20 @@ COMMANDS:
                      windowed adaptive placement report
   cache <trace> [--sets N] [--ways N] [--window N]
                      DWM cache policy comparison (LRU vs shift-aware)
+  serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N]
+                     placement-as-a-service daemon (solve/evaluate/
+                     simulate/stats/health over HTTP; DWM_SERVE_ADDR
+                     overrides the default 127.0.0.1:7077; stops
+                     gracefully on SIGINT/SIGTERM)
   help               this text
 
 GLOBAL FLAGS:
   --threads N        cap the parallel worker count (1 = sequential;
                      default: DWM_THREADS env var, then all cores).
                      Results are identical at any thread count.
+
+EXIT CODES:
+  0 success   1 internal error   2 usage   3 I/O   4 malformed input
 ";
 
 /// Dispatches a parsed command line.
@@ -57,27 +168,34 @@ GLOBAL FLAGS:
 /// # Errors
 ///
 /// Propagates argument, I/O, and model errors with user-facing
-/// messages.
+/// messages and class-specific exit codes.
 pub fn dispatch(args: &ParsedArgs) -> CommandResult {
     match args.command.as_str() {
         "gen" => cmd_gen(args),
         "stats" => cmd_stats(args),
+        "hash" => cmd_hash(args),
         "place" => cmd_place(args),
         "sweep" => cmd_sweep(args),
         "eval" => cmd_eval(args),
         "spm" => cmd_spm(args),
         "online" => cmd_online(args),
         "cache" => cmd_cache(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(Box::new(ParseArgsError(format!(
+        other => Err(CliError::usage(format!(
             "unknown command {other:?}; try 'dwmplace help'"
-        )))),
+        ))),
     }
 }
 
-fn load_trace(args: &ParsedArgs, n: usize) -> Result<Trace, Box<dyn Error>> {
+/// Loads the `n`-th positional argument as a text trace, mapping a
+/// missing/unreadable file to exit code 3 and an unparseable one to 4,
+/// both with the path in the message.
+fn load_trace(args: &ParsedArgs, n: usize) -> Result<Trace, CliError> {
     let path = args.positional(n, "trace file")?;
-    Ok(trace_io::load_text(path)?)
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read trace file {path:?}: {e}")))?;
+    trace_io::from_text(&text).map_err(|e| CliError::malformed(format!("trace file {path:?}: {e}")))
 }
 
 fn cmd_gen(args: &ParsedArgs) -> CommandResult {
@@ -90,7 +208,7 @@ fn cmd_gen(args: &ParsedArgs) -> CommandResult {
             .into_iter()
             .find(|k| k.name() == kernel_name)
             .ok_or_else(|| {
-                ParseArgsError(format!(
+                CliError::usage(format!(
                     "unknown kernel {kernel_name:?}; choose from: {}",
                     Kernel::suite()
                         .iter()
@@ -107,17 +225,14 @@ fn cmd_gen(args: &ParsedArgs) -> CommandResult {
             "seq" => SequentialGen::new(items).generate(len),
             "stride" => StridedGen::new(items, args.opt_num("stride", 3)?).generate(len),
             "markov" => MarkovGen::new(items, (items / 8).max(2), seed).generate(len),
-            other => {
-                return Err(Box::new(ParseArgsError(format!(
-                    "unknown generator kind {other:?}"
-                ))))
-            }
+            other => return Err(CliError::usage(format!("unknown generator kind {other:?}"))),
         }
     };
     let text = trace_io::to_text(&trace);
     match args.opt("out") {
         Some(path) => {
-            std::fs::write(path, &text)?;
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::io(format!("cannot write {path:?}: {e}")))?;
             Ok(format!(
                 "wrote {} accesses over {} items to {path}",
                 trace.len(),
@@ -159,12 +274,23 @@ fn cmd_stats(args: &ParsedArgs) -> CommandResult {
     ))
 }
 
-fn algorithm_by_name(name: &str) -> Result<Box<dyn PlacementAlgorithm>, ParseArgsError> {
+fn cmd_hash(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 0)?.normalize();
+    let graph = AccessGraph::from_trace(&trace);
+    let fp = dwm_graph::fingerprint(&graph);
+    Ok(format!(
+        "{fp} ({} items, {} edges)",
+        graph.num_items(),
+        graph.num_edges()
+    ))
+}
+
+fn algorithm_by_name(name: &str) -> Result<Box<dyn PlacementAlgorithm>, CliError> {
     standard_suite(1)
         .into_iter()
         .find(|a| a.name() == name)
         .ok_or_else(|| {
-            ParseArgsError(format!(
+            CliError::usage(format!(
                 "unknown algorithm {name:?}; choose from: {}",
                 standard_suite(1)
                     .iter()
@@ -193,7 +319,8 @@ fn cmd_place(args: &ParsedArgs) -> CommandResult {
         placement.order(),
     );
     if let Some(path) = args.opt("out") {
-        std::fs::write(path, dwm_foundation::json::to_string_pretty(&placement))?;
+        std::fs::write(path, dwm_foundation::json::to_string_pretty(&placement))
+            .map_err(|e| CliError::io(format!("cannot write {path:?}: {e}")))?;
         out.push_str(&format!("\nsaved placement to {path}"));
     }
     Ok(out)
@@ -232,11 +359,28 @@ fn cmd_sweep(args: &ParsedArgs) -> CommandResult {
 
 fn cmd_eval(args: &ParsedArgs) -> CommandResult {
     let trace = load_trace(args, 0)?.normalize();
-    let placement: Placement = dwm_foundation::json::from_str(&std::fs::read_to_string(
-        args.positional(1, "placement.json")?,
-    )?)?;
+    let placement_path = args.positional(1, "placement.json")?;
+    let placement_text = std::fs::read_to_string(placement_path).map_err(|e| {
+        CliError::io(format!(
+            "cannot read placement file {placement_path:?}: {e}"
+        ))
+    })?;
+    let placement: Placement = dwm_foundation::json::from_str(&placement_text)
+        .map_err(|e| CliError::malformed(format!("placement file {placement_path:?}: {e}")))?;
     let ports: usize = args.opt_num("ports", 1)?;
     let tape_length: usize = args.opt_num("tape-length", placement.num_items().max(1))?;
+    if ports == 0 || tape_length == 0 {
+        return Err(CliError::usage(
+            "--ports and --tape-length must be at least 1",
+        ));
+    }
+    if trace.num_items() > placement.num_items() {
+        return Err(CliError::usage(format!(
+            "placement covers {} items but the trace touches {}",
+            placement.num_items(),
+            trace.num_items()
+        )));
+    }
     let model = MultiPortCost::evenly_spaced(ports, tape_length);
     let report = model.trace_cost(&placement, &trace);
     Ok(format!(
@@ -251,6 +395,9 @@ fn cmd_spm(args: &ParsedArgs) -> CommandResult {
     let trace = load_trace(args, 0)?.normalize();
     let dbcs: usize = args.opt_num("dbcs", 4)?;
     let words: usize = args.opt_num("words", 16)?;
+    if dbcs == 0 || words == 0 {
+        return Err(CliError::usage("--dbcs and --words must be at least 1"));
+    }
     let alloc = SpmAllocator::new(dbcs, words);
     let ports = PortLayout::single();
     let rr = alloc.allocate_round_robin(trace.num_items())?;
@@ -268,8 +415,12 @@ fn cmd_spm(args: &ParsedArgs) -> CommandResult {
 
 fn cmd_online(args: &ParsedArgs) -> CommandResult {
     let trace = load_trace(args, 0)?.normalize();
+    let window: usize = args.opt_num("window", 512)?;
+    if window == 0 {
+        return Err(CliError::usage("--window must be at least 1"));
+    }
     let config = OnlineConfig {
-        window: args.opt_num("window", 512)?,
+        window,
         migration_shifts_per_item: args.opt_num("migration-cost", 64)?,
         ..OnlineConfig::default()
     };
@@ -317,6 +468,44 @@ fn cmd_cache(args: &ParsedArgs) -> CommandResult {
     ))
 }
 
+fn cmd_serve(args: &ParsedArgs) -> CommandResult {
+    let mut config = dwm_serve::ServeConfig::default();
+    if let Some(addr) = args.opt("addr") {
+        config.addr = addr.to_owned();
+    }
+    config.workers = args.opt_num("workers", config.workers)?;
+    config.queue_capacity = args.opt_num("queue", config.queue_capacity)?;
+    config.cache_capacity = args.opt_num("cache-capacity", config.cache_capacity)?;
+    if config.workers == 0 || config.queue_capacity == 0 {
+        return Err(CliError::usage("--workers and --queue must be at least 1"));
+    }
+
+    dwm_serve::signal::install();
+    let handle = dwm_serve::start(config.clone())
+        .map_err(|e| CliError::io(format!("cannot listen on {}: {e}", config.addr)))?;
+    // Printed eagerly (not returned) so operators see it before the
+    // daemon blocks.
+    println!(
+        "dwm-serve listening on {} ({} workers, queue {}, solve cache {})",
+        handle.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    while !dwm_serve::signal::triggered() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    let served = handle
+        .stats()
+        .requests
+        .load(std::sync::atomic::Ordering::Relaxed);
+    handle.join();
+    Ok(format!(
+        "shutdown: drained in-flight work, {served} requests served"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,11 +528,14 @@ mod tests {
         let out = run("help").unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("sweep"));
+        assert!(out.contains("serve"));
+        assert!(out.contains("hash"));
     }
 
     #[test]
-    fn unknown_command_is_an_error() {
-        assert!(run("frobnicate").is_err());
+    fn unknown_command_is_a_usage_error() {
+        let err = run("frobnicate").unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
     }
 
     #[test]
@@ -362,9 +554,9 @@ mod tests {
     }
 
     #[test]
-    fn gen_unknown_kind_is_an_error() {
-        assert!(run("gen --kind nonsense").is_err());
-        assert!(run("gen --kind kernel:nonsense").is_err());
+    fn gen_unknown_kind_is_a_usage_error() {
+        assert_eq!(run("gen --kind nonsense").unwrap_err().code, 2);
+        assert_eq!(run("gen --kind kernel:nonsense").unwrap_err().code, 2);
     }
 
     #[test]
@@ -372,6 +564,63 @@ mod tests {
         let path = temp_trace();
         let out = run(&format!("stats {}", path.display())).unwrap();
         assert!(out.contains("accesses:        2000"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hash_matches_the_library_fingerprint() {
+        let path = temp_trace();
+        let out = run(&format!("hash {}", path.display())).unwrap();
+        let trace = trace_io::load_text(&path).unwrap().normalize();
+        let expected = dwm_graph::fingerprint(&AccessGraph::from_trace(&trace));
+        assert!(
+            out.starts_with(&expected.to_hex()),
+            "hash output {out:?} does not start with {expected}"
+        );
+        assert!(out.contains("items"));
+        assert!(out.contains("edges"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_trace_file_is_an_io_error() {
+        for cmd in ["stats", "hash", "place", "sweep", "online", "spm", "cache"] {
+            let err = run(&format!("{cmd} /no/such/file.trace")).unwrap_err();
+            assert_eq!(err.code, CliError::IO, "{cmd}: {err}");
+            assert!(err.message.contains("/no/such/file.trace"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_trace_file_is_a_malformed_input_error() {
+        let path = std::env::temp_dir().join(format!("dwmplace_bad_{}.trace", std::process::id()));
+        std::fs::write(&path, "r 1\nnot a trace line\n").unwrap();
+        let err = run(&format!("stats {}", path.display())).unwrap_err();
+        assert_eq!(err.code, CliError::MALFORMED);
+        assert!(err.message.contains("line 2"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_placement_json_is_a_malformed_input_error() {
+        let trace = temp_trace();
+        let path = std::env::temp_dir().join(format!("dwmplace_bad_{}.json", std::process::id()));
+        std::fs::write(&path, "{ definitely not json").unwrap();
+        let err = run(&format!("eval {} {}", trace.display(), path.display())).unwrap_err();
+        assert_eq!(err.code, CliError::MALFORMED);
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn zero_valued_knobs_are_usage_errors_not_panics() {
+        let path = temp_trace();
+        let online = run(&format!("online {} --window 0", path.display())).unwrap_err();
+        assert_eq!(online.code, CliError::USAGE);
+        let spm = run(&format!("spm {} --dbcs 0", path.display())).unwrap_err();
+        assert_eq!(spm.code, CliError::USAGE);
+        let cache = run(&format!("cache {} --sets 0", path.display())).unwrap_err();
+        assert_eq!(cache.code, CliError::USAGE);
         std::fs::remove_file(path).ok();
     }
 
@@ -401,6 +650,14 @@ mod tests {
         ))
         .unwrap();
         assert!(eval.contains("2-port"));
+        // eval with a zero port count is a usage error, not a panic.
+        let zero = run(&format!(
+            "eval {} {} --ports 0",
+            path.display(),
+            out_path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(zero.code, CliError::USAGE);
         std::fs::remove_file(path).ok();
         std::fs::remove_file(out_path).ok();
     }
@@ -444,9 +701,39 @@ mod tests {
     }
 
     #[test]
-    fn unknown_algorithm_is_an_error() {
+    fn unknown_algorithm_is_a_usage_error() {
         let path = temp_trace();
-        assert!(run(&format!("place {} --algorithm magic", path.display())).is_err());
+        let err = run(&format!("place {} --algorithm magic", path.display())).unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
         std::fs::remove_file(path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_command_runs_until_sigterm() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // Install the handler *before* spawning anything so the later
+        // raise can never hit the default disposition.
+        dwm_serve::signal::install();
+        dwm_serve::signal::reset();
+        let worker =
+            std::thread::spawn(|| run("serve --addr 127.0.0.1:0 --workers 2 --cache-capacity 8"));
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        // SAFETY: delivers SIGTERM to this process; the handler
+        // installed above records it in an atomic flag.
+        unsafe {
+            raise(15);
+        }
+        let out = worker.join().unwrap().unwrap();
+        assert!(out.contains("shutdown"), "{out}");
+        dwm_serve::signal::reset();
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        let err = run("serve --workers 0").unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
     }
 }

@@ -1,6 +1,9 @@
 //! `dwmplace` — command-line front end for the DWM placement toolkit.
 //!
 //! See [`commands::USAGE`] or run `dwmplace help`.
+//!
+//! Exit codes: 0 success, 1 internal error, 2 usage error, 3 I/O
+//! error, 4 malformed input file.
 
 mod args;
 mod commands;
@@ -12,7 +15,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(commands::CliError::USAGE);
         }
     };
     // Global --threads N caps the parallel workers for every command
@@ -23,7 +26,7 @@ fn main() -> ExitCode {
         Ok(n) => std::mem::forget(dwm_foundation::par::override_threads(n)),
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(commands::CliError::USAGE);
         }
     }
     match commands::dispatch(&parsed) {
@@ -33,7 +36,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.code)
         }
     }
 }

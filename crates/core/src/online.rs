@@ -263,4 +263,114 @@ mod tests {
         assert_eq!(report.total_shifts(), 0);
         assert_eq!(report.migrations, 0);
     }
+
+    /// The decision rule requires the predicted saving to *strictly*
+    /// exceed the migration bill. This test engineers exact equality by
+    /// mirroring the placer's window-graph construction, then checks
+    /// both sides of the boundary: equality keeps the layout, one shift
+    /// cheaper flips it.
+    #[test]
+    fn saving_equal_to_bill_is_not_enough_to_adapt() {
+        // One window of ping-pong between far-apart items, so the
+        // candidate placement differs from identity and saves shifts.
+        let ids: Vec<u32> = (0..400).map(|i| [0u32, 30][i % 2]).collect();
+        let trace = Trace::from_ids(ids);
+        let n = trace.num_items();
+
+        // Mirror OnlinePlacer::run's window graph for the single chunk.
+        let accesses = trace.accesses();
+        let mut window_graph = AccessGraph::with_items(n);
+        for pair in accesses.windows(2) {
+            let (u, v) = (pair[0].item.index(), pair[1].item.index());
+            if u != v {
+                window_graph.add_weight(u, v, 1);
+            }
+        }
+        for a in accesses {
+            let i = a.item.index();
+            window_graph.set_frequency(i, window_graph.frequency(i) + 1);
+        }
+        let identity = Placement::identity(n);
+        let candidate = Hybrid::default().place(&window_graph);
+        let current_cost = window_graph.arrangement_cost(identity.offsets());
+        let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
+        let delta = current_cost - candidate_cost;
+        let moved = (0..n)
+            .filter(|&i| identity.offset_of(i) != candidate.offset_of(i))
+            .count() as u64;
+        assert!(delta > 1, "degenerate fixture: no saving to trade off");
+        assert!(moved > 0, "degenerate fixture: candidate equals identity");
+
+        // With horizon = moved, predicted saving is delta × moved and
+        // the bill is moved × per-item cost, so per-item cost = delta
+        // makes the two sides exactly equal.
+        let run = |migration_shifts_per_item| {
+            OnlinePlacer::new(OnlineConfig {
+                window: accesses.len(),
+                migration_shifts_per_item,
+                hysteresis: 1.0,
+                horizon_windows: moved,
+            })
+            .run(&trace)
+        };
+        let at_boundary = run(delta);
+        assert_eq!(at_boundary.migrations, 0, "equality must not adapt");
+        assert_eq!(at_boundary.migration_shifts, 0);
+        let below_boundary = run(delta - 1);
+        assert_eq!(below_boundary.migrations, 1, "one shift cheaper must adapt");
+        assert_eq!(below_boundary.migration_shifts, moved * (delta - 1));
+        assert_eq!(below_boundary.items_moved, moved);
+    }
+
+    /// On a workload whose hot pair churns every single window, the
+    /// one-window lookbehind predictor is always wrong. A large enough
+    /// hysteresis factor suppresses every adaptation (and its
+    /// migration bill), where the default setting keeps chasing phases.
+    #[test]
+    fn hysteresis_suppresses_adaptation_on_churning_phases() {
+        let mut ids: Vec<u32> = Vec::new();
+        for phase in 0..10 {
+            let pair = if phase % 2 == 0 {
+                [0u32, 30]
+            } else {
+                [7u32, 23]
+            };
+            ids.extend((0..200).map(|i| pair[i % 2]));
+        }
+        let trace = Trace::from_ids(ids);
+        let run = |hysteresis| {
+            OnlinePlacer::new(OnlineConfig {
+                window: 200,
+                migration_shifts_per_item: 2,
+                hysteresis,
+                ..OnlineConfig::default()
+            })
+            .run(&trace)
+        };
+
+        let eager = run(1.0);
+        assert!(
+            eager.migrations >= 2,
+            "fixture too tame: default hysteresis only migrated {} times",
+            eager.migrations
+        );
+        let damped = run(1e6);
+        assert_eq!(damped.migrations, 0);
+        assert_eq!(damped.migration_shifts, 0);
+        assert_eq!(damped.items_moved, 0);
+        // With adaptation fully suppressed, the run degenerates to the
+        // static identity placement, window by window (the head resets
+        // at window boundaries, so sum the per-window costs).
+        let model = SinglePortCost::new();
+        let identity = Placement::identity(trace.num_items());
+        let naive: u64 = trace
+            .accesses()
+            .chunks(200)
+            .map(|chunk| {
+                let window = Trace::from_accesses(chunk.iter().copied());
+                model.trace_cost(&identity, &window).stats.shifts
+            })
+            .sum();
+        assert_eq!(damped.access_shifts, naive);
+    }
 }

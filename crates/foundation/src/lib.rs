@@ -26,6 +26,12 @@
 //! combinators return results in input order, so parallelized sweeps
 //! and solvers stay byte-deterministic at any `DWM_THREADS` setting.
 //!
+//! A sixth module, [`net`], is the serving substrate: a minimal
+//! HTTP/1.1-style request parser/response writer plus a bounded-queue
+//! TCP server (accept loop, fixed worker pool, backpressure via `503`,
+//! graceful drain on shutdown) that `dwm-serve` builds its
+//! placement-as-a-service daemon on.
+//!
 //! The determinism here is load-bearing, not incidental: shift-count
 //! comparisons between placement algorithms are only meaningful when
 //! every workload is byte-for-byte reproducible from its seed.
@@ -33,6 +39,7 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod net;
 pub mod par;
 pub mod rng;
 

@@ -1,0 +1,772 @@
+//! Minimal HTTP/1.1-style framing and a bounded-queue TCP server.
+//!
+//! The serving subsystem (`dwm-serve`) needs a long-running daemon, but
+//! the workspace is hermetic — no tokio, no hyper. This module covers
+//! exactly what a placement service requires with `std` only:
+//!
+//! * [`Request`]/[`Response`] — a request parser and response writer
+//!   for the HTTP/1.1 subset the service speaks (request line, headers,
+//!   `Content-Length` bodies, keep-alive connections);
+//! * [`BoundedQueue`] — a capacity-limited MPMC handoff queue whose
+//!   `try_push` refuses work when full, giving the server backpressure
+//!   instead of unbounded memory growth;
+//! * [`Server`] — an accept loop plus a fixed worker pool. Accepted
+//!   connections are pushed onto the bounded queue; when the queue is
+//!   full the acceptor answers `503` immediately and closes. Shutdown
+//!   is graceful: the acceptor stops, queued and in-flight requests are
+//!   drained to completion, and every worker joins.
+//!
+//! Determinism note: nothing here reorders requests *within* one
+//! connection, so a single client always observes its responses in
+//! request order; cross-connection scheduling is left to the OS, which
+//! is fine because the service's response bodies are a pure function of
+//! the request.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on header lines per request.
+const MAX_HEADERS: usize = 64;
+/// Hard cap on one header or request line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Hard cap on a request body, in bytes (64 MiB — a multi-million
+/// access trace in JSON still fits comfortably).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Error while reading or parsing a request.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The peer sent something that is not a well-formed request.
+    Malformed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One parsed request: method, path, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, verbatim (`/solve`).
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A request with no headers and no body (test/client helper).
+    pub fn new(method: &str, path: &str) -> Self {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `POST` carrying `body` (client helper).
+    pub fn post(path: &str, body: impl Into<Vec<u8>>) -> Self {
+        Request {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// First value of header `name` (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Serializes the request in wire form (client side).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the optional `\r`.
+/// Returns `Ok(None)` on clean EOF before the first byte.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, NetError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(NetError::Malformed("unexpected EOF in line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| NetError::Malformed("non-UTF-8 header line".into()));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(NetError::Malformed("header line too long".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request off `r`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] on protocol violations (bad request line,
+/// oversized headers/body, missing UTF-8), [`NetError::Io`] on socket
+/// errors — including read timeouts, which surface as
+/// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`].
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, NetError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(NetError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(NetError::Malformed("EOF in headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(NetError::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(NetError::Malformed(format!("bad header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| NetError::Malformed(format!("bad content-length {value:?}")))?;
+            if content_length > MAX_BODY {
+                return Err(NetError::Malformed("body too large".into()));
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+/// One response: status code plus headers and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 400, 404, 503, …).
+    pub status: u16,
+    /// Extra headers (content-length and connection are added by the
+    /// writer).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: sets `content-type: application/json`.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: body.into(),
+        }
+    }
+
+    /// Appends a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response in wire form. `close` adds
+    /// `connection: close` (sent on the last response before teardown).
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "connection: {}\r\n\r\n",
+            if close { "close" } else { "keep-alive" }
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads one response off `r` (client side). `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Same contract as [`read_request`].
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Option<Response>, NetError> {
+    let Some(status_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = status_line.split_whitespace();
+    let status = parts
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| NetError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(NetError::Malformed("EOF in headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(NetError::Malformed(format!("bad header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| NetError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Response {
+        status,
+        headers,
+        body,
+    }))
+}
+
+/// A capacity-bounded MPMC queue with closing semantics.
+///
+/// `try_push` never blocks: a full (or closed) queue hands the item
+/// straight back, which is how the accept loop converts overload into
+/// an immediate `503` instead of queueing unboundedly. `pop` blocks
+/// until an item arrives or the queue is closed *and* drained, so
+/// workers naturally finish all accepted work before exiting.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// The rejected item itself, so the caller can dispose of it (e.g.
+    /// answer `503` on the connection).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is open and
+    /// empty. `None` means closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes are
+    /// rejected, and blocked `pop`s wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accept-queue capacity; beyond it new connections get `503`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: crate::par::num_threads(),
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Counters the server keeps while running (all monotonic).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted onto the work queue.
+    pub accepted: AtomicU64,
+    /// Connections refused with `503` because the queue was full.
+    pub rejected: AtomicU64,
+    /// Requests answered (any status).
+    pub requests: AtomicU64,
+    /// Requests that failed to parse (answered `400`).
+    pub malformed: AtomicU64,
+}
+
+struct ServerShared {
+    shutdown: AtomicBool,
+    queue: BoundedQueue<TcpStream>,
+    stats: ServerStats,
+    handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
+}
+
+/// A running TCP server; dropping the handle without calling
+/// [`ServerHandle::join`] detaches the threads.
+pub struct Server;
+
+/// Handle to a running [`Server`]: address, stats, shutdown, join.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop plus workers.
+    /// `handler` must be a pure function of the request for the
+    /// service's determinism guarantee to hold end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start<H>(config: ServerConfig, handler: H) -> io::Result<ServerHandle>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            shutdown: AtomicBool::new(false),
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: ServerStats::default(),
+            handler: Box::new(handler),
+        });
+
+        let mut threads = Vec::new();
+        let acceptor = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("dwm-net-accept".into())
+                .spawn(move || accept_loop(&listener, &acceptor))?,
+        );
+        for i in 0..config.workers.max(1) {
+            let worker = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dwm-net-worker-{i}"))
+                    .spawn(move || worker_loop(&worker))?,
+            );
+        }
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Signals graceful shutdown: stop accepting, drain queued and
+    /// in-flight requests. Returns immediately; pair with
+    /// [`join`](Self::join).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// Whether shutdown has been signalled.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop and all workers to exit. Call
+    /// [`shutdown`](Self::shutdown) first, or this blocks forever.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// How long the acceptor sleeps when `accept` has nothing for it.
+const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+/// Per-read socket timeout; also bounds shutdown-detection latency for
+/// idle keep-alive connections.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    // Backpressure: refuse rather than queue unboundedly.
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = Response::text(503, "server overloaded\n").write_to(&mut stream, true);
+                } else {
+                    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_IDLE),
+            Err(_) => std::thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<ServerShared>) {
+    // `pop` returns `None` only once the queue is closed and drained,
+    // so every accepted connection is served even across shutdown.
+    while let Some(stream) = shared.queue.pop() {
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let response = (shared.handler)(&request);
+                // Drain semantics: the request that was already in
+                // flight gets its response, then the connection closes.
+                let closing = shared.shutdown.load(Ordering::SeqCst)
+                    || request.header("connection") == Some("close");
+                if response.write_to(&mut writer, closing).is_err() || closing {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean keep-alive teardown
+            Err(NetError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle between requests: drop the connection on
+                // shutdown, otherwise keep waiting.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(NetError::Io(_)) => return,
+            Err(NetError::Malformed(m)) => {
+                shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::text(400, format!("{m}\n")).write_to(&mut writer, true);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, NetError> {
+        read_request(&mut BufReader::new(Cursor::new(bytes.to_vec())))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /solve HTTP/1.1\r\ncontent-length: 4\r\nx-k: v\r\n\r\nabcd";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.header("X-K"), Some("v"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_torn_requests_are_errors() {
+        assert!(parse(b"").unwrap().is_none());
+        assert!(parse(b"GET /x HTTP/1.1\r\n").is_err()); // EOF in headers
+        assert!(parse(b"garbage\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\ncontent-length: pony\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn request_and_response_round_trip_wire_form() {
+        let mut wire = Vec::new();
+        Request::post("/solve", "{}").write_to(&mut wire).unwrap();
+        let back = parse(&wire).unwrap().unwrap();
+        assert_eq!(back.path, "/solve");
+        assert_eq!(back.body, b"{}");
+
+        let mut wire = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("x-dwm-elapsed-us", "12")
+            .write_to(&mut wire, false)
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(Cursor::new(wire)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.is_success());
+        assert_eq!(resp.header("X-DWM-Elapsed-Us"), Some("12"));
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert_eq!(resp.body_str(), Some("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        // Pending items stay poppable after close, then None.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn closed_queue_wakes_blocked_pops() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn server_round_trip_and_graceful_shutdown() {
+        let handle = Server::start(ServerConfig::default(), |req| {
+            Response::text(200, format!("echo:{}", req.path))
+        })
+        .unwrap();
+        let addr = handle.local_addr();
+        let mut responses = Vec::new();
+        for i in 0..3 {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            Request::new("GET", &format!("/r{i}"))
+                .write_to(&mut writer)
+                .unwrap();
+            let resp = read_response(&mut reader).unwrap().unwrap();
+            responses.push(resp.body_str().unwrap().to_owned());
+        }
+        assert_eq!(responses, vec!["echo:/r0", "echo:/r1", "echo:/r2"]);
+        assert_eq!(handle.stats().requests.load(Ordering::Relaxed), 3);
+        handle.shutdown();
+        assert!(handle.is_shutting_down());
+        handle.join();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_per_connection() {
+        let handle = Server::start(ServerConfig::default(), |req| {
+            Response::json(200, format!("{{\"len\":{}}}", req.body.len()))
+        })
+        .unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for body in ["x", "yy", "zzz"] {
+            Request::post("/b", body).write_to(&mut writer).unwrap();
+            let resp = loop {
+                match read_response(&mut reader) {
+                    Ok(Some(r)) => break r,
+                    Ok(None) => panic!("server closed keep-alive connection"),
+                    Err(NetError::Io(e))
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(e) => panic!("read: {e}"),
+                }
+            };
+            assert_eq!(
+                resp.body_str().unwrap(),
+                format!("{{\"len\":{}}}", body.len())
+            );
+        }
+        handle.shutdown();
+        handle.join();
+    }
+}

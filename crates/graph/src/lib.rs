@@ -34,14 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod csr;
+pub mod fingerprint;
 pub mod generators;
 mod graph;
 
 pub use csr::{ArrangementEval, CsrGraph};
+pub use fingerprint::{fingerprint, Fingerprint};
 pub use graph::{AccessGraph, Edge};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::generators::{clustered_graph, path_graph, random_graph};
-    pub use crate::{AccessGraph, ArrangementEval, CsrGraph, Edge};
+    pub use crate::{fingerprint, AccessGraph, ArrangementEval, CsrGraph, Edge, Fingerprint};
 }

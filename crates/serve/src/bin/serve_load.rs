@@ -1,0 +1,123 @@
+//! Loopback load generator for a running `dwm serve` daemon.
+//!
+//! ```text
+//! serve_load [--addr HOST:PORT] [--requests N] [--clients N]
+//!            [--workloads N] [--items N] [--len N] [--seed N]
+//!            [--algorithm NAME] [--min-rps N]
+//! ```
+//!
+//! Exits 0 iff every request got a 2xx with a body consistent with
+//! every other response for the same workload AND the measured
+//! throughput met `--min-rps` (default 0, i.e. no floor). The CI smoke
+//! job runs this with `--requests 200 --min-rps 1000` against a
+//! release-mode daemon.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use dwm_serve::load::{run, LoadConfig};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("serve_load: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = std::env::var("DWM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7077".to_owned());
+    let mut requests = 200usize;
+    let mut clients = 4usize;
+    let mut workloads = 8usize;
+    let mut items = 48usize;
+    let mut len = 2400usize;
+    let mut seed = 7u64;
+    let mut algorithm = "hybrid".to_owned();
+    let mut min_rps = 0f64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            println!(
+                "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients N] \
+                 [--workloads N] [--items N] [--len N] [--seed N] [--algorithm NAME] \
+                 [--min-rps N]"
+            );
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return fail(&format!("flag {flag} needs a value"));
+        };
+        let parsed_usize = || value.parse::<usize>();
+        match flag {
+            "--addr" => addr = value.clone(),
+            "--requests" => match parsed_usize() {
+                Ok(v) if v > 0 => requests = v,
+                _ => return fail("--requests must be a positive integer"),
+            },
+            "--clients" => match parsed_usize() {
+                Ok(v) if v > 0 => clients = v,
+                _ => return fail("--clients must be a positive integer"),
+            },
+            "--workloads" => match parsed_usize() {
+                Ok(v) if v > 0 => workloads = v,
+                _ => return fail("--workloads must be a positive integer"),
+            },
+            "--items" => match parsed_usize() {
+                Ok(v) if v > 1 => items = v,
+                _ => return fail("--items must be at least 2"),
+            },
+            "--len" => match parsed_usize() {
+                Ok(v) if v > 0 => len = v,
+                _ => return fail("--len must be a positive integer"),
+            },
+            "--seed" => match value.parse::<u64>() {
+                Ok(v) => seed = v,
+                Err(_) => return fail("--seed must be an unsigned integer"),
+            },
+            "--algorithm" => algorithm = value.clone(),
+            "--min-rps" => match value.parse::<f64>() {
+                Ok(v) if v >= 0.0 => min_rps = v,
+                _ => return fail("--min-rps must be a nonnegative number"),
+            },
+            other => return fail(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => return fail(&format!("invalid address {addr:?}")),
+    };
+    let config = LoadConfig {
+        addr,
+        requests,
+        clients,
+        workloads,
+        items,
+        len,
+        seed,
+        algorithm,
+    };
+    let report = match run(&config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    println!("{}", report.summary());
+
+    if !report.all_ok() {
+        eprintln!(
+            "serve_load: FAILED ({} errors, {} mismatches)",
+            report.errors, report.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    if min_rps > 0.0 && report.rps() < min_rps {
+        eprintln!(
+            "serve_load: FAILED (throughput {:.0} req/s below the {min_rps:.0} req/s floor)",
+            report.rps()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,246 @@
+//! The memoizing solve cache: sharded, LRU-evicting, fingerprint-keyed.
+//!
+//! A cache entry memoizes the full solve *result object* (placement,
+//! costs, metadata) for one `(fingerprint, algorithm, seed)` triple.
+//! Because every solver in the workspace is deterministic, a hit is
+//! byte-for-byte what a fresh solve would have produced — the cache is
+//! a pure latency optimization and can never change response bodies.
+//!
+//! Sharding: entries are spread over a power-of-two number of
+//! independently locked shards by the low fingerprint bits, so
+//! concurrent requests for *different* workloads never contend on one
+//! mutex. Each shard runs its own LRU clock (a bump-on-touch tick);
+//! eviction scans the over-full shard for the stale minimum, which is
+//! O(shard size) but only runs on insert into a full shard — cheap next
+//! to the solve that produced the entry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dwm_foundation::json::Value;
+use dwm_graph::Fingerprint;
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 8;
+
+/// Key identifying one memoized solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical workload fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Algorithm name the solve used.
+    pub algorithm: String,
+    /// Seed the stochastic algorithms used.
+    pub seed: u64,
+}
+
+struct Entry {
+    value: Arc<Value>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// Monotonic counters describing cache behaviour since startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: u64,
+}
+
+/// A sharded LRU cache from [`CacheKey`] to memoized solve results.
+///
+/// `capacity` is the total entry budget, split evenly across shards; a
+/// capacity of 0 disables caching entirely (every lookup misses, every
+/// insert is dropped), which the bench suite uses to measure pure
+/// solve cost.
+pub struct SolveCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolveCache {
+    /// Creates a cache with room for roughly `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS)
+        };
+        SolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.fingerprint.lo as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a memoized result, refreshing its LRU position.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Value>> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a solve result, evicting the least-recently-used entry
+    /// of the target shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<Value>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(stale) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&stale);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwm_foundation::json::Number;
+
+    fn key(lo: u64, alg: &str, seed: u64) -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint { hi: 7, lo },
+            algorithm: alg.to_owned(),
+            seed,
+        }
+    }
+
+    fn val(n: u64) -> Arc<Value> {
+        Arc::new(Value::Num(Number::U(n)))
+    }
+
+    #[test]
+    fn hit_after_insert_and_key_components_distinguish() {
+        let cache = SolveCache::new(64);
+        cache.insert(key(1, "hybrid", 1), val(10));
+        assert_eq!(cache.get(&key(1, "hybrid", 1)).as_deref(), Some(&*val(10)));
+        assert!(cache.get(&key(2, "hybrid", 1)).is_none());
+        assert!(cache.get(&key(1, "spectral", 1)).is_none());
+        assert!(cache.get(&key(1, "hybrid", 2)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_per_shard() {
+        // Capacity 8 over 8 shards = 1 entry per shard; keys 0 and 8
+        // land in the same shard (lo % 8).
+        let cache = SolveCache::new(8);
+        cache.insert(key(0, "a", 0), val(1));
+        cache.insert(key(8, "a", 0), val(2));
+        assert!(cache.get(&key(0, "a", 0)).is_none(), "cold entry evicted");
+        assert_eq!(cache.get(&key(8, "a", 0)).as_deref(), Some(&*val(2)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        // 16 total → 2 per shard. Keys 0, 8, 16 share shard 0.
+        let cache = SolveCache::new(16);
+        cache.insert(key(0, "a", 0), val(1));
+        cache.insert(key(8, "a", 0), val(2));
+        // Touch 0 so 8 becomes the LRU victim.
+        assert!(cache.get(&key(0, "a", 0)).is_some());
+        cache.insert(key(16, "a", 0), val(3));
+        assert!(cache.get(&key(0, "a", 0)).is_some());
+        assert!(cache.get(&key(8, "a", 0)).is_none());
+        assert!(cache.get(&key(16, "a", 0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SolveCache::new(0);
+        cache.insert(key(1, "a", 0), val(1));
+        assert!(cache.get(&key(1, "a", 0)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_replaces_without_eviction() {
+        let cache = SolveCache::new(8);
+        cache.insert(key(0, "a", 0), val(1));
+        cache.insert(key(0, "a", 0), val(9));
+        assert_eq!(cache.get(&key(0, "a", 0)).as_deref(), Some(&*val(9)));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

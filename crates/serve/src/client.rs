@@ -1,0 +1,78 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! One [`ClientConn`] holds one keep-alive TCP connection and issues
+//! requests sequentially — exactly the shape of a closed-loop load
+//! generator, which is its main consumer ([`crate::load`]), and of the
+//! loopback integration tests.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use dwm_foundation::net::{read_response, NetError, Request, Response};
+
+/// One keep-alive connection to a running daemon.
+pub struct ClientConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are small and latency-bound; Nagle + delayed ACK
+        // would add a ~40 ms stall to every round-trip.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ClientConn { writer, reader })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a malformed response, or the server closing the
+    /// connection before answering (mapped to `UnexpectedEof`).
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        // Serialize first so the request leaves as one write (one
+        // segment), not a header-by-header trickle.
+        let mut wire = Vec::with_capacity(256 + req.body.len());
+        req.write_to(&mut wire)?;
+        self.writer.write_all(&wire)?;
+        self.writer.flush()?;
+        match read_response(&mut self.reader) {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )),
+            Err(NetError::Io(e)) => Err(e),
+            Err(NetError::Malformed(m)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response: {m}"),
+            )),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`request`](Self::request).
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request(&Request::new("GET", path))
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`request`](Self::request).
+    pub fn post_json(&mut self, path: &str, body: impl Into<Vec<u8>>) -> io::Result<Response> {
+        self.request(&Request::post(path, body))
+    }
+}

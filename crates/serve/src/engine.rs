@@ -1,0 +1,508 @@
+//! Request handling: routing, the solve pipeline, and response bodies.
+//!
+//! The engine is transport-agnostic — it maps one [`Request`] to
+//! one [`Response`] and can be driven directly (the bench suite
+//! does) or behind the [`crate::server`] TCP daemon. All state is
+//! internally synchronized, so one `Engine` serves every worker thread.
+//!
+//! # The solve pipeline
+//!
+//! 1. Each workload's id sequence is canonicalized
+//!    (`Trace::normalize`) and condensed to its access graph — the
+//!    exact structure every placement algorithm consumes.
+//! 2. The graph is hashed with [`fn@dwm_graph::fingerprint`]; the
+//!    `(fingerprint, algorithm, seed)` triple keys the
+//!    [`SolveCache`].
+//! 3. Cache misses within one request are batched onto the
+//!    [`par`] pool — results come back in input order, so the
+//!    response body is independent of `DWM_THREADS`.
+//! 4. Per-request wall-clock time is attached as the
+//!    `x-dwm-elapsed-us` header, never in the body, keeping bodies a
+//!    pure function of the request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dwm_core::algorithms::standard_suite;
+use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePortCost};
+use dwm_device::DeviceConfig;
+use dwm_foundation::json::{Number, Object, ToJson, Value};
+use dwm_foundation::net::{Request, Response};
+use dwm_foundation::par;
+use dwm_graph::{fingerprint, AccessGraph};
+use dwm_sim::SpmSimulator;
+use dwm_trace::Trace;
+
+use crate::cache::{CacheKey, SolveCache};
+use crate::protocol::{
+    error_body, opt_str, opt_u64, parse_body, parse_ids, parse_usize_array, parse_workloads,
+    ProtocolError,
+};
+
+/// The header carrying per-request wall-clock time in microseconds.
+pub const ELAPSED_HEADER: &str = "x-dwm-elapsed-us";
+
+/// Shared request-handling state: the solve cache plus counters.
+pub struct Engine {
+    cache: SolveCache,
+    requests: AtomicU64,
+    solves: AtomicU64,
+    evaluates: AtomicU64,
+    simulates: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine whose solve cache holds about
+    /// `cache_capacity` entries (0 disables memoization).
+    pub fn new(cache_capacity: usize) -> Self {
+        Engine {
+            cache: SolveCache::new(cache_capacity),
+            requests: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            evaluates: AtomicU64::new(0),
+            simulates: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The solve cache (exposed for stats and priming in benches).
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
+    }
+
+    /// Handles one request, timing it into [`ELAPSED_HEADER`].
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.route(req);
+        let response = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::json(e.status, error_body(&e.message))
+            }
+        };
+        let elapsed_us = started.elapsed().as_micros();
+        response.with_header(ELAPSED_HEADER, elapsed_us.to_string())
+    }
+
+    fn route(&self, req: &Request) -> Result<Response, ProtocolError> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/health") => Ok(self.health()),
+            ("GET", "/stats") => Ok(self.stats_response()),
+            ("POST", "/solve") => {
+                self.solves.fetch_add(1, Ordering::Relaxed);
+                self.solve(req)
+            }
+            ("POST", "/evaluate") => {
+                self.evaluates.fetch_add(1, Ordering::Relaxed);
+                self.evaluate(req)
+            }
+            ("POST", "/simulate") => {
+                self.simulates.fetch_add(1, Ordering::Relaxed);
+                self.simulate(req)
+            }
+            (_, "/health" | "/stats" | "/solve" | "/evaluate" | "/simulate") => {
+                Err(ProtocolError {
+                    status: 405,
+                    message: format!("method {} not allowed for {}", req.method, req.path),
+                })
+            }
+            (_, path) => Err(ProtocolError {
+                status: 404,
+                message: format!("unknown path {path}"),
+            }),
+        }
+    }
+
+    fn health(&self) -> Response {
+        let mut obj = Object::new();
+        obj.insert("status", Value::Str("ok".into()));
+        obj.insert("service", Value::Str("dwm-serve".into()));
+        Response::json(200, Value::Obj(obj).to_compact())
+    }
+
+    fn stats_response(&self) -> Response {
+        let cache = self.cache.stats();
+        let mut c = Object::new();
+        c.insert("hits", Value::Num(Number::U(cache.hits)));
+        c.insert("misses", Value::Num(Number::U(cache.misses)));
+        c.insert("entries", Value::Num(Number::U(cache.entries)));
+        c.insert("evictions", Value::Num(Number::U(cache.evictions)));
+        c.insert("capacity", Value::Num(Number::U(cache.capacity)));
+        let mut obj = Object::new();
+        let count = |a: &AtomicU64| Value::Num(Number::U(a.load(Ordering::Relaxed)));
+        obj.insert("requests", count(&self.requests));
+        obj.insert("solves", count(&self.solves));
+        obj.insert("evaluates", count(&self.evaluates));
+        obj.insert("simulates", count(&self.simulates));
+        obj.insert("errors", count(&self.errors));
+        obj.insert("cache", Value::Obj(c));
+        Response::json(200, Value::Obj(obj).to_compact())
+    }
+
+    fn solve(&self, req: &Request) -> Result<Response, ProtocolError> {
+        let obj = parse_body(&req.body)?;
+        let algorithm = opt_str(&obj, "algorithm", "hybrid")?;
+        let seed = opt_u64(&obj, "seed", 1)?;
+        if resolve_algorithm(&algorithm, seed).is_none() {
+            return Err(ProtocolError::bad_request(format!(
+                "unknown algorithm {algorithm:?}; expected one of {}",
+                algorithm_names().join(", ")
+            )));
+        }
+        let workloads = parse_workloads(&obj)?;
+
+        // Canonicalize every workload and consult the cache.
+        let mut labels = Vec::with_capacity(workloads.len());
+        let mut results: Vec<Option<Arc<Value>>> = Vec::with_capacity(workloads.len());
+        let mut misses: Vec<(usize, CacheKey, AccessGraph)> = Vec::new();
+        for (i, ids) in workloads.iter().enumerate() {
+            let trace = Trace::from_ids(ids.iter().copied()).normalize();
+            let graph = AccessGraph::from_trace(&trace);
+            let key = CacheKey {
+                fingerprint: fingerprint(&graph),
+                algorithm: algorithm.clone(),
+                seed,
+            };
+            match self.cache.get(&key) {
+                Some(value) => {
+                    labels.push("hit");
+                    results.push(Some(value));
+                }
+                None => {
+                    labels.push("miss");
+                    results.push(None);
+                    misses.push((i, key, graph));
+                }
+            }
+        }
+
+        // Batch all misses in this request onto the worker pool;
+        // par_map returns results in input order, so the response body
+        // is identical at any thread count.
+        let solved = par::par_map(&misses, |(_, key, graph)| {
+            let algo =
+                resolve_algorithm(&key.algorithm, key.seed).expect("algorithm validated above");
+            Arc::new(solve_result(graph, key, algo.as_ref()))
+        });
+        for ((slot, key, _), value) in misses.into_iter().zip(solved) {
+            self.cache.insert(key, Arc::clone(&value));
+            results[slot] = Some(value);
+        }
+
+        let mut body = Object::new();
+        body.insert(
+            "cache",
+            Value::Arr(labels.into_iter().map(|l| Value::Str(l.into())).collect()),
+        );
+        body.insert(
+            "results",
+            Value::Arr(
+                results
+                    .into_iter()
+                    .map(|r| (*r.expect("every workload resolved")).clone())
+                    .collect(),
+            ),
+        );
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn evaluate(&self, req: &Request) -> Result<Response, ProtocolError> {
+        let obj = parse_body(&req.body)?;
+        let ids = parse_ids(&obj)?;
+        let offsets = parse_usize_array(&obj, "placement")?;
+        let placement = Placement::from_offsets(offsets)
+            .map_err(|e| ProtocolError::bad_request(format!("invalid placement: {e}")))?;
+        let trace = Trace::from_ids(ids.iter().copied()).normalize();
+        if trace.num_items() > placement.num_items() {
+            return Err(ProtocolError::bad_request(format!(
+                "placement covers {} items but the trace touches {}",
+                placement.num_items(),
+                trace.num_items()
+            )));
+        }
+        let ports = opt_u64(&obj, "ports", 1)? as usize;
+        let tape_length = opt_u64(&obj, "tape_length", placement.num_items() as u64)? as usize;
+        if ports == 0 || tape_length == 0 {
+            return Err(ProtocolError::bad_request(
+                "\"ports\" and \"tape_length\" must be at least 1",
+            ));
+        }
+        let model = MultiPortCost::evenly_spaced(ports, tape_length);
+        let report = model.trace_cost(&placement, &trace);
+
+        let mut body = Object::new();
+        body.insert(
+            "fingerprint",
+            Value::Str(fingerprint(&AccessGraph::from_trace(&trace)).to_hex()),
+        );
+        body.insert("model", Value::Str(model.name()));
+        body.insert("stats", report.stats.to_json());
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn simulate(&self, req: &Request) -> Result<Response, ProtocolError> {
+        let obj = parse_body(&req.body)?;
+        let ids = parse_ids(&obj)?;
+        let trace = Trace::from_ids(ids.iter().copied()).normalize();
+        let items = trace.num_items();
+        let domains = opt_u64(
+            &obj,
+            "domains_per_track",
+            items.next_power_of_two().max(64) as u64,
+        )?;
+        let tracks = opt_u64(&obj, "tracks", 32)?;
+        let ports = opt_u64(&obj, "ports", 1)?;
+        let config = DeviceConfig::builder()
+            .domains_per_track(domains as usize)
+            .tracks_per_dbc(tracks as usize)
+            .ports(ports as usize)
+            .dbcs(1)
+            .build()
+            .map_err(|e| ProtocolError::bad_request(format!("invalid device config: {e}")))?;
+        let mut sim = SpmSimulator::with_identity_placement(&config, items)
+            .map_err(|e| ProtocolError::bad_request(format!("cannot simulate: {e}")))?;
+        let report = sim
+            .run(&trace)
+            .map_err(|e| ProtocolError::bad_request(format!("simulation failed: {e}")))?;
+
+        let mut body = Object::new();
+        body.insert("items", Value::Num(Number::U(items as u64)));
+        body.insert("report", report.to_json());
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+}
+
+/// Names accepted by the `algorithm` field (the standard suite).
+pub fn algorithm_names() -> Vec<String> {
+    standard_suite(0).iter().map(|a| a.name()).collect()
+}
+
+/// Instantiates a suite algorithm by name.
+fn resolve_algorithm(name: &str, seed: u64) -> Option<Box<dyn PlacementAlgorithm>> {
+    standard_suite(seed).into_iter().find(|a| a.name() == name)
+}
+
+/// Builds the memoized result object for one solved workload.
+fn solve_result(graph: &AccessGraph, key: &CacheKey, algo: &dyn PlacementAlgorithm) -> Value {
+    let placement = algo.place(graph);
+    let cost_model = SinglePortCost::new();
+    let n = graph.num_items();
+    let naive = cost_model.graph_cost(&Placement::identity(n), graph);
+    let cost = cost_model.graph_cost(&placement, graph);
+    let reduction = if naive > 0 {
+        ((naive - naive.min(cost)) as f64) * 100.0 / naive as f64
+    } else {
+        0.0
+    };
+    let mut obj = Object::new();
+    obj.insert("fingerprint", Value::Str(key.fingerprint.to_hex()));
+    obj.insert("algorithm", Value::Str(key.algorithm.clone()));
+    obj.insert("seed", Value::Num(Number::U(key.seed)));
+    obj.insert("items", Value::Num(Number::U(n as u64)));
+    obj.insert("edges", Value::Num(Number::U(graph.num_edges() as u64)));
+    obj.insert("naive_cost", Value::Num(Number::U(naive)));
+    obj.insert("cost", Value::Num(Number::U(cost)));
+    obj.insert("reduction_percent", Value::Num(Number::F(reduction)));
+    obj.insert(
+        "placement",
+        Value::Arr(
+            placement
+                .offsets()
+                .iter()
+                .map(|&o| Value::Num(Number::U(o as u64)))
+                .collect(),
+        ),
+    );
+    Value::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwm_foundation::json::parse;
+
+    fn engine() -> Engine {
+        Engine::new(256)
+    }
+
+    fn body_obj(resp: &Response) -> Object {
+        match parse(resp.body_str().unwrap()).unwrap() {
+            Value::Obj(o) => o,
+            other => panic!("expected object body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_and_stats_answer() {
+        let e = engine();
+        let h = e.handle(&Request::new("GET", "/health"));
+        assert_eq!(h.status, 200);
+        assert_eq!(
+            h.body_str().unwrap(),
+            r#"{"status":"ok","service":"dwm-serve"}"#
+        );
+        assert!(h.header(ELAPSED_HEADER).is_some());
+        let s = e.handle(&Request::new("GET", "/stats"));
+        assert_eq!(s.status, 200);
+        let obj = body_obj(&s);
+        assert!(obj.get("cache").is_some());
+        assert_eq!(
+            obj.get("requests").unwrap().as_number().unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn solve_miss_then_hit_with_identical_results() {
+        let e = engine();
+        let req = Request::post("/solve", r#"{"ids":[0,1,0,1,2,0,3,2,1]}"#);
+        let first = e.handle(&req);
+        assert_eq!(first.status, 200, "{:?}", first.body_str());
+        let second = e.handle(&req);
+        let b1 = body_obj(&first);
+        let b2 = body_obj(&second);
+        assert_eq!(
+            b1.get("cache").unwrap().as_array().unwrap()[0].as_str(),
+            Some("miss")
+        );
+        assert_eq!(
+            b2.get("cache").unwrap().as_array().unwrap()[0].as_str(),
+            Some("hit")
+        );
+        assert_eq!(b1.get("results"), b2.get("results"));
+        let result = b1.get("results").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap();
+        assert_eq!(result.get("algorithm").unwrap().as_str(), Some("hybrid"));
+        let cost = result.get("cost").unwrap().as_number().unwrap().as_u64();
+        let naive = result
+            .get("naive_cost")
+            .unwrap()
+            .as_number()
+            .unwrap()
+            .as_u64();
+        assert!(cost <= naive);
+    }
+
+    #[test]
+    fn solve_batches_multiple_workloads_in_order() {
+        let e = engine();
+        let req = Request::post(
+            "/solve",
+            r#"{"algorithm":"organ-pipe","workloads":[{"ids":[0,1,2]},{"ids":[5,5,5,1]},{"ids":[0,1,2]}]}"#,
+        );
+        let resp = e.handle(&req);
+        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+        let obj = body_obj(&resp);
+        let cache: Vec<&str> = obj
+            .get("cache")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        // The third workload repeats the first, but cache lookups all
+        // happen before the batch solves, so within one request the
+        // duplicate is still a miss — with an identical result, since
+        // the solver is deterministic.
+        assert_eq!(cache, ["miss", "miss", "miss"]);
+        let results = obj.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], results[2]);
+        assert_ne!(results[0], results[1]);
+    }
+
+    #[test]
+    fn solve_rejects_unknown_algorithm_and_bad_bodies() {
+        let e = engine();
+        let bad_algo = e.handle(&Request::post(
+            "/solve",
+            r#"{"algorithm":"quantum","ids":[1,2]}"#,
+        ));
+        assert_eq!(bad_algo.status, 400);
+        assert!(bad_algo.body_str().unwrap().contains("hybrid"));
+        assert_eq!(e.handle(&Request::post("/solve", "{nope")).status, 400);
+        assert_eq!(e.handle(&Request::post("/solve", "{}")).status, 400);
+    }
+
+    #[test]
+    fn evaluate_reports_shift_stats() {
+        let e = engine();
+        let resp = e.handle(&Request::post(
+            "/evaluate",
+            r#"{"ids":[0,1,0,2],"placement":[1,0,2],"ports":1}"#,
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+        let obj = body_obj(&resp);
+        assert_eq!(obj.get("model").unwrap().as_str(), Some("1-port"));
+        let stats = obj.get("stats").unwrap().as_object().unwrap();
+        assert!(stats.get("shifts").is_some());
+        // Short placement → 400, not a panic.
+        let short = e.handle(&Request::post(
+            "/evaluate",
+            r#"{"ids":[0,1,2],"placement":[0,1]}"#,
+        ));
+        assert_eq!(short.status, 400);
+        // Non-permutation placement → 400.
+        let dup = e.handle(&Request::post(
+            "/evaluate",
+            r#"{"ids":[0,1],"placement":[0,0]}"#,
+        ));
+        assert_eq!(dup.status, 400);
+    }
+
+    #[test]
+    fn simulate_replays_through_the_device_model() {
+        let e = engine();
+        let resp = e.handle(&Request::post(
+            "/simulate",
+            r#"{"ids":[0,1,2,1,0,3,3,2],"ports":1}"#,
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+        let obj = body_obj(&resp);
+        let report = obj.get("report").unwrap().as_object().unwrap();
+        let integrity = report
+            .get("integrity_errors")
+            .unwrap()
+            .as_number()
+            .unwrap()
+            .as_u64();
+        assert_eq!(integrity, Some(0));
+        // Impossible geometry → 400, not a panic.
+        let bad = e.handle(&Request::post(
+            "/simulate",
+            r#"{"ids":[0,1],"domains_per_track":0}"#,
+        ));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_404_and_405() {
+        let e = engine();
+        assert_eq!(e.handle(&Request::new("GET", "/nope")).status, 404);
+        assert_eq!(e.handle(&Request::new("DELETE", "/solve")).status, 405);
+        assert_eq!(e.handle(&Request::post("/health", "")).status, 405);
+    }
+
+    #[test]
+    fn solve_bodies_are_thread_count_invariant() {
+        use dwm_foundation::par;
+        let req = Request::post(
+            "/solve",
+            r#"{"workloads":[{"ids":[0,1,0,2,1,3]},{"ids":[4,4,2,0]},{"ids":[9,8,7,9,8]}]}"#,
+        );
+        let body_at = |threads: usize| {
+            let _guard = par::override_threads(threads);
+            let e = engine();
+            let resp = e.handle(&req);
+            assert_eq!(resp.status, 200);
+            resp.body_str().unwrap().to_owned()
+        };
+        assert_eq!(body_at(1), body_at(4));
+    }
+}

@@ -1,0 +1,342 @@
+//! Closed-loop loopback load harness (the `serve_load` binary's core).
+//!
+//! `clients` threads each hold one keep-alive connection and fire
+//! requests back-to-back (closed loop: next request only after the
+//! previous response). The workload mix is seeded and finite — a pool
+//! of pre-rendered solve bodies drawn from Zipf and Markov generators —
+//! so a run is reproducible and, crucially, *checkable*: every client
+//! records the first response body seen per workload and flags any
+//! later response that differs. A mismatch means the server broke its
+//! determinism contract under concurrency.
+//!
+//! Latency is recorded per request into a
+//! [`dwm_foundation::bench::Histogram`]; the report carries p50/p90/p99
+//! and throughput.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dwm_foundation::bench::Histogram;
+use dwm_foundation::json::parse;
+use dwm_foundation::rng::Rng;
+use dwm_trace::synth::{MarkovGen, TraceGenerator, ZipfGen};
+
+use crate::client::ClientConn;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address.
+    pub addr: SocketAddr,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Distinct workloads in the pool.
+    pub workloads: usize,
+    /// Items per workload.
+    pub items: usize,
+    /// Accesses per workload.
+    pub len: usize,
+    /// Master seed for the workload pool and the per-client pick RNG.
+    pub seed: u64,
+    /// Algorithm requested from the server.
+    pub algorithm: String,
+}
+
+impl LoadConfig {
+    /// Defaults sized for a quick CI smoke run against `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        LoadConfig {
+            addr,
+            requests: 200,
+            clients: 4,
+            workloads: 8,
+            items: 48,
+            len: 2400,
+            seed: 7,
+            algorithm: "hybrid".to_owned(),
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub sent: u64,
+    /// 2xx responses with consistent bodies.
+    pub ok: u64,
+    /// Transport failures or non-2xx responses.
+    pub errors: u64,
+    /// Responses whose body differed from the first one seen for the
+    /// same workload — determinism violations.
+    pub mismatches: u64,
+    /// Responses the server reported as cache hits.
+    pub hits: u64,
+    /// Responses the server reported as cache misses.
+    pub misses: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latency distribution (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Requests per second over the run.
+    pub fn rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.sent as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether every request succeeded with a consistent body.
+    pub fn all_ok(&self) -> bool {
+        self.errors == 0 && self.mismatches == 0 && self.ok == self.sent
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let pct = |q: f64| {
+            self.latency
+                .percentile(q)
+                .map_or_else(|| "-".to_owned(), |ns| format!("{:.1}us", ns as f64 / 1e3))
+        };
+        format!(
+            "{} requests in {:.2}s ({:.0} req/s): {} ok, {} errors, {} mismatches, \
+             {} hits / {} misses, latency p50 {} p90 {} p99 {}",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.rps(),
+            self.ok,
+            self.errors,
+            self.mismatches,
+            self.hits,
+            self.misses,
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+        )
+    }
+}
+
+/// Renders the pool of solve request bodies for `config`.
+///
+/// Even-indexed workloads draw from a Zipf generator, odd ones from a
+/// clustered Markov walk, each with a seed derived from the master
+/// seed — a mix of skewed-hot and phase-local access patterns.
+pub fn workload_bodies(config: &LoadConfig) -> Vec<String> {
+    (0..config.workloads)
+        .map(|k| {
+            let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(k as u64);
+            let trace = if k % 2 == 0 {
+                ZipfGen::new(config.items, seed).generate(config.len)
+            } else {
+                MarkovGen::new(config.items, 4, seed).generate(config.len)
+            };
+            let ids: Vec<String> = trace.iter().map(|a| a.item.index().to_string()).collect();
+            format!(
+                r#"{{"algorithm":"{}","ids":[{}]}}"#,
+                config.algorithm,
+                ids.join(",")
+            )
+        })
+        .collect()
+}
+
+/// Runs the closed-loop load test and gathers the report.
+///
+/// # Errors
+///
+/// Fails only when a client cannot *connect*; request-level failures
+/// are counted in the report instead.
+pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let bodies = workload_bodies(config);
+    // First-seen response body per workload, for the determinism check.
+    let reference: Vec<Mutex<Option<String>>> =
+        (0..bodies.len()).map(|_| Mutex::new(None)).collect();
+
+    let remaining = AtomicUsize::new(config.requests);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let histograms: Vec<Mutex<Histogram>> = (0..config.clients.max(1))
+        .map(|_| Mutex::new(Histogram::new()))
+        .collect();
+
+    // Connect everyone before starting the clock.
+    let mut conns = Vec::new();
+    for _ in 0..config.clients.max(1) {
+        conns.push(Some(ClientConn::connect(config.addr)?));
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for (c, conn) in conns.iter_mut().enumerate() {
+            let bodies = &bodies;
+            let reference = &reference;
+            let remaining = &remaining;
+            let ok = &ok;
+            let errors = &errors;
+            let mismatches = &mismatches;
+            let hits = &hits;
+            let misses = &misses;
+            let histogram = &histograms[c];
+            let mut conn = conn.take().expect("connection present");
+            let mut rng = Rng::seed_from_u64(config.seed ^ (0x9E37 + c as u64));
+            s.spawn(move || {
+                loop {
+                    // Claim one request slot; stop when the budget is
+                    // spent.
+                    if remaining
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    let w = rng.gen_range(0..bodies.len());
+                    let sent_at = Instant::now();
+                    let resp = conn.post_json("/solve", bodies[w].as_str());
+                    let nanos = sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    histogram.lock().unwrap().record(nanos);
+                    let Ok(resp) = resp else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    if !resp.is_success() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let Some(body) = resp.body_str() else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    tally_cache_labels(body, hits, misses);
+                    // Determinism check on the results portion: the
+                    // "cache" field legitimately differs between the
+                    // first (miss) and later (hit) responses.
+                    let results = results_portion(body);
+                    let mut slot = reference[w].lock().unwrap();
+                    match slot.as_ref() {
+                        None => {
+                            *slot = Some(results);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(first) if *first == results => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(_) => {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut latency = Histogram::new();
+    for h in &histograms {
+        latency.merge(&h.lock().unwrap());
+    }
+    Ok(LoadReport {
+        sent: config.requests as u64,
+        ok: ok.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        mismatches: mismatches.load(Ordering::Relaxed),
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        elapsed,
+        latency,
+    })
+}
+
+/// Extracts the `"results":…` suffix of a solve body — the part that
+/// must be byte-identical across repeats (the `cache` prefix is not).
+fn results_portion(body: &str) -> String {
+    body.split_once(r#""results":"#)
+        .map_or_else(|| body.to_owned(), |(_, rest)| rest.to_owned())
+}
+
+fn tally_cache_labels(body: &str, hits: &AtomicU64, misses: &AtomicU64) {
+    let Ok(value) = parse(body) else { return };
+    let Some(labels) = value.as_object().and_then(|o| o.get("cache")) else {
+        return;
+    };
+    let Some(arr) = labels.as_array() else { return };
+    for label in arr {
+        match label.as_str() {
+            Some("hit") => {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Some("miss") => {
+                misses.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{start, ServeConfig};
+
+    #[test]
+    fn load_run_is_clean_and_mostly_cached() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let config = LoadConfig {
+            requests: 40,
+            clients: 3,
+            workloads: 4,
+            items: 24,
+            len: 600,
+            ..LoadConfig::new(handle.local_addr())
+        };
+        let report = run(&config).unwrap();
+        handle.shutdown();
+        handle.join();
+
+        assert!(report.all_ok(), "{}", report.summary());
+        assert_eq!(report.sent, 40);
+        // Once a workload is cached every later request hits; only the
+        // racing first solves can miss, so at most clients × workloads
+        // misses (and in practice far fewer).
+        assert!(report.misses <= 12, "{}", report.summary());
+        assert!(report.hits >= report.sent - 12, "{}", report.summary());
+        assert_eq!(report.hits + report.misses, report.sent);
+        assert_eq!(report.latency.count(), 40);
+        assert!(report.rps() > 0.0);
+        assert!(report.summary().contains("req/s"));
+    }
+
+    #[test]
+    fn workload_bodies_are_reproducible_and_mixed() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let a = workload_bodies(&LoadConfig::new(addr));
+        let b = workload_bodies(&LoadConfig::new(addr));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        // Distinct workloads render distinct bodies.
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() == a.len());
+    }
+
+    #[test]
+    fn results_portion_strips_the_cache_prefix() {
+        let hit = r#"{"cache":["hit"],"results":[{"cost":1}]}"#;
+        let miss = r#"{"cache":["miss"],"results":[{"cost":1}]}"#;
+        assert_eq!(results_portion(hit), results_portion(miss));
+    }
+}

@@ -1,0 +1,249 @@
+//! The request/response JSON protocol and its parsing helpers.
+//!
+//! Requests are JSON objects POSTed to a path naming the operation;
+//! responses are JSON objects whose byte form is deterministic (the
+//! serializer preserves field insertion order and never round-trips
+//! integers through floats). The five operations:
+//!
+//! | Method | Path        | Body                                              |
+//! |--------|-------------|---------------------------------------------------|
+//! | POST   | `/solve`    | `{"algorithm"?, "seed"?, "workloads": [{"ids": […]}…]}` or `{"ids": […]}` |
+//! | POST   | `/evaluate` | `{"ids": […], "placement": […], "ports"?, "tape_length"?}` |
+//! | POST   | `/simulate` | `{"ids": […], "domains_per_track"?, "tracks"?, "dbcs"?, "ports"?}` |
+//! | GET    | `/stats`    | —                                                 |
+//! | GET    | `/health`   | —                                                 |
+//!
+//! `ids` is the access sequence as item ids (reads; the placement
+//! problem is read/write agnostic). Workloads are canonicalized server-
+//! side (`Trace::normalize`), so two id sequences with the same
+//! canonical access graph share a cache entry.
+
+use dwm_foundation::json::{Object, Value};
+
+/// A protocol-level failure: HTTP status plus a one-line message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// HTTP status to answer with (400 for client mistakes).
+    pub status: u16,
+    /// Human-readable reason, sent as `{"error": …}`.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// A 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtocolError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Hard cap on accesses per workload (keeps one request from pinning a
+/// worker for minutes).
+pub const MAX_ACCESSES: usize = 4_000_000;
+/// Hard cap on workloads per solve request.
+pub const MAX_WORKLOADS: usize = 256;
+
+/// Parses the request body as a JSON object.
+///
+/// # Errors
+///
+/// 400 with the parser's line/column message on malformed JSON, or
+/// when the top level is not an object.
+pub fn parse_body(body: &[u8]) -> Result<Object, ProtocolError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ProtocolError::bad_request("body is not UTF-8"))?;
+    let value = dwm_foundation::json::parse(text)
+        .map_err(|e| ProtocolError::bad_request(format!("invalid JSON: {e}")))?;
+    match value {
+        Value::Obj(obj) => Ok(obj),
+        other => Err(ProtocolError::bad_request(format!(
+            "expected a JSON object, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// String field with a default.
+pub fn opt_str(obj: &Object, key: &str, default: &str) -> Result<String, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(default.to_owned()),
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field {key:?} must be a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Nonnegative integer field with a default.
+pub fn opt_u64(obj: &Object, key: &str, default: u64) -> Result<u64, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Num(n)) => n.as_u64().ok_or_else(|| {
+            ProtocolError::bad_request(format!("field {key:?} must be a nonnegative integer"))
+        }),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field {key:?} must be a number, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Required `ids` array: the workload's access sequence.
+pub fn parse_ids(obj: &Object) -> Result<Vec<u32>, ProtocolError> {
+    let Some(value) = obj.get("ids") else {
+        return Err(ProtocolError::bad_request("missing field \"ids\""));
+    };
+    let Value::Arr(arr) = value else {
+        return Err(ProtocolError::bad_request("field \"ids\" must be an array"));
+    };
+    if arr.is_empty() {
+        return Err(ProtocolError::bad_request(
+            "field \"ids\" must be non-empty",
+        ));
+    }
+    if arr.len() > MAX_ACCESSES {
+        return Err(ProtocolError::bad_request(format!(
+            "workload too large: {} accesses (max {MAX_ACCESSES})",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let n = match v {
+                Value::Num(n) => n.as_u64(),
+                _ => None,
+            };
+            n.and_then(|n| u32::try_from(n).ok()).ok_or_else(|| {
+                ProtocolError::bad_request(format!("ids[{i}] must be a u32 item id"))
+            })
+        })
+        .collect()
+}
+
+/// Array of `usize` under `key` (used for `placement` offsets).
+pub fn parse_usize_array(obj: &Object, key: &str) -> Result<Vec<usize>, ProtocolError> {
+    let Some(value) = obj.get(key) else {
+        return Err(ProtocolError::bad_request(format!("missing field {key:?}")));
+    };
+    let Value::Arr(arr) = value else {
+        return Err(ProtocolError::bad_request(format!(
+            "field {key:?} must be an array"
+        )));
+    };
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let n = match v {
+                Value::Num(n) => n.as_u64(),
+                _ => None,
+            };
+            n.and_then(|n| usize::try_from(n).ok()).ok_or_else(|| {
+                ProtocolError::bad_request(format!("{key}[{i}] must be a nonnegative integer"))
+            })
+        })
+        .collect()
+}
+
+/// The `workloads` array of a solve request: each entry an object with
+/// an `ids` array. A top-level `ids` field is accepted as shorthand
+/// for a single workload.
+pub fn parse_workloads(obj: &Object) -> Result<Vec<Vec<u32>>, ProtocolError> {
+    if obj.get("ids").is_some() {
+        return Ok(vec![parse_ids(obj)?]);
+    }
+    let Some(value) = obj.get("workloads") else {
+        return Err(ProtocolError::bad_request(
+            "missing field \"workloads\" (or shorthand \"ids\")",
+        ));
+    };
+    let Value::Arr(arr) = value else {
+        return Err(ProtocolError::bad_request(
+            "field \"workloads\" must be an array",
+        ));
+    };
+    if arr.is_empty() {
+        return Err(ProtocolError::bad_request(
+            "field \"workloads\" must be non-empty",
+        ));
+    }
+    if arr.len() > MAX_WORKLOADS {
+        return Err(ProtocolError::bad_request(format!(
+            "too many workloads: {} (max {MAX_WORKLOADS})",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| match v {
+            Value::Obj(w) => parse_ids(w)
+                .map_err(|e| ProtocolError::bad_request(format!("workloads[{i}]: {}", e.message))),
+            _ => Err(ProtocolError::bad_request(format!(
+                "workloads[{i}] must be an object"
+            ))),
+        })
+        .collect()
+}
+
+/// Serializes an error as the canonical `{"error": …}` body.
+pub fn error_body(message: &str) -> String {
+    let mut obj = Object::new();
+    obj.insert("error", Value::Str(message.to_owned()));
+    Value::Obj(obj).to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(s: &str) -> Object {
+        parse_body(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn parses_workload_shorthand_and_array_forms() {
+        let single = parse_workloads(&obj(r#"{"ids":[1,2,3]}"#)).unwrap();
+        assert_eq!(single, vec![vec![1, 2, 3]]);
+        let multi = parse_workloads(&obj(r#"{"workloads":[{"ids":[1]},{"ids":[2,2]}]}"#)).unwrap();
+        assert_eq!(multi, vec![vec![1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn rejects_malformed_bodies_with_400() {
+        assert_eq!(parse_body(b"not json").unwrap_err().status, 400);
+        assert_eq!(parse_body(b"[1,2]").unwrap_err().status, 400);
+        assert!(parse_workloads(&obj(r#"{}"#)).is_err());
+        assert!(parse_workloads(&obj(r#"{"workloads":[]}"#)).is_err());
+        assert!(parse_workloads(&obj(r#"{"workloads":[{"ids":[]}]}"#)).is_err());
+        assert!(parse_workloads(&obj(r#"{"ids":[1,-2]}"#)).is_err());
+        assert!(parse_workloads(&obj(r#"{"ids":["x"]}"#)).is_err());
+    }
+
+    #[test]
+    fn typed_field_lookups_enforce_types_and_defaults() {
+        let o = obj(r#"{"algorithm":"hybrid","seed":9,"bad":true}"#);
+        assert_eq!(opt_str(&o, "algorithm", "x").unwrap(), "hybrid");
+        assert_eq!(opt_str(&o, "absent", "x").unwrap(), "x");
+        assert_eq!(opt_u64(&o, "seed", 1).unwrap(), 9);
+        assert_eq!(opt_u64(&o, "absent", 1).unwrap(), 1);
+        assert!(opt_str(&o, "seed", "x").is_err());
+        assert!(opt_u64(&o, "algorithm", 1).is_err());
+        assert!(opt_u64(&o, "bad", 1).is_err());
+    }
+
+    #[test]
+    fn error_body_is_stable_json() {
+        assert_eq!(error_body("nope"), r#"{"error":"nope"}"#);
+    }
+}

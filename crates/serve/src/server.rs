@@ -1,0 +1,156 @@
+//! The daemon: [`ServeConfig`], [`start`], and [`ServeHandle`].
+//!
+//! This is a thin binding of the transport-agnostic [`Engine`] onto
+//! the [`net::Server`] bounded-queue TCP front end. Backpressure
+//! semantics come from `net`: when the accept queue is full the server
+//! answers `503` immediately rather than letting connections pile up;
+//! on shutdown it stops accepting, drains queued connections, finishes
+//! in-flight requests, and closes.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dwm_foundation::net::{self, ServerStats};
+use dwm_foundation::par;
+
+use crate::engine::Engine;
+
+/// Environment variable overriding the default listen address.
+pub const ADDR_ENV: &str = "DWM_SERVE_ADDR";
+
+/// Default listen address when neither the config nor [`ADDR_ENV`]
+/// says otherwise.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7077` (port 0 picks a free
+    /// port — tests use this).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accept-queue depth; beyond this, connections get `503`.
+    pub queue_capacity: usize,
+    /// Solve-cache entry budget (0 disables memoization).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: std::env::var(ADDR_ENV).unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
+            workers: par::num_threads(),
+            queue_capacity: 128,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config listening on an OS-assigned loopback port — what tests
+    /// and benches use to avoid clashing with a real daemon.
+    pub fn ephemeral() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// A running daemon: the transport handle plus its engine.
+pub struct ServeHandle {
+    server: net::ServerHandle,
+    engine: Arc<Engine>,
+}
+
+impl ServeHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The engine, for inspecting cache/request counters in-process.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Transport counters (accepted/rejected/handled).
+    pub fn stats(&self) -> &ServerStats {
+        self.server.stats()
+    }
+
+    /// Begins a graceful shutdown: stop accepting, drain the queue,
+    /// finish in-flight requests. Returns immediately; use
+    /// [`join`](Self::join) to wait for completion.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+    }
+
+    /// Waits for every server thread to exit.
+    pub fn join(self) {
+        self.server.join();
+    }
+}
+
+/// Starts the daemon described by `config`.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
+    let engine = Arc::new(Engine::new(config.cache_capacity));
+    let handler_engine = Arc::clone(&engine);
+    let server = net::Server::start(
+        net::ServerConfig {
+            addr: config.addr,
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+        },
+        move |req| handler_engine.handle(req),
+    )?;
+    Ok(ServeHandle { server, engine })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientConn;
+
+    #[test]
+    fn daemon_serves_health_over_loopback_and_drains_on_shutdown() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let addr = handle.local_addr();
+
+        let mut conn = ClientConn::connect(addr).unwrap();
+        let resp = conn.get("/health").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body_str().unwrap(),
+            r#"{"status":"ok","service":"dwm-serve"}"#
+        );
+
+        let solve = conn.post_json("/solve", r#"{"ids":[0,1,0,2,1]}"#).unwrap();
+        assert_eq!(solve.status, 200);
+        assert_eq!(handle.engine().cache().stats().entries, 1);
+
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn ephemeral_config_binds_port_zero() {
+        let cfg = ServeConfig::ephemeral();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        let handle = start(cfg).unwrap();
+        assert_ne!(handle.local_addr().port(), 0);
+        handle.shutdown();
+        handle.join();
+    }
+}

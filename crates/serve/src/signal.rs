@@ -1,0 +1,98 @@
+//! Graceful-shutdown signal latch (SIGINT / SIGTERM).
+//!
+//! The daemon must drain in-flight requests when the operator stops it
+//! — `kill -TERM` from the CI smoke job, ctrl-c at a terminal — so the
+//! handler does the only async-signal-safe thing possible: set an
+//! atomic flag. The serve loop polls [`triggered`] and runs the normal
+//! graceful shutdown path from regular (non-signal) context.
+//!
+//! This is the workspace's single `unsafe` FFI binding outside
+//! `foundation`; non-Unix builds get a no-op latch so the crate stays
+//! portable (shutdown then requires in-process
+//! [`crate::ServeHandle::shutdown`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been received since [`install`].
+pub fn triggered() -> bool {
+    FLAG.load(Ordering::SeqCst)
+}
+
+/// Resets the latch (tests re-use the process).
+pub fn reset() {
+    FLAG.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::FLAG;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        // POSIX `signal(2)`. Using `Option<SigHandler>` keeps the
+        // binding a plain function-pointer type (no integer casts), and
+        // `None` is the NULL previous-handler case.
+        fn signal(signum: i32, handler: SigHandler) -> Option<SigHandler>;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: store to an atomic.
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    /// Hooks SIGINT and SIGTERM to set the latch.
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX C function; `on_signal` is an
+        // `extern "C" fn(i32)` whose body performs a single atomic
+        // store, which is async-signal-safe. Replacing the process
+        // disposition for SIGINT/SIGTERM is the binary's prerogative
+        // (the daemon owns the process).
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal hooks on non-Unix targets; the latch stays false.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test only: the latch is process-global state, so parallel
+    // test threads poking it would race each other.
+    #[test]
+    fn latch_clears_resets_and_catches_sigterm() {
+        install();
+        reset();
+        assert!(!triggered());
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            // SAFETY: `raise` delivers SIGTERM to this process; our
+            // handler (installed above) turns it into an atomic store
+            // instead of the default termination disposition.
+            unsafe {
+                raise(15);
+            }
+            assert!(triggered());
+            reset();
+        }
+    }
+}

@@ -26,9 +26,10 @@ export DWM_BENCH_WARMUP_MS="${DWM_BENCH_WARMUP_MS:-50}"
 reports="$(mktemp -d)"
 trap 'rm -rf "$reports"' EXIT
 
-# Only the suites with parallel (bench_threads) coverage are gated —
-# fast enough to run on every CI push.
-for suite in bench_sweep bench_exact bench_graph; do
+# Only the suites with parallel (bench_threads) coverage are gated,
+# plus the serve request-latency suite — fast enough to run on every
+# CI push.
+for suite in bench_sweep bench_exact bench_graph bench_serve; do
   echo "== $suite"
   DWM_BENCH_JSON="$reports" cargo bench -q -p dwm-bench --bench "$suite"
 done

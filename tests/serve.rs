@@ -1,0 +1,187 @@
+//! End-to-end tests for the `dwm-serve` daemon over real loopback
+//! sockets: the determinism contract at different thread counts, the
+//! solve-cache hit path, graceful drain on shutdown, and the load
+//! harness.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+
+use dwm_foundation::net::{read_response, Request, Response};
+use dwm_foundation::par;
+use dwm_serve::client::ClientConn;
+use dwm_serve::load::{self, LoadConfig};
+use dwm_serve::{start, ServeConfig};
+
+fn ephemeral_server(workers: usize, cache_capacity: usize) -> dwm_serve::ServeHandle {
+    start(ServeConfig {
+        workers,
+        cache_capacity,
+        ..ServeConfig::ephemeral()
+    })
+    .expect("loopback server starts")
+}
+
+/// The request sequence used by the determinism test: two distinct
+/// multi-workload solves, an evaluate, and a simulate.
+fn request_sequence() -> Vec<(&'static str, String)> {
+    let zig: Vec<String> = (0..600).map(|i| (i % 24).to_string()).collect();
+    let pong: Vec<String> = (0..600).map(|i| ((i * 7) % 16).to_string()).collect();
+    vec![
+        (
+            "/solve",
+            format!(
+                r#"{{"algorithm":"hybrid","workloads":[{{"ids":[{}]}},{{"ids":[{}]}}]}}"#,
+                zig.join(","),
+                pong.join(",")
+            ),
+        ),
+        (
+            "/solve",
+            format!(r#"{{"algorithm":"organ-pipe","ids":[{}]}}"#, pong.join(",")),
+        ),
+        (
+            "/evaluate",
+            format!(
+                r#"{{"ids":[{}],"placement":[{}],"ports":2,"tape_length":24}}"#,
+                zig.join(","),
+                (0..24).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+            ),
+        ),
+        (
+            "/simulate",
+            format!(r#"{{"ids":[{}],"domains_per_track":64}}"#, zig.join(",")),
+        ),
+    ]
+}
+
+/// Runs the request sequence against a fresh server and returns the
+/// response bodies.
+fn run_sequence(workers: usize) -> Vec<String> {
+    let handle = ephemeral_server(workers, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).expect("connect");
+    let bodies: Vec<String> = request_sequence()
+        .iter()
+        .map(|(path, body)| {
+            let resp = conn.post_json(path, body.as_str()).expect("response");
+            assert!(resp.is_success(), "{path}: status {}", resp.status);
+            resp.body_str().expect("utf-8 body").to_owned()
+        })
+        .collect();
+    handle.shutdown();
+    handle.join();
+    bodies
+}
+
+#[test]
+fn response_bodies_are_byte_identical_across_thread_counts() {
+    let single = {
+        let _guard = par::override_threads(1);
+        run_sequence(1)
+    };
+    let wide = {
+        let _guard = par::override_threads(8);
+        run_sequence(8)
+    };
+    assert_eq!(
+        single, wide,
+        "same requests must produce the same bytes at 1 and 8 threads"
+    );
+}
+
+#[test]
+fn repeated_solve_is_served_from_the_cache_with_identical_results() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    let body = r#"{"algorithm":"hybrid","ids":[0,9,0,9,3,7,3,7,1,5]}"#;
+
+    let first = conn.post_json("/solve", body).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(
+        first.header("x-dwm-elapsed-us").is_some(),
+        "timing must travel in the header, not the body"
+    );
+    let first_body = first.body_str().unwrap().to_owned();
+    assert!(first_body.contains(r#""cache":["miss"]"#), "{first_body}");
+
+    let second = conn.post_json("/solve", body).unwrap();
+    let second_body = second.body_str().unwrap().to_owned();
+    assert!(second_body.contains(r#""cache":["hit"]"#), "{second_body}");
+
+    // Everything after the cache field is byte-identical.
+    let results = |b: &str| b.split_once(r#""results":"#).map(|(_, r)| r.to_owned());
+    assert_eq!(results(&first_body), results(&second_body));
+    assert!(results(&first_body).is_some());
+
+    let stats = conn.get("/stats").unwrap();
+    let stats_body = stats.body_str().unwrap();
+    assert!(stats_body.contains(r#""hits":1"#), "{stats_body}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_request() {
+    let handle = ephemeral_server(2, 16);
+    let addr = handle.local_addr();
+
+    // Prime the connection so a worker owns it in its keep-alive loop.
+    let mut conn = ClientConn::connect(addr).unwrap();
+    assert!(conn.get("/health").unwrap().is_success());
+
+    // Hand-roll the second request so shutdown lands between the write
+    // and the read: the daemon must still answer it before closing.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut wire = Vec::new();
+    Request::post("/solve", br#"{"ids":[0,3,0,3,1,2]}"#.to_vec())
+        .write_to(&mut wire)
+        .unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+    // Give the worker time to pick the request up, then shut down.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    handle.shutdown();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let resp: Response = read_response(&mut reader)
+        .expect("readable response")
+        .expect("a response, not EOF: shutdown must drain in-flight work");
+    assert_eq!(resp.status, 200);
+
+    // After the drain, the daemon closes the connection rather than
+    // serving new requests (whether it marked the last response
+    // `connection: close` depends on when shutdown was observed).
+    handle.join();
+    let eof = read_response(&mut reader).expect("clean teardown");
+    assert!(eof.is_none(), "connection must close after shutdown");
+}
+
+#[test]
+fn load_harness_reports_clean_deterministic_run() {
+    let handle = ephemeral_server(4, 128);
+    let config = LoadConfig {
+        requests: 120,
+        clients: 4,
+        workloads: 6,
+        items: 32,
+        len: 900,
+        ..LoadConfig::new(handle.local_addr())
+    };
+    let report = load::run(&config).expect("clients connect");
+    handle.shutdown();
+    handle.join();
+
+    assert!(report.all_ok(), "{}", report.summary());
+    assert_eq!(report.sent, 120);
+    assert_eq!(report.hits + report.misses, report.sent);
+    assert!(report.hits > 0, "{}", report.summary());
+
+    // The throughput floor only means anything in release builds; a
+    // debug-mode solver is an order of magnitude slower.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        report.rps() >= 1000.0,
+        "cached-solve throughput below 1000 req/s: {}",
+        report.summary()
+    );
+}
