@@ -6,10 +6,16 @@
 //! `serve/throughput` times one keep-alive round-trip of a cached
 //! solve over a real loopback socket — the unit the CI smoke job's
 //! req/s floor is made of.
+//!
+//! `serve/solve_hit_obs_off` repeats the hit path with metric
+//! collection force-disabled; the gate bounds `solve_hit /
+//! solve_hit_obs_off` at 1.05x, proving observability costs < 5%.
+//! `serve/metrics_scrape` times a full `GET /metrics` render.
 
 use dwm_bench::BENCH_SEED;
 use dwm_foundation::bench::{black_box, Harness};
 use dwm_foundation::net::Request;
+use dwm_foundation::obs;
 use dwm_serve::client::ClientConn;
 use dwm_serve::{start, Engine, ServeConfig};
 use dwm_trace::synth::{TraceGenerator, ZipfGen};
@@ -27,10 +33,38 @@ fn main() {
     let mut h = Harness::from_env("serve");
 
     // Memoized path: the first call populates the cache, every timed
-    // call is a fingerprint + shard lookup.
+    // call is a fingerprint + shard lookup. The obs-on and obs-off
+    // sides are sampled *alternately* (`bench_pair`) because the gate
+    // bounds their ratio at 5% — a sequential layout would let a
+    // transient load spike inflate one side alone. The override guard
+    // inside each closure forces collection on/off per call (two
+    // atomic swaps against a ~300 µs body: noise) so the pair measures
+    // a real difference regardless of the ambient DWM_OBS.
     let cached = Engine::new(64);
     assert!(cached.handle(&request).is_success());
-    h.bench("serve/solve_hit", || black_box(cached.handle(&request)));
+    {
+        let _lock = obs::TEST_OVERRIDE_LOCK.lock().unwrap();
+        h.bench_pair(
+            "serve/solve_hit",
+            "serve/solve_hit_obs_off",
+            || {
+                let _on = obs::override_enabled(true);
+                black_box(cached.handle(&request))
+            },
+            || {
+                let _off = obs::override_enabled(false);
+                black_box(cached.handle(&request))
+            },
+        );
+    }
+
+    // Prometheus render of the engine + global registries.
+    {
+        let _lock = obs::TEST_OVERRIDE_LOCK.lock().unwrap();
+        let _on = obs::override_enabled(true);
+        let scrape = Request::new("GET", "/metrics");
+        h.bench("serve/metrics_scrape", || black_box(cached.handle(&scrape)));
+    }
 
     // Capacity 0 disables memoization, so every call runs the solver.
     let uncached = Engine::new(0);

@@ -2,16 +2,27 @@
 //! [`dwm_bench::gate`]).
 //!
 //! ```text
-//! bench_compare [--threshold F] [--write-baseline] <baseline.json> <report>...
+//! bench_compare [--threshold F] [--write-baseline]
+//!               [--pair NUM DEN]... [--pair-threshold F]
+//!               <baseline.json> <report>...
 //! ```
 //!
 //! Each `<report>` is a suite JSON written by the harness
 //! (`DWM_BENCH_JSON`), or a directory of them. Normal mode compares the
-//! reports against the baseline and exits non-zero when any median
-//! regressed beyond the threshold (default 0.25 = 25%).
+//! reports against the baseline and exits non-zero when any benchmark's
+//! minimum iteration time regressed beyond the threshold (default 0.25
+//! = 25%; see [`dwm_bench::gate`] for why minima, not medians).
 //! `--write-baseline` instead (re)writes `<baseline.json>` from the
 //! reports — run it after intentional performance changes and commit
 //! the file.
+//!
+//! `--pair NUM DEN` additionally bounds the ratio of two *minimum*
+//! iteration times from the *current* run (`NUM / DEN ≤ 1 +
+//! pair-threshold`, default 0.05). Because both sides ran on the same
+//! machine seconds apart — and minima filter scheduler noise that
+//! swings medians — this holds a much tighter bound than the baseline
+//! gate; it is how CI proves observability costs < 5%. Pairs are
+//! checked in both normal and `--write-baseline` mode.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -20,7 +31,8 @@ use dwm_bench::gate::{self, Entry};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_compare [--threshold F] [--write-baseline] <baseline.json> <report>..."
+        "usage: bench_compare [--threshold F] [--write-baseline] \
+         [--pair NUM DEN]... [--pair-threshold F] <baseline.json> <report>..."
     );
     std::process::exit(2);
 }
@@ -52,8 +64,31 @@ fn collect_reports(paths: &[String]) -> Result<Vec<Entry>, String> {
     Ok(entries)
 }
 
+/// Checks every `--pair` bound against the current run; returns
+/// whether all held.
+fn check_pairs(
+    current: &[Entry],
+    pairs: &[(String, String)],
+    threshold: f64,
+) -> Result<bool, String> {
+    let mut ok = true;
+    for (num, den) in pairs {
+        let ratio = gate::pair_ratio(current, num, den)?;
+        let failed = ratio > 1.0 + threshold;
+        println!(
+            "pair {num} / {den} = {ratio:.3}x (bound {:.3}x){}",
+            1.0 + threshold,
+            if failed { "  EXCEEDED" } else { "" }
+        );
+        ok &= !failed;
+    }
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let mut threshold = 0.25f64;
+    let mut pair_threshold = 0.05f64;
+    let mut pairs: Vec<(String, String)> = Vec::new();
     let mut write_baseline = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -62,6 +97,17 @@ fn run() -> Result<bool, String> {
             "--threshold" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 threshold = v.parse().map_err(|_| format!("invalid threshold '{v}'"))?;
+            }
+            "--pair" => {
+                let num = args.next().unwrap_or_else(|| usage());
+                let den = args.next().unwrap_or_else(|| usage());
+                pairs.push((num, den));
+            }
+            "--pair-threshold" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                pair_threshold = v
+                    .parse()
+                    .map_err(|_| format!("invalid pair threshold '{v}'"))?;
             }
             "--write-baseline" => write_baseline = true,
             "--help" | "-h" => usage(),
@@ -83,7 +129,7 @@ fn run() -> Result<bool, String> {
             current.len(),
             if current.len() == 1 { "y" } else { "ies" }
         );
-        return Ok(true);
+        return check_pairs(&current, &pairs, pair_threshold);
     }
 
     let text = std::fs::read_to_string(&baseline_path)
@@ -115,8 +161,9 @@ fn run() -> Result<bool, String> {
     for id in &report.added {
         eprintln!("warning: new benchmark '{id}' not in baseline (re-baseline to track)");
     }
+    let pairs_ok = check_pairs(&current, &pairs, pair_threshold)?;
     let regressions = report.regressions(threshold);
-    if regressions.is_empty() {
+    if regressions.is_empty() && pairs_ok {
         println!(
             "gate OK: {} benchmark(s) within {:.0}% of baseline",
             report.comparisons.len(),
@@ -124,11 +171,19 @@ fn run() -> Result<bool, String> {
         );
         Ok(true)
     } else {
-        eprintln!(
-            "gate FAILED: {} benchmark(s) regressed more than {:.0}%",
-            regressions.len(),
-            threshold * 100.0
-        );
+        if !regressions.is_empty() {
+            eprintln!(
+                "gate FAILED: {} benchmark(s) regressed more than {:.0}%",
+                regressions.len(),
+                threshold * 100.0
+            );
+        }
+        if !pairs_ok {
+            eprintln!(
+                "gate FAILED: pair ratio(s) exceeded {:.0}% bound",
+                pair_threshold * 100.0
+            );
+        }
         Ok(false)
     }
 }

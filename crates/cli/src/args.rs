@@ -34,7 +34,7 @@ pub struct ParsedArgs {
 impl ParsedArgs {
     /// Known boolean switches: these never consume a following token,
     /// so `--csv trace.txt` keeps `trace.txt` positional.
-    const SWITCHES: &'static [&'static str] = &["csv", "quiet", "verbose"];
+    const SWITCHES: &'static [&'static str] = &["csv", "quiet", "verbose", "obs"];
 
     /// Parses a token stream (exclusive of the program name).
     ///

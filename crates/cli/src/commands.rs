@@ -149,7 +149,8 @@ COMMANDS:
                      DWM cache policy comparison (LRU vs shift-aware)
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N]
                      placement-as-a-service daemon (solve/evaluate/
-                     simulate/stats/health over HTTP; DWM_SERVE_ADDR
+                     simulate/stats/health/metrics over HTTP; GET
+                     /metrics is a Prometheus scrape; DWM_SERVE_ADDR
                      overrides the default 127.0.0.1:7077; stops
                      gracefully on SIGINT/SIGTERM)
   help               this text
@@ -158,6 +159,10 @@ GLOBAL FLAGS:
   --threads N        cap the parallel worker count (1 = sequential;
                      default: DWM_THREADS env var, then all cores).
                      Results are identical at any thread count.
+  --obs              after the command finishes, dump the metric
+                     registry as JSON to stderr (see
+                     docs/OBSERVABILITY.md; DWM_OBS=0 disables solver
+                     metric collection entirely).
 
 EXIT CODES:
   0 success   1 internal error   2 usage   3 I/O   4 malformed input
@@ -500,6 +505,15 @@ fn cmd_serve(args: &ParsedArgs) -> CommandResult {
         .stats()
         .requests
         .load(std::sync::atomic::Ordering::Relaxed);
+    // The engine's request/cache metrics live in its private registry,
+    // which dies with the handle — dump it here so a global --obs dump
+    // (which only sees obs::global) still captures them.
+    if args.switch("obs") {
+        eprintln!(
+            "{}",
+            dwm_foundation::obs::dump_json(&[handle.engine().registry()]).to_pretty()
+        );
+    }
     handle.join();
     Ok(format!(
         "shutdown: drained in-flight work, {served} requests served"

@@ -29,7 +29,7 @@ fn main() -> ExitCode {
             return ExitCode::from(commands::CliError::USAGE);
         }
     }
-    match commands::dispatch(&parsed) {
+    let code = match commands::dispatch(&parsed) {
         Ok(out) => {
             println!("{out}");
             ExitCode::SUCCESS
@@ -38,5 +38,14 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::from(e.code)
         }
+    };
+    // Global --obs switch: after any command, dump the metric registry
+    // as JSON to stderr so stdout stays machine-parseable.
+    if parsed.switch("obs") {
+        eprintln!(
+            "{}",
+            dwm_foundation::obs::dump_json(&[dwm_foundation::obs::global()]).to_pretty()
+        );
     }
+    code
 }

@@ -67,6 +67,9 @@ impl SimulatedAnnealing {
 
         let mut temperature = self.initial_temperature.max(f64::MIN_POSITIVE);
         let cool_every = (self.iterations / 100).max(1);
+        // Metrics accumulate locally and flush once after the loop, so
+        // the hot path never touches an atomic.
+        let (mut proposed, mut accepted_moves) = (0u64, 0u64);
 
         for step in 0..self.iterations {
             let a = rng.gen_range(0..n);
@@ -74,6 +77,7 @@ impl SimulatedAnnealing {
             if a == b {
                 continue;
             }
+            proposed += 1;
             let delta = eval.swap_delta(a, b);
             // Metropolis acceptance, `u < exp(−delta/temperature)`
             // with `u = next_f64()`. The uniform draw comes first so
@@ -93,6 +97,7 @@ impl SimulatedAnnealing {
                 }
             };
             if accept {
+                accepted_moves += 1;
                 eval.apply_swap_with_delta(a, b, delta);
                 current_cost += delta;
                 if current_cost < best_cost {
@@ -108,9 +113,27 @@ impl SimulatedAnnealing {
             eval.undo();
         }
         debug_assert_eq!(eval.total() as i64, best_cost);
+        moves_proposed_counter().add(proposed);
+        moves_accepted_counter().add(accepted_moves);
         Placement::from_offsets(eval.positions().to_vec())
             .expect("evaluator maintains a permutation")
     }
+}
+
+/// Moves proposed across all annealing runs in this process.
+pub(crate) fn moves_proposed_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_annealing_moves_proposed_total",
+        "Swap moves proposed by simulated annealing (distinct-slot proposals)"
+    )
+}
+
+/// Moves accepted across all annealing runs in this process.
+pub(crate) fn moves_accepted_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_annealing_moves_accepted_total",
+        "Swap moves accepted by the Metropolis criterion in simulated annealing"
+    )
 }
 
 impl PlacementAlgorithm for SimulatedAnnealing {

@@ -82,7 +82,10 @@ impl LocalSearch {
         // of two — the anchor's row is not re-walked per pair.
         let mut ga = vec![0i64; w + 1];
         let mut mid: Vec<(i64, i64)> = Vec::new();
+        // Metrics accumulate locally and flush after the pass loop.
+        let (mut passes, mut swaps) = (0u64, 0u64);
         for _ in 0..self.max_passes {
+            passes += 1;
             let mut improved = false;
             for k in 0..n - 1 {
                 let hi = (k + w).min(n - 1);
@@ -101,6 +104,7 @@ impl LocalSearch {
                     // apply below re-checks that in debug builds).
                     let delta = (ga[j - k] - ga[0]) + half_b + 2 * wab * (j - k) as i64;
                     if delta < 0 {
+                        swaps += 1;
                         eval.apply_swap_with_delta(a, b, delta);
                         saved -= delta;
                         improved = true;
@@ -113,6 +117,8 @@ impl LocalSearch {
                 break;
             }
         }
+        window_passes_counter().add(passes);
+        improving_swaps_counter().add(swaps);
         *placement = Placement::from_offsets(eval.positions().to_vec())
             .expect("evaluator maintains a permutation");
         saved as u64
@@ -169,6 +175,22 @@ fn window_profile(
         }
         *g = acc;
     }
+}
+
+/// Window passes executed across all local-search runs.
+pub(crate) fn window_passes_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_local_search_passes_total",
+        "Windowed improvement passes executed by local search"
+    )
+}
+
+/// Improving swaps applied across all local-search runs.
+pub(crate) fn improving_swaps_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_local_search_swaps_total",
+        "Improving swaps applied by local search"
+    )
 }
 
 impl PlacementAlgorithm for LocalSearch {

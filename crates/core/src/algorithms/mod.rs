@@ -44,6 +44,17 @@ pub use spectral::Spectral;
 pub use trace_refine::TraceRefiner;
 pub use window_dp::WindowedDp;
 
+/// Touches every solver metric owned by this module so scrapes list
+/// the full family (at zero) before any solve has run.
+pub(crate) fn register_obs_metrics() {
+    let _ = (
+        annealing::moves_proposed_counter(),
+        annealing::moves_accepted_counter(),
+        local_search::window_passes_counter(),
+        local_search::improving_swaps_counter(),
+    );
+}
+
 use dwm_graph::AccessGraph;
 
 use crate::placement::Placement;

@@ -67,10 +67,19 @@ struct Search<'g> {
     /// the prefix boundary can contribute 0 more (their second endpoint
     /// may be placed immediately next), so they are excluded.
     remaining_edge_weight: u64,
+    /// Nodes this subtree visited — flushed to the obs registry by the
+    /// caller after the subtree completes.
+    nodes: u64,
+    /// Nodes cut off by the bound check. Unlike everything the solver
+    /// *returns*, this count legitimately varies with `DWM_THREADS`:
+    /// pruning depends on when other workers publish a better shared
+    /// incumbent.
+    pruned: u64,
 }
 
 impl<'g> Search<'g> {
     fn run(&mut self, cost_so_far: u64, cut: u64) {
+        self.nodes += 1;
         if self.prefix.len() == self.n {
             if cost_so_far < self.local_best {
                 self.local_best = cost_so_far;
@@ -85,6 +94,7 @@ impl<'g> Search<'g> {
         // improve it); shared pruning is strict (see module docs).
         let bound = cost_so_far + self.remaining_edge_weight;
         if bound >= self.local_best || bound > self.global_best.get() {
+            self.pruned += 1;
             return;
         }
         // Order candidates by the cut they would produce (weakest cut
@@ -190,9 +200,13 @@ pub fn branch_and_bound_placement(graph: &AccessGraph) -> Result<(Placement, u64
             prefix: vec![v],
             in_prefix,
             remaining_edge_weight: csr.total_weight() - csr.degree(v),
+            nodes: 0,
+            pruned: 0,
         };
         let add = if n == 1 { 0 } else { root_cut };
         search.run(add, root_cut);
+        nodes_counter().add(search.nodes);
+        pruned_counter().add(search.pruned);
         (search.local_best, search.best_order)
     });
 
@@ -209,6 +223,24 @@ pub fn branch_and_bound_placement(graph: &AccessGraph) -> Result<(Placement, u64
     let placement = Placement::from_order(best_order);
     debug_assert_eq!(graph.arrangement_cost(placement.offsets()), best_cost);
     Ok((placement, best_cost))
+}
+
+/// Search-tree nodes visited across all branch-and-bound runs.
+pub(crate) fn nodes_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_bb_nodes_total",
+        "Search-tree nodes visited by branch and bound"
+    )
+}
+
+/// Subtrees pruned across all branch-and-bound runs. Varies with
+/// `DWM_THREADS` (shared-incumbent timing); the *returned placement*
+/// does not.
+pub(crate) fn pruned_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_bb_pruned_total",
+        "Subtrees cut off by the branch-and-bound lower bound"
+    )
 }
 
 #[cfg(test)]

@@ -65,6 +65,20 @@ pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCo
 pub use error::PlacementError;
 pub use placement::Placement;
 
+/// Registers every metric this crate's solvers can emit in the
+/// [`dwm_foundation::obs::global`] registry, so a scrape lists the
+/// full solver family (at zero) before any solve has run.
+pub fn register_obs_metrics() {
+    algorithms::register_obs_metrics();
+    let _ = (
+        exact_bb::nodes_counter(),
+        exact_bb::pruned_counter(),
+        partition::refine_passes_counter(),
+        partition::swaps_applied_counter(),
+        partition::swap_gain_histogram(),
+    );
+}
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::algorithms::{

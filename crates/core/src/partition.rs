@@ -289,7 +289,11 @@ impl Partitioner {
             Objective::MinimizeExternal => 1,
             Objective::MinimizeInternal => -1,
         };
+        // Metrics accumulate locally and flush after the pass loop.
+        let (mut passes, mut applied) = (0u64, 0u64);
+        let gain_hist = swap_gain_histogram();
         for _ in 0..self.refine_passes {
+            passes += 1;
             // Score all candidate swaps against the frozen pass-start
             // state in parallel (scoring is the O(n²·d̄) hot loop), then
             // apply them sequentially best-gain-first, re-validating
@@ -322,22 +326,52 @@ impl Partitioner {
                 }
                 // Earlier applied swaps may have invalidated the
                 // pass-start score; recheck before committing.
-                if sign * Self::swap_gain(csr, partition, a, b) < 0 {
+                let gain = sign * Self::swap_gain(csr, partition, a, b);
+                if gain < 0 {
                     let (pa, pb) = (partition.part_of[a], partition.part_of[b]);
                     partition.part_of[a] = pb;
                     partition.part_of[b] = pa;
                     improved = true;
+                    applied += 1;
+                    gain_hist.record((-gain) as u64);
                 }
             }
             if !improved {
                 break;
             }
         }
+        refine_passes_counter().add(passes);
+        swaps_applied_counter().add(applied);
         *partition = Partition::from_assignment(
             std::mem::take(&mut partition.part_of),
             partition.parts.len(),
         );
     }
+}
+
+/// KL refinement passes executed across all partitioner runs.
+pub(crate) fn refine_passes_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_kl_passes_total",
+        "Kernighan-Lin refinement passes executed by the partitioner"
+    )
+}
+
+/// KL swaps committed across all partitioner runs.
+pub(crate) fn swaps_applied_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_solver_kl_swaps_total",
+        "Kernighan-Lin swaps committed during partition refinement"
+    )
+}
+
+/// Distribution of committed KL swap gains (objective improvement per
+/// swap, in edge-weight units).
+pub(crate) fn swap_gain_histogram() -> &'static dwm_foundation::obs::Histogram {
+    dwm_foundation::obs_histogram!(
+        "dwm_solver_kl_swap_gain",
+        "Objective improvement per committed Kernighan-Lin swap (edge-weight units)"
+    )
 }
 
 #[cfg(test)]

@@ -130,44 +130,16 @@ impl Harness {
         self
     }
 
-    /// Times `f`, recording the result under `id`. Skipped (silently)
-    /// when a CLI filter is set and `id` does not contain it.
-    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
-        if let Some(filter) = &self.filter {
-            if !id.contains(filter.as_str()) {
-                return;
-            }
-        }
-        // Calibrate: grow the per-sample iteration count until one
-        // sample costs ≳ 1 ms (so timer resolution is negligible).
-        let mut iters: u64 = 1;
-        loop {
-            let start = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            let elapsed = start.elapsed();
-            if elapsed.as_micros() >= 1000 || iters >= 1 << 30 {
-                break;
-            }
-            // Aim straight at 1.2 ms instead of stepping by doubling.
-            let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
-            iters = (1_200_000 / per_iter.max(1)).max(iters * 2).min(1 << 30);
-        }
+    /// Whether a CLI filter is set and `id` does not contain it.
+    fn filtered_out(&self, id: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_some_and(|f| !id.contains(f.as_str()))
+    }
 
-        let warmup_deadline = Instant::now();
-        while warmup_deadline.elapsed().as_millis() < self.warmup_ms as u128 {
-            black_box(f());
-        }
-
-        let mut sample_ns = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
-            let start = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
-        }
+    /// Sorts `sample_ns`, derives the summary statistics, prints the
+    /// table row, and records the result under `id`.
+    fn record(&mut self, id: &str, iters: u64, mut sample_ns: Vec<f64>) {
         sample_ns.sort_by(|a, b| a.total_cmp(b));
         let pick = |q: f64| sample_ns[((sample_ns.len() - 1) as f64 * q).round() as usize];
         let result = BenchResult {
@@ -187,6 +159,73 @@ impl Harness {
             format_ns(result.min_ns),
         );
         self.results.push(result);
+    }
+
+    /// Times `f`, recording the result under `id`. Skipped (silently)
+    /// when a CLI filter is set and `id` does not contain it.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
+        if self.filtered_out(id) {
+            return;
+        }
+        let iters = calibrate(&mut f);
+
+        let warmup_deadline = Instant::now();
+        while warmup_deadline.elapsed().as_millis() < self.warmup_ms as u128 {
+            black_box(f());
+        }
+
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            sample_ns.push(time_sample(&mut f, iters));
+        }
+        self.record(id, iters, sample_ns);
+    }
+
+    /// Times `fa` and `fb` with *alternating* samples, recording them
+    /// under `id_a` and `id_b`.
+    ///
+    /// Both closures share one iteration count (calibrated on `fa`),
+    /// and every sample of one side is taken immediately next to a
+    /// sample of the other — so machine-load drift over the run lands
+    /// on both sides roughly equally instead of inflating whichever
+    /// side happened to run during a spike. Use this when a gate
+    /// bounds the *ratio* of the two results tightly (e.g. the
+    /// observability-overhead pair in `scripts/bench_gate.sh`, bounded
+    /// at 5% — far below the run-to-run noise a sequential A-then-B
+    /// layout exhibits on a shared machine).
+    ///
+    /// A CLI filter applies per id: a side whose id does not match is
+    /// still timed (the alternation is the point) but not recorded.
+    pub fn bench_pair<RA, RB, FA: FnMut() -> RA, FB: FnMut() -> RB>(
+        &mut self,
+        id_a: &str,
+        id_b: &str,
+        mut fa: FA,
+        mut fb: FB,
+    ) {
+        if self.filtered_out(id_a) && self.filtered_out(id_b) {
+            return;
+        }
+        let iters = calibrate(&mut fa);
+
+        let warmup_deadline = Instant::now();
+        while warmup_deadline.elapsed().as_millis() < self.warmup_ms as u128 {
+            black_box(fa());
+            black_box(fb());
+        }
+
+        let mut a_ns = Vec::with_capacity(self.samples);
+        let mut b_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            a_ns.push(time_sample(&mut fa, iters));
+            b_ns.push(time_sample(&mut fb, iters));
+        }
+        if !self.filtered_out(id_a) {
+            self.record(id_a, iters, a_ns);
+        }
+        if !self.filtered_out(id_b) {
+            self.record(id_b, iters, b_ns);
+        }
     }
 
     /// Times `f` once per entry of [`THREAD_POINTS`], recording
@@ -237,6 +276,35 @@ impl Harness {
     }
 }
 
+/// Grows the per-sample iteration count until one sample costs ≳ 1 ms
+/// (so timer resolution is negligible).
+fn calibrate<R, F: FnMut() -> R>(f: &mut F) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 1000 || iters >= 1 << 30 {
+            break;
+        }
+        // Aim straight at 1.2 ms instead of stepping by doubling.
+        let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
+        iters = (1_200_000 / per_iter.max(1)).max(iters * 2).min(1 << 30);
+    }
+    iters
+}
+
+/// One timed sample: `iters` calls of `f`, returned as ns/iteration.
+fn time_sample<R, F: FnMut() -> R>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
 /// A log-bucketed latency histogram over `u64` values (nanoseconds by
 /// convention).
 ///
@@ -255,6 +323,18 @@ pub struct Histogram {
 
 /// Sub-buckets per power of two in [`Histogram`].
 const HIST_SUB: u64 = 64;
+
+/// Total bucket count (64 exponents × [`HIST_SUB`] sub-buckets covers
+/// all of `u64`). Shared with [`crate::obs`], whose atomic histogram
+/// uses the same layout.
+pub(crate) const HIST_BUCKETS: usize = 64 * HIST_SUB as usize;
+
+/// The bucket index `value` falls in — exposed crate-internally so
+/// [`crate::obs::Histogram`] bins identically to [`Histogram`].
+#[inline]
+pub(crate) fn hist_bucket(value: u64) -> usize {
+    Histogram::bucket(value)
+}
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -283,6 +363,21 @@ impl Histogram {
             (v << (6 - e)) - HIST_SUB
         };
         (e * HIST_SUB + sub) as usize
+    }
+
+    /// Rebuilds a histogram from a raw bucket snapshot — how
+    /// [`crate::obs::Histogram::snapshot`] converts its atomic counts
+    /// into a queryable value. `counts` must use the [`HIST_BUCKETS`]
+    /// layout; `min`/`max` keep their empty-state sentinels
+    /// (`u64::MAX`/`0`) when `total` is zero.
+    pub(crate) fn from_raw(counts: Vec<u64>, total: u64, min: u64, max: u64) -> Self {
+        debug_assert_eq!(counts.len(), HIST_BUCKETS);
+        Histogram {
+            counts,
+            total,
+            min,
+            max,
+        }
     }
 
     /// Records one value.
@@ -393,6 +488,36 @@ mod tests {
         h.bench("drop/this", || black_box(0u8));
         assert_eq!(h.results().len(), 1);
         assert_eq!(h.results()[0].id, "keep/this");
+    }
+
+    #[test]
+    fn bench_pair_records_both_sides_with_shared_iters() {
+        let mut h = tiny();
+        h.bench_pair(
+            "pair/a",
+            "pair/b",
+            || black_box(1u64 + 1),
+            || black_box(2u64 + 2),
+        );
+        let ids: Vec<&str> = h.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["pair/a", "pair/b"]);
+        assert_eq!(
+            h.results()[0].iters_per_sample,
+            h.results()[1].iters_per_sample,
+            "pair sides must be sampled at the same iteration count"
+        );
+        assert_eq!(h.results()[0].samples, 5);
+        assert_eq!(h.results()[1].samples, 5);
+    }
+
+    #[test]
+    fn bench_pair_filter_applies_per_side() {
+        let mut h = tiny();
+        h.filter = Some("keep".into());
+        h.bench_pair("keep/a", "drop/b", || black_box(0u8), || black_box(0u8));
+        h.bench_pair("drop/c", "drop/d", || black_box(0u8), || black_box(0u8));
+        let ids: Vec<&str> = h.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["keep/a"]);
     }
 
     #[test]

@@ -32,14 +32,26 @@
 //! graceful drain on shutdown) that `dwm-serve` builds its
 //! placement-as-a-service daemon on.
 //!
+//! A seventh module, [`obs`], is the observability substrate: a
+//! sharded metrics registry (striped counters, gauges, atomic
+//! histograms reusing the [`mod@bench`] bucketing) with span timers
+//! and a `DWM_OBS` enable knob, exported as Prometheus text (the
+//! daemon's `GET /metrics`) or JSON (the CLI's `--obs` dump). Solver
+//! and simulator instrumentation throughout the workspace records
+//! here; metrics never leak into response bodies or artifacts, so the
+//! determinism contract below survives with observability on.
+//!
 //! The determinism here is load-bearing, not incidental: shift-count
 //! comparisons between placement algorithms are only meaningful when
 //! every workload is byte-for-byte reproducible from its seed.
+
+#![deny(missing_docs)]
 
 pub mod bench;
 pub mod check;
 pub mod json;
 pub mod net;
+pub mod obs;
 pub mod par;
 pub mod rng;
 

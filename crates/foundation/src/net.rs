@@ -466,6 +466,68 @@ struct ServerShared {
     handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
 }
 
+/// Accessors for the transport metrics in the [`crate::obs::global`]
+/// registry. Called once at server start so a scrape shows the full
+/// family at zero, then reused per event via the macro's call-site
+/// cache.
+mod metrics {
+    use crate::obs;
+
+    pub(super) fn accepted() -> &'static obs::Counter {
+        crate::obs_counter!(
+            "dwm_net_connections_accepted_total",
+            "Connections accepted onto the server work queue"
+        )
+    }
+
+    pub(super) fn rejected() -> &'static obs::Counter {
+        crate::obs_counter!(
+            "dwm_net_connections_rejected_total",
+            "Connections refused with 503 because the accept queue was full"
+        )
+    }
+
+    pub(super) fn requests() -> &'static obs::Counter {
+        crate::obs_counter!(
+            "dwm_net_requests_total",
+            "Requests parsed off connections and answered (any status)"
+        )
+    }
+
+    pub(super) fn malformed() -> &'static obs::Counter {
+        crate::obs_counter!(
+            "dwm_net_malformed_requests_total",
+            "Requests that failed to parse and were answered 400"
+        )
+    }
+
+    pub(super) fn queue_depth() -> &'static obs::Gauge {
+        crate::obs_gauge!(
+            "dwm_net_queue_depth",
+            "Connections currently waiting in the accept queue"
+        )
+    }
+
+    pub(super) fn handler_latency() -> &'static obs::Histogram {
+        crate::obs_histogram!(
+            "dwm_net_handler_latency_ns",
+            "Wall-clock nanoseconds spent inside the request handler"
+        )
+    }
+
+    /// Touches every transport metric so they exist before traffic.
+    pub(super) fn register() {
+        let _ = (
+            accepted(),
+            rejected(),
+            requests(),
+            malformed(),
+            queue_depth(),
+            handler_latency(),
+        );
+    }
+}
+
 /// A running TCP server; dropping the handle without calling
 /// [`ServerHandle::join`] detaches the threads.
 pub struct Server;
@@ -497,6 +559,7 @@ impl Server {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        metrics::register();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -576,10 +639,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 if let Err(stream) = shared.queue.try_push(stream) {
                     // Backpressure: refuse rather than queue unboundedly.
                     shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    metrics::rejected().inc();
                     let mut stream = stream;
                     let _ = Response::text(503, "server overloaded\n").write_to(&mut stream, true);
                 } else {
                     shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    metrics::accepted().inc();
+                    metrics::queue_depth().add_always(1);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_IDLE),
@@ -592,6 +658,7 @@ fn worker_loop(shared: &Arc<ServerShared>) {
     // `pop` returns `None` only once the queue is closed and drained,
     // so every accepted connection is served even across shutdown.
     while let Some(stream) = shared.queue.pop() {
+        metrics::queue_depth().add_always(-1);
         handle_connection(stream, shared);
     }
 }
@@ -608,7 +675,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         match read_request(&mut reader) {
             Ok(Some(request)) => {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let response = (shared.handler)(&request);
+                metrics::requests().inc();
+                let response = {
+                    let _span = metrics::handler_latency().span();
+                    (shared.handler)(&request)
+                };
                 // Drain semantics: the request that was already in
                 // flight gets its response, then the connection closes.
                 let closing = shared.shutdown.load(Ordering::SeqCst)
@@ -630,6 +701,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             Err(NetError::Io(_)) => return,
             Err(NetError::Malformed(m)) => {
                 shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                metrics::malformed().inc();
                 let _ = Response::text(400, format!("{m}\n")).write_to(&mut writer, true);
                 return;
             }

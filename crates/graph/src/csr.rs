@@ -18,7 +18,22 @@
 //! the evaluator cannot change its decisions (see
 //! `tests/csr_equivalence.rs`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::graph::{AccessGraph, Edge};
+
+/// Global counter of incremental delta evaluations (swap, half-swap,
+/// relocate) answered by [`ArrangementEval`] — the denominator of
+/// every solver's moves-per-evaluation story. Evaluators count into a
+/// per-evaluator relaxed atomic (uncontended unless the *same*
+/// evaluator is shared across threads) and flush to the global striped
+/// counter once on drop.
+pub(crate) fn delta_eval_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_graph_eval_delta_evals_total",
+        "Incremental cost-delta evaluations (swap/half-swap/relocate) answered by ArrangementEval"
+    )
+}
 
 /// Frozen compressed-sparse-row view of an [`AccessGraph`].
 ///
@@ -253,7 +268,7 @@ enum Move {
 /// [`swap_delta`]: ArrangementEval::swap_delta
 /// [`relocate_delta`]: ArrangementEval::relocate_delta
 /// [`undo`]: ArrangementEval::undo
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ArrangementEval<'g> {
     graph: &'g CsrGraph,
     /// Slot of each item, padded with zeros to a power-of-two length
@@ -270,6 +285,35 @@ pub struct ArrangementEval<'g> {
     cuts: Option<Vec<u64>>,
     /// Applied moves, most recent last.
     log: Vec<Move>,
+    /// Delta evaluations not yet flushed to [`delta_eval_counter`].
+    /// Atomic (not `Cell`) so read-only delta queries may be shared
+    /// across threads; relaxed and usually uncontended.
+    delta_evals: AtomicU64,
+}
+
+impl Clone for ArrangementEval<'_> {
+    fn clone(&self) -> Self {
+        ArrangementEval {
+            graph: self.graph,
+            pos: self.pos.clone(),
+            item_at: self.item_at.clone(),
+            total: self.total,
+            cuts: self.cuts.clone(),
+            log: self.log.clone(),
+            // The original still owns (and will flush) its pending
+            // count; the clone starts a tally of its own.
+            delta_evals: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Drop for ArrangementEval<'_> {
+    fn drop(&mut self) {
+        let n = *self.delta_evals.get_mut();
+        if n > 0 {
+            delta_eval_counter().add(n);
+        }
+    }
 }
 
 impl<'g> ArrangementEval<'g> {
@@ -298,6 +342,7 @@ impl<'g> ArrangementEval<'g> {
             total,
             cuts: None,
             log: Vec::new(),
+            delta_evals: AtomicU64::new(0),
         }
     }
 
@@ -341,6 +386,7 @@ impl<'g> ArrangementEval<'g> {
     /// historical per-algorithm delta functions.
     #[inline]
     pub fn swap_delta(&self, a: usize, b: usize) -> i64 {
+        self.delta_evals.fetch_add(1, Ordering::Relaxed);
         let (pa, pb) = (self.pos[a] as i64, self.pos[b] as i64);
         // Fast path over the interleaved rows: one 8-byte load per
         // neighbour. The weight fits u32 there, so `(e >> 32) as i64`
@@ -412,6 +458,7 @@ impl<'g> ArrangementEval<'g> {
         to: usize,
         partner: usize,
     ) -> (i64, i64) {
+        self.delta_evals.fetch_add(1, Ordering::Relaxed);
         let (p_old, p_new) = (from as i64, to as i64);
         let pos = self.pos.as_slice();
         let mask = pos.len() - 1;
@@ -477,6 +524,7 @@ impl<'g> ArrangementEval<'g> {
         if from == to {
             return 0;
         }
+        self.delta_evals.fetch_add(1, Ordering::Relaxed);
         self.ensure_cuts();
         let x = self.item_at[from];
         let (lo, hi) = (from.min(to), from.max(to));

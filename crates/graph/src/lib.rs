@@ -31,7 +31,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod csr;
 pub mod fingerprint;
@@ -41,6 +41,13 @@ mod graph;
 pub use csr::{ArrangementEval, CsrGraph};
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use graph::{AccessGraph, Edge};
+
+/// Registers this crate's metrics in the
+/// [`dwm_foundation::obs::global`] registry, so a scrape lists the
+/// full family (at zero) before any solver has run.
+pub fn register_obs_metrics() {
+    let _ = csr::delta_eval_counter();
+}
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

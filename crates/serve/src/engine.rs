@@ -19,8 +19,21 @@
 //! 4. Per-request wall-clock time is attached as the
 //!    `x-dwm-elapsed-us` header, never in the body, keeping bodies a
 //!    pure function of the request.
+//!
+//! # Observability
+//!
+//! Each engine owns a private [`obs::Registry`] holding its request
+//! counters, request-latency histogram, and scrape-time callbacks
+//! over the [`SolveCache`]'s own counters — so `/stats` and
+//! `GET /metrics` are two renderings of one source of truth and can
+//! never disagree. `/metrics` additionally renders the
+//! [`obs::global`] registry (solver, simulator, and transport
+//! metrics) in Prometheus text exposition format. The request
+//! counters use the gate-bypassing `add_always` path so `/stats`
+//! stays correct even with `DWM_OBS=0`; everything else (latency
+//! histogram, solver metrics) respects the knob. See
+//! `docs/OBSERVABILITY.md` for the full metric catalog.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +42,7 @@ use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePo
 use dwm_device::DeviceConfig;
 use dwm_foundation::json::{Number, Object, ToJson, Value};
 use dwm_foundation::net::{Request, Response};
+use dwm_foundation::obs::{self, FnKind};
 use dwm_foundation::par;
 use dwm_graph::{fingerprint, AccessGraph};
 use dwm_sim::SpmSimulator;
@@ -43,28 +57,97 @@ use crate::protocol::{
 /// The header carrying per-request wall-clock time in microseconds.
 pub const ELAPSED_HEADER: &str = "x-dwm-elapsed-us";
 
-/// Shared request-handling state: the solve cache plus counters.
+/// Shared request-handling state: the solve cache, the engine's
+/// metric registry, and handles to its counters.
 pub struct Engine {
-    cache: SolveCache,
-    requests: AtomicU64,
-    solves: AtomicU64,
-    evaluates: AtomicU64,
-    simulates: AtomicU64,
-    errors: AtomicU64,
+    cache: Arc<SolveCache>,
+    registry: Arc<obs::Registry>,
+    requests: Arc<obs::Counter>,
+    solves: Arc<obs::Counter>,
+    evaluates: Arc<obs::Counter>,
+    simulates: Arc<obs::Counter>,
+    errors: Arc<obs::Counter>,
+    latency_ns: Arc<obs::Histogram>,
 }
 
 impl Engine {
     /// Creates an engine whose solve cache holds about
     /// `cache_capacity` entries (0 disables memoization).
     pub fn new(cache_capacity: usize) -> Self {
-        Engine {
-            cache: SolveCache::new(cache_capacity),
-            requests: AtomicU64::new(0),
-            solves: AtomicU64::new(0),
-            evaluates: AtomicU64::new(0),
-            simulates: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-        }
+        // Solver/simulator/graph metrics live in the global registry;
+        // touching them here means a scrape on a fresh daemon already
+        // lists every family the first solve will move.
+        dwm_core::register_obs_metrics();
+        dwm_graph::register_obs_metrics();
+        dwm_sim::register_obs_metrics();
+
+        let cache = Arc::new(SolveCache::new(cache_capacity));
+        let registry = Arc::new(obs::Registry::new());
+        let endpoint = |ep: &str| {
+            registry.counter_with(
+                "dwm_serve_endpoint_requests_total",
+                &[("endpoint", ep)],
+                "Requests dispatched per endpoint",
+            )
+        };
+        let engine = Engine {
+            requests: registry.counter(
+                "dwm_serve_requests_total",
+                "Requests handled by this engine (any endpoint, any status)",
+            ),
+            solves: endpoint("solve"),
+            evaluates: endpoint("evaluate"),
+            simulates: endpoint("simulate"),
+            errors: registry.counter(
+                "dwm_serve_errors_total",
+                "Requests answered with an error status",
+            ),
+            latency_ns: registry.histogram(
+                "dwm_serve_request_latency_ns",
+                "Wall-clock nanoseconds per request, measured inside the engine",
+            ),
+            cache: Arc::clone(&cache),
+            registry: Arc::clone(&registry),
+        };
+        // Cache metrics are scrape-time callbacks over the cache's own
+        // counters — /stats and /metrics read the same atomics.
+        let cache_fn = |name: &str, help: &str, kind, read: fn(&SolveCache) -> u64| {
+            let cache = Arc::clone(&cache);
+            engine
+                .registry
+                .register_fn(name, help, kind, move || read(&cache));
+        };
+        cache_fn(
+            "dwm_serve_cache_hits_total",
+            "Solve-cache lookups answered from memory",
+            FnKind::Counter,
+            |c| c.stats().hits,
+        );
+        cache_fn(
+            "dwm_serve_cache_misses_total",
+            "Solve-cache lookups that required a solve",
+            FnKind::Counter,
+            |c| c.stats().misses,
+        );
+        cache_fn(
+            "dwm_serve_cache_evictions_total",
+            "Solve-cache entries evicted to stay within capacity",
+            FnKind::Counter,
+            |c| c.stats().evictions,
+        );
+        cache_fn(
+            "dwm_serve_cache_entries",
+            "Solve-cache entries currently resident",
+            FnKind::Gauge,
+            |c| c.stats().entries,
+        );
+        cache_fn(
+            "dwm_serve_cache_capacity",
+            "Solve-cache entry budget (0 disables memoization)",
+            FnKind::Gauge,
+            |c| c.stats().capacity,
+        );
+        engine
     }
 
     /// The solve cache (exposed for stats and priming in benches).
@@ -72,39 +155,49 @@ impl Engine {
         &self.cache
     }
 
+    /// This engine's private metric registry (request and cache
+    /// metrics; solver metrics live in [`obs::global`]).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
     /// Handles one request, timing it into [`ELAPSED_HEADER`].
     pub fn handle(&self, req: &Request) -> Response {
         let started = Instant::now();
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        // `add_always`: these counters back /stats, which must keep
+        // counting even with DWM_OBS=0.
+        self.requests.inc_always();
         let result = self.route(req);
         let response = match result {
             Ok(r) => r,
             Err(e) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.errors.inc_always();
                 Response::json(e.status, error_body(&e.message))
             }
         };
-        let elapsed_us = started.elapsed().as_micros();
-        response.with_header(ELAPSED_HEADER, elapsed_us.to_string())
+        let elapsed = started.elapsed();
+        self.latency_ns.record(elapsed.as_nanos() as u64);
+        response.with_header(ELAPSED_HEADER, elapsed.as_micros().to_string())
     }
 
     fn route(&self, req: &Request) -> Result<Response, ProtocolError> {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => Ok(self.health()),
             ("GET", "/stats") => Ok(self.stats_response()),
+            ("GET", "/metrics") => Ok(self.metrics_response()),
             ("POST", "/solve") => {
-                self.solves.fetch_add(1, Ordering::Relaxed);
+                self.solves.inc_always();
                 self.solve(req)
             }
             ("POST", "/evaluate") => {
-                self.evaluates.fetch_add(1, Ordering::Relaxed);
+                self.evaluates.inc_always();
                 self.evaluate(req)
             }
             ("POST", "/simulate") => {
-                self.simulates.fetch_add(1, Ordering::Relaxed);
+                self.simulates.inc_always();
                 self.simulate(req)
             }
-            (_, "/health" | "/stats" | "/solve" | "/evaluate" | "/simulate") => {
+            (_, "/health" | "/stats" | "/metrics" | "/solve" | "/evaluate" | "/simulate") => {
                 Err(ProtocolError {
                     status: 405,
                     message: format!("method {} not allowed for {}", req.method, req.path),
@@ -133,7 +226,7 @@ impl Engine {
         c.insert("evictions", Value::Num(Number::U(cache.evictions)));
         c.insert("capacity", Value::Num(Number::U(cache.capacity)));
         let mut obj = Object::new();
-        let count = |a: &AtomicU64| Value::Num(Number::U(a.load(Ordering::Relaxed)));
+        let count = |c: &obs::Counter| Value::Num(Number::U(c.value()));
         obj.insert("requests", count(&self.requests));
         obj.insert("solves", count(&self.solves));
         obj.insert("evaluates", count(&self.evaluates));
@@ -141,6 +234,15 @@ impl Engine {
         obj.insert("errors", count(&self.errors));
         obj.insert("cache", Value::Obj(c));
         Response::json(200, Value::Obj(obj).to_compact())
+    }
+
+    fn metrics_response(&self) -> Response {
+        let text = obs::render_prometheus(&[&self.registry, obs::global()]);
+        Response {
+            status: 200,
+            headers: vec![("content-type".into(), "text/plain; version=0.0.4".into())],
+            body: text.into_bytes(),
+        }
     }
 
     fn solve(&self, req: &Request) -> Result<Response, ProtocolError> {

@@ -7,9 +7,10 @@
 //! invariant:
 //!
 //! * [`server`] — the daemon. A [`dwm_foundation::net`] bounded-queue
-//!   TCP server speaking newline-less HTTP/1.1-style framing with five
-//!   request kinds: `solve`, `evaluate`, `simulate`, `stats`, and
-//!   `health` (see [`protocol`]).
+//!   TCP server speaking newline-less HTTP/1.1-style framing with six
+//!   request kinds: `solve`, `evaluate`, `simulate`, `stats`,
+//!   `health`, and a Prometheus-format `metrics` scrape (see
+//!   [`protocol`]).
 //! * [`engine`] — request handling. Workloads are canonicalized to
 //!   their access graph and hashed with
 //!   [`fn@dwm_graph::fingerprint`]; a sharded LRU [`cache`] serves
@@ -29,9 +30,11 @@
 //! fully and is therefore identical for identical request *sequences*).
 //! Per-request wall-clock timing is reported out-of-band in the
 //! `x-dwm-elapsed-us` response header so it can never perturb body
-//! bytes. `tests/serve.rs` pins all of this over a real socket.
+//! bytes — and all metrics ([`dwm_foundation::obs`]) live in `/stats`,
+//! `GET /metrics`, and headers, never in other response bodies.
+//! `tests/serve.rs` pins all of this over a real socket.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod client;

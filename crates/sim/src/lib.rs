@@ -42,6 +42,16 @@ pub use report::SimReport;
 pub use scratchpad::Scratchpad;
 pub use simulator::{SimError, SpmSimulator};
 
+/// Registers this crate's metrics in the
+/// [`dwm_foundation::obs::global`] registry, so a scrape lists the
+/// full family (at zero) before any simulation has run.
+pub fn register_obs_metrics() {
+    let _ = (
+        simulator::accesses_counter(),
+        simulator::shift_distance_histogram(),
+    );
+}
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::{Scratchpad, SimError, SimReport, SpmSimulator};

@@ -200,9 +200,11 @@ impl SpmSimulator {
     /// outside the placement, or a device error bubbled up from the
     /// bit-level model.
     pub fn run(&mut self, trace: &Trace) -> Result<SimReport, SimError> {
+        accesses_counter().add(trace.len() as u64);
         if self.injector.is_none() && self.spm.num_dbcs() > 1 && par::num_threads() > 1 {
             return self.run_parallel(trace);
         }
+        let hist = shift_distance_histogram();
         let mut integrity_errors = 0u64;
         let mut slip_events = 0u64;
         for a in trace.iter() {
@@ -223,8 +225,9 @@ impl SpmSimulator {
                     integrity_errors += 1;
                 }
             }
+            let distance = self.spm.dbc_stats(dbc).shifts - shifts_before;
+            hist.record(distance);
             if let Some(injector) = &mut self.injector {
-                let distance = self.spm.dbc_stats(dbc).shifts - shifts_before;
                 let (net, events) = injector.draw_slip(distance);
                 slip_events += events;
                 if net != 0 {
@@ -276,10 +279,12 @@ impl SpmSimulator {
                 state,
             })
             .collect();
+        let hist = shift_distance_histogram();
         let outcomes: Vec<Result<u64, DeviceError>> = par::par_map_mut(&mut units, |_, unit| {
             let mut integrity_errors = 0u64;
             for &(offset, is_write, item) in &unit.accesses {
                 let (shadow, version) = unit.state.get_mut(&item).expect("item lives on this DBC");
+                let shifts_before = unit.dbc.stats().shifts;
                 if is_write {
                     *version += 1;
                     let token = write_token(item, *version, word_mask);
@@ -288,6 +293,7 @@ impl SpmSimulator {
                 } else if unit.dbc.read(offset)? != *shadow {
                     integrity_errors += 1;
                 }
+                hist.record(unit.dbc.stats().shifts - shifts_before);
             }
             Ok(integrity_errors)
         });
@@ -329,6 +335,23 @@ impl SpmSimulator {
         self.shadow.iter_mut().for_each(|v| *v = 0);
         self.version.iter_mut().for_each(|v| *v = 0);
     }
+}
+
+/// Accesses replayed across all simulator runs in this process.
+pub(crate) fn accesses_counter() -> &'static dwm_foundation::obs::Counter {
+    dwm_foundation::obs_counter!(
+        "dwm_sim_accesses_total",
+        "Trace accesses replayed through the bit-level device model"
+    )
+}
+
+/// Distribution of shift distances (domains moved per access) — the
+/// paper's cost metric, observed at device level.
+pub(crate) fn shift_distance_histogram() -> &'static dwm_foundation::obs::Histogram {
+    dwm_foundation::obs_histogram!(
+        "dwm_sim_shift_distance",
+        "Domains shifted per simulated access (the paper's cost metric)"
+    )
 }
 
 /// Token stored on a write: mixes item and version so stale or

@@ -22,6 +22,9 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== README quickstart smoke"
+bash scripts/doc_smoke.sh
+
 echo "== bench regression gate"
 bash scripts/bench_gate.sh
 

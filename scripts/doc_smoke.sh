@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Documentation smoke test: extracts the fenced ```sh blocks from the
+# README's Quickstart section and actually runs them, so the commands
+# users copy-paste can never rot. (The Rust quickstart block is already
+# compiled and run by rustdoc via the README doctest include.)
+#
+# Blocks run from a scratch directory under target/ so generated files
+# (fft.trace, fft.placement.json, …) never land in the repo root;
+# `cargo run` still resolves the workspace by walking up.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root="$PWD"
+
+export CARGO_NET_OFFLINE=1
+
+workdir="$repo_root/target/doc_smoke"
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+# Pull every ```sh block between '## Quickstart' and the next '## '
+# heading into numbered scripts.
+awk -v out="$workdir/block" '
+  /^## Quickstart/   { in_section = 1; next }
+  /^## /             { in_section = 0 }
+  !in_section        { next }
+  /^```sh$/          { in_block = 1; n++; next }
+  /^```$/            { in_block = 0; next }
+  in_block           { print > (out n ".sh") }
+' README.md
+
+blocks=("$workdir"/block*.sh)
+if [[ ! -e "${blocks[0]}" ]]; then
+  echo "doc_smoke: no \`\`\`sh blocks found in README Quickstart" >&2
+  exit 1
+fi
+
+cd "$workdir"
+for block in "${blocks[@]}"; do
+  echo "== doc_smoke: $(basename "$block")"
+  sed 's/^/   | /' "$block"
+  bash -euo pipefail "$block"
+done
+
+echo "doc_smoke: ${#blocks[@]} Quickstart block(s) ran clean"

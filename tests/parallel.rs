@@ -83,6 +83,10 @@ fn artifacts() -> Vec<(&'static str, String)> {
 #[test]
 fn pipeline_artifacts_are_identical_at_1_and_8_threads() {
     let _guard = ENV_LOCK.lock().unwrap();
+    // Force metric collection ON: instrumented hot loops must not
+    // perturb any artifact byte at any thread count.
+    let _obs_lock = dwm_foundation::obs::TEST_OVERRIDE_LOCK.lock().unwrap();
+    let _obs = dwm_foundation::obs::override_enabled(true);
     let sequential = with_threads(1, artifacts);
     let parallel = with_threads(8, artifacts);
     assert_eq!(sequential.len(), parallel.len());

@@ -120,6 +120,111 @@ fn repeated_solve_is_served_from_the_cache_with_identical_results() {
     handle.join();
 }
 
+/// Pulls `name <value>` out of a Prometheus exposition body.
+fn scrape_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("metric {name} not in scrape:\n{exposition}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("metric {name} not a u64: {e}"))
+}
+
+#[test]
+fn metrics_scrape_is_valid_exposition_and_agrees_with_stats() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    let body = r#"{"algorithm":"hybrid","ids":[2,8,2,8,4,6,4,6,0,5]}"#;
+    // One miss, one hit, so the cache counters are nonzero.
+    assert!(conn.post_json("/solve", body).unwrap().is_success());
+    assert!(conn.post_json("/solve", body).unwrap().is_success());
+
+    let stats = conn.get("/stats").unwrap();
+    let stats_json = dwm_foundation::json::parse(stats.body_str().unwrap()).expect("stats is JSON");
+    let metrics = conn.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4"),
+        "Prometheus exposition content type"
+    );
+    let text = metrics.body_str().unwrap().to_owned();
+
+    // Every non-comment line is `name[{labels}] value`; names start
+    // with our prefix and values parse as numbers.
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("exposition line without a value: {line:?}"));
+        assert!(name.starts_with("dwm_"), "foreign metric {name:?}");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "NaN",
+            "unparseable sample value in {line:?}"
+        );
+    }
+
+    // Server, cache, and solver families are all present — solver
+    // metrics are registered eagerly, so they appear even if this
+    // process's solves all hit the warm global registry.
+    for family in [
+        "dwm_serve_requests_total",
+        "dwm_serve_endpoint_requests_total",
+        "dwm_serve_request_latency_ns",
+        "dwm_serve_cache_hits_total",
+        "dwm_solver_annealing_moves_proposed_total",
+        "dwm_solver_local_search_passes_total",
+        "dwm_net_requests_total",
+    ] {
+        assert!(text.contains(family), "family {family} missing:\n{text}");
+    }
+
+    // /stats and /metrics are two renderings of the same counters and
+    // must agree exactly. The cache numbers come from scrape-time
+    // callbacks over the SolveCache itself, so no drift is possible;
+    // requests differ only by the /stats+/metrics reads themselves.
+    let stats_obj = stats_json.as_object().expect("stats is an object");
+    let cache = stats_obj
+        .get("cache")
+        .and_then(|v| v.as_object())
+        .expect("cache object");
+    let num = |v: &dwm_foundation::json::Value| v.as_number().and_then(|n| n.as_u64());
+    let stat = |k: &str| cache.get(k).and_then(&num).expect(k);
+    assert_eq!(
+        stat("hits"),
+        scrape_value(&text, "dwm_serve_cache_hits_total")
+    );
+    assert_eq!(
+        stat("misses"),
+        scrape_value(&text, "dwm_serve_cache_misses_total")
+    );
+    assert_eq!(
+        stat("entries"),
+        scrape_value(&text, "dwm_serve_cache_entries")
+    );
+    assert_eq!(stat("hits"), 1, "miss-then-hit sequence");
+    assert_eq!(stat("misses"), 1, "miss-then-hit sequence");
+    assert_eq!(
+        stats_obj.get("solves").and_then(&num),
+        Some(scrape_value(
+            &text,
+            r#"dwm_serve_endpoint_requests_total{endpoint="solve"}"#
+        )),
+        "/stats and /metrics disagree on solve count"
+    );
+    // The scrape happened one request after /stats, so the request
+    // counter is exactly one ahead.
+    assert_eq!(
+        stats_obj.get("requests").and_then(&num),
+        Some(scrape_value(&text, "dwm_serve_requests_total") - 1)
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn shutdown_drains_the_in_flight_request() {
     let handle = ephemeral_server(2, 16);
