@@ -11,6 +11,11 @@
 //! collection force-disabled; the gate bounds `solve_hit /
 //! solve_hit_obs_off` at 1.05x, proving observability costs < 5%.
 //! `serve/metrics_scrape` times a full `GET /metrics` render.
+//!
+//! `serve/session_ingest` (S19) times one 256-access chunk through the
+//! transport-free streaming-session path: dense id remap, delta-graph
+//! updates, phase detection, and one window-boundary decision per
+//! call.
 
 use dwm_bench::BENCH_SEED;
 use dwm_foundation::bench::{black_box, Harness};
@@ -69,6 +74,25 @@ fn main() {
     // Capacity 0 disables memoization, so every call runs the solver.
     let uncached = Engine::new(0);
     h.bench("serve/solve_miss", || black_box(uncached.handle(&request)));
+
+    // Streaming ingest: the same 256-access chunk over and over, with
+    // the window sized to the chunk so every call completes exactly
+    // one decision window. Identical windows stop triggering phase
+    // changes after the first, so the timed calls hit the steady-state
+    // path: remap lookups, delta-graph bumps, detector pushes, one
+    // boundary decision.
+    let streaming = Engine::new(64);
+    let create = Request::post("/session", r#"{"window":256}"#.as_bytes().to_vec());
+    assert!(streaming.handle(&create).is_success());
+    let ids: Vec<String> = (0..256).map(|i| ((i * 7) % 48).to_string()).collect();
+    let ingest = Request::post(
+        "/session/s-1/accesses",
+        format!(r#"{{"ids":[{}]}}"#, ids.join(",")).into_bytes(),
+    );
+    assert!(streaming.handle(&ingest).is_success());
+    h.bench("serve/session_ingest", || {
+        black_box(streaming.handle(&ingest))
+    });
 
     // Full loopback round-trip of the cached solve: framing, socket,
     // worker dispatch, cache hit, response.

@@ -148,11 +148,14 @@ COMMANDS:
   cache <trace> [--sets N] [--ways N] [--window N]
                      DWM cache policy comparison (LRU vs shift-aware)
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N]
+        [--session-capacity N] [--session-ttl SECS]
                      placement-as-a-service daemon (solve/evaluate/
-                     simulate/stats/health/metrics over HTTP; GET
-                     /metrics is a Prometheus scrape; DWM_SERVE_ADDR
-                     overrides the default 127.0.0.1:7077; stops
-                     gracefully on SIGINT/SIGTERM)
+                     simulate/stats/health/metrics over HTTP, plus
+                     streaming /session endpoints with phase-triggered
+                     re-placement; GET /metrics is a Prometheus
+                     scrape; DWM_SERVE_ADDR overrides the default
+                     127.0.0.1:7077; stops gracefully on
+                     SIGINT/SIGTERM)
   help               this text
 
 GLOBAL FLAGS:
@@ -481,6 +484,9 @@ fn cmd_serve(args: &ParsedArgs) -> CommandResult {
     config.workers = args.opt_num("workers", config.workers)?;
     config.queue_capacity = args.opt_num("queue", config.queue_capacity)?;
     config.cache_capacity = args.opt_num("cache-capacity", config.cache_capacity)?;
+    config.session_capacity = args.opt_num("session-capacity", config.session_capacity)?;
+    let ttl_secs: u64 = args.opt_num("session-ttl", config.session_ttl.as_secs())?;
+    config.session_ttl = std::time::Duration::from_secs(ttl_secs);
     if config.workers == 0 || config.queue_capacity == 0 {
         return Err(CliError::usage("--workers and --queue must be at least 1"));
     }

@@ -89,7 +89,9 @@ pub mod prelude {
     pub use crate::cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
     pub use crate::exact::optimal_placement;
     pub use crate::exact_bb::branch_and_bound_placement;
-    pub use crate::online::{OnlineConfig, OnlinePlacer, OnlineReport};
+    pub use crate::online::{
+        window_profiles, Decision, OnlineConfig, OnlinePlacer, OnlineReport, WindowProfile,
+    };
     pub use crate::partition::Partitioner;
     pub use crate::spm::{SpmAllocator, SpmLayout};
     pub use crate::wear::{RotatingEvaluator, WearConfig, WearReport};

@@ -59,6 +59,82 @@ impl Default for OnlineConfig {
     }
 }
 
+/// One window's precomputed view of the trace: the window as a trace
+/// of its own (for replay costing) plus its access graph over the full
+/// item space (for candidate placement and cost comparison).
+///
+/// Profiles depend only on the trace and the window length — not on
+/// any placer configuration — so one precomputation can be shared
+/// across a sweep of [`OnlinePlacer`] settings
+/// (see [`window_profiles`] and [`OnlinePlacer::run_profiles`]),
+/// instead of re-deriving the same graphs per configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowProfile {
+    /// The window's accesses as a standalone trace.
+    pub trace: Trace,
+    /// The window's access graph over all `n` items of the full trace.
+    pub graph: AccessGraph,
+}
+
+/// Precomputes the per-window profiles of `trace`: one
+/// [`WindowProfile`] per `window`-access chunk (the last may be
+/// shorter), each with its graph built over `n` items — the exact
+/// structures [`OnlinePlacer::run`] derives internally.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn window_profiles(trace: &Trace, window: usize, n: usize) -> Vec<WindowProfile> {
+    assert!(window > 0, "window must be nonzero");
+    trace
+        .accesses()
+        .chunks(window)
+        .map(|chunk| {
+            let mut graph = AccessGraph::with_items(n);
+            for pair in chunk.windows(2) {
+                let (u, v) = (pair[0].item.index(), pair[1].item.index());
+                if u != v {
+                    graph.add_weight(u, v, 1);
+                }
+            }
+            for a in chunk {
+                let i = a.item.index();
+                graph.set_frequency(i, graph.frequency(i) + 1);
+            }
+            WindowProfile {
+                trace: Trace::from_accesses(chunk.iter().copied()),
+                graph,
+            }
+        })
+        .collect()
+}
+
+/// The adaptation decision for one observed window.
+///
+/// Produced by [`OnlinePlacer::decide`]; `adapt` is the verdict of the
+/// benefit-vs-migration rule, the other fields expose its inputs so
+/// callers (the serve session subsystem, experiments) can account for
+/// the bill and the projection without re-deriving them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The freshly computed placement for the observed window.
+    pub candidate: Placement,
+    /// The window's arrangement cost under the incumbent placement.
+    pub current_cost: u64,
+    /// The window's arrangement cost under the candidate.
+    pub candidate_cost: u64,
+    /// Items whose offset differs between incumbent and candidate.
+    pub items_moved: u64,
+    /// Migration bill in shifts (`items_moved ×
+    /// migration_shifts_per_item`).
+    pub bill: u64,
+    /// Projected saving over the horizon
+    /// (`(current − candidate) × horizon_windows`).
+    pub predicted_saving: u64,
+    /// Whether the rule says to adopt the candidate.
+    pub adapt: bool,
+}
+
 /// Outcome of an online-placement run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OnlineReport {
@@ -123,48 +199,36 @@ impl OnlinePlacer {
     /// the naive identity placement (nothing is known yet).
     pub fn run(&self, trace: &Trace) -> OnlineReport {
         let n = trace.num_items();
+        self.run_profiles(n, &window_profiles(trace, self.config.window, n))
+    }
+
+    /// Runs the window loop over precomputed [`WindowProfile`]s —
+    /// byte-identical to [`run`](Self::run) on the trace the profiles
+    /// came from, but shareable across a sweep of configurations with
+    /// the same window length (the profile precomputation dominates
+    /// replays over many settings).
+    pub fn run_profiles(&self, n: usize, profiles: &[WindowProfile]) -> OnlineReport {
         let mut placement = Placement::identity(n);
         let model = SinglePortCost::new();
-        let algorithm = Hybrid::default();
 
         let mut access_shifts = 0u64;
         let mut migration_shifts = 0u64;
         let mut migrations = 0u64;
         let mut items_moved = 0u64;
 
-        for chunk in trace.accesses().chunks(self.config.window) {
-            let window_trace = Trace::from_accesses(chunk.iter().copied());
+        for profile in profiles {
             // Serve the window under the current placement. Item ids in
             // the window are global, placement covers all n items.
-            access_shifts += model.trace_cost(&placement, &window_trace).stats.shifts;
+            access_shifts += model.trace_cost(&placement, &profile.trace).stats.shifts;
 
             // Decide whether to re-place for the (assumed similar)
             // next window.
-            let mut window_graph = AccessGraph::with_items(n);
-            for pair in chunk.windows(2) {
-                let (u, v) = (pair[0].item.index(), pair[1].item.index());
-                if u != v {
-                    window_graph.add_weight(u, v, 1);
-                }
-            }
-            for a in chunk {
-                let i = a.item.index();
-                window_graph.set_frequency(i, window_graph.frequency(i) + 1);
-            }
-            let candidate = algorithm.place(&window_graph);
-            let current_cost = window_graph.arrangement_cost(placement.offsets());
-            let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
-            let moved: u64 = (0..n)
-                .filter(|&i| placement.offset_of(i) != candidate.offset_of(i))
-                .count() as u64;
-            let bill = moved * self.config.migration_shifts_per_item;
-            let predicted_saving =
-                current_cost.saturating_sub(candidate_cost) * self.config.horizon_windows;
-            if moved > 0 && predicted_saving as f64 > self.config.hysteresis * bill as f64 {
-                migration_shifts += bill;
+            let decision = self.decide(&placement, &profile.graph);
+            if decision.adapt {
+                migration_shifts += decision.bill;
                 migrations += 1;
-                items_moved += moved;
-                placement = candidate;
+                items_moved += decision.items_moved;
+                placement = decision.candidate;
             }
         }
 
@@ -174,6 +238,38 @@ impl OnlinePlacer {
             migrations,
             items_moved,
             final_placement: placement,
+        }
+    }
+
+    /// Applies the benefit-vs-migration rule to one observed window:
+    /// solves the window's graph for a candidate placement and compares
+    /// the projected saving against the hysteresis-scaled migration
+    /// bill. This is the single decision point shared by
+    /// [`run`](Self::run) and the streaming session subsystem in
+    /// `dwm-serve` — the solver ([`Hybrid`]) is deterministic, so the
+    /// decision is a pure function of `(placement, window_graph,
+    /// config)`.
+    pub fn decide(&self, placement: &Placement, window_graph: &AccessGraph) -> Decision {
+        let n = window_graph.num_items();
+        let candidate = Hybrid::default().place(window_graph);
+        let current_cost = window_graph.arrangement_cost(placement.offsets());
+        let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
+        let items_moved: u64 = (0..n)
+            .filter(|&i| placement.offset_of(i) != candidate.offset_of(i))
+            .count() as u64;
+        let bill = items_moved * self.config.migration_shifts_per_item;
+        let predicted_saving =
+            current_cost.saturating_sub(candidate_cost) * self.config.horizon_windows;
+        let adapt =
+            items_moved > 0 && predicted_saving as f64 > self.config.hysteresis * bill as f64;
+        Decision {
+            candidate,
+            current_cost,
+            candidate_cost,
+            items_moved,
+            bill,
+            predicted_saving,
+            adapt,
         }
     }
 }
@@ -320,6 +416,108 @@ mod tests {
         assert_eq!(below_boundary.migrations, 1, "one shift cheaper must adapt");
         assert_eq!(below_boundary.migration_shifts, moved * (delta - 1));
         assert_eq!(below_boundary.items_moved, moved);
+    }
+
+    /// The pre-refactor window loop, kept verbatim as a reference
+    /// implementation: `run` (now window-profiles + `decide`) must
+    /// reproduce it report for report, placement for placement.
+    fn reference_run(config: &OnlineConfig, trace: &Trace) -> OnlineReport {
+        let n = trace.num_items();
+        let mut placement = Placement::identity(n);
+        let model = SinglePortCost::new();
+        let algorithm = Hybrid::default();
+        let mut access_shifts = 0u64;
+        let mut migration_shifts = 0u64;
+        let mut migrations = 0u64;
+        let mut items_moved = 0u64;
+        for chunk in trace.accesses().chunks(config.window) {
+            let window_trace = Trace::from_accesses(chunk.iter().copied());
+            access_shifts += model.trace_cost(&placement, &window_trace).stats.shifts;
+            let mut window_graph = AccessGraph::with_items(n);
+            for pair in chunk.windows(2) {
+                let (u, v) = (pair[0].item.index(), pair[1].item.index());
+                if u != v {
+                    window_graph.add_weight(u, v, 1);
+                }
+            }
+            for a in chunk {
+                let i = a.item.index();
+                window_graph.set_frequency(i, window_graph.frequency(i) + 1);
+            }
+            let candidate = algorithm.place(&window_graph);
+            let current_cost = window_graph.arrangement_cost(placement.offsets());
+            let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
+            let moved: u64 = (0..n)
+                .filter(|&i| placement.offset_of(i) != candidate.offset_of(i))
+                .count() as u64;
+            let bill = moved * config.migration_shifts_per_item;
+            let predicted_saving =
+                current_cost.saturating_sub(candidate_cost) * config.horizon_windows;
+            if moved > 0 && predicted_saving as f64 > config.hysteresis * bill as f64 {
+                migration_shifts += bill;
+                migrations += 1;
+                items_moved += moved;
+                placement = candidate;
+            }
+        }
+        OnlineReport {
+            access_shifts,
+            migration_shifts,
+            migrations,
+            items_moved,
+            final_placement: placement,
+        }
+    }
+
+    #[test]
+    fn profile_based_run_reproduces_the_reference_loop_exactly() {
+        let configs = [
+            OnlineConfig {
+                window: 500,
+                migration_shifts_per_item: 8,
+                ..OnlineConfig::default()
+            },
+            OnlineConfig {
+                window: 333, // ragged final window
+                hysteresis: 2.5,
+                ..OnlineConfig::default()
+            },
+            OnlineConfig::default(),
+        ];
+        let traces = [
+            phased_trace(),
+            MarkovGen::new(32, 4, 3).generate(4000).normalize(),
+            Trace::new(),
+        ];
+        for config in &configs {
+            let placer = OnlinePlacer::new(*config);
+            for trace in &traces {
+                assert_eq!(
+                    placer.run(trace),
+                    reference_run(config, trace),
+                    "window {} diverged from the reference loop",
+                    config.window
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_profiles_replay_identically_across_configs() {
+        // One profile set, many configurations — the dedupe pattern
+        // exp_f10 uses. Each must equal its own full run.
+        let trace = phased_trace();
+        let n = trace.num_items();
+        let profiles = window_profiles(&trace, 500, n);
+        for hysteresis in [0.5, 1.0, 4.0] {
+            let placer = OnlinePlacer::new(OnlineConfig {
+                window: 500,
+                migration_shifts_per_item: 8,
+                hysteresis,
+                ..OnlineConfig::default()
+            });
+            assert_eq!(placer.run_profiles(n, &profiles), placer.run(&trace));
+        }
     }
 
     /// On a workload whose hot pair churns every single window, the

@@ -74,26 +74,54 @@ impl CsrGraph {
         let mut row_offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::new();
         let mut weights = Vec::new();
-        let mut degree = Vec::with_capacity(n);
-        let mut total_weight = 0u64;
         row_offsets.push(0);
         for u in 0..n {
-            let mut deg = 0u64;
             for (v, w) in graph.neighbors(u) {
                 neighbors.push(u32::try_from(v).expect("vertex id exceeds u32"));
                 weights.push(w);
+            }
+            row_offsets.push(u32::try_from(neighbors.len()).expect("edge count exceeds u32"));
+        }
+        CsrGraph::from_parts(row_offsets, neighbors, weights)
+    }
+
+    /// Assembles a CSR graph from already-flattened rows (ascending
+    /// neighbours per vertex, each undirected edge present from both
+    /// endpoints). All caches — degrees, total weight, cut masks, the
+    /// interleaved rows — are derived here, exactly as [`freeze`] would,
+    /// so two routes to the same adjacency produce equal graphs. Used by
+    /// [`freeze`] and by [`crate::delta::DeltaGraph::refreeze`].
+    ///
+    /// [`freeze`]: CsrGraph::freeze
+    pub(crate) fn from_parts(
+        row_offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+        weights: Vec<u64>,
+    ) -> Self {
+        let n = row_offsets.len() - 1;
+        let mut degree = Vec::with_capacity(n);
+        let mut total_weight = 0u64;
+        for u in 0..n {
+            let (lo, hi) = (row_offsets[u] as usize, row_offsets[u + 1] as usize);
+            let mut deg = 0u64;
+            for (&v, &w) in neighbors[lo..hi].iter().zip(&weights[lo..hi]) {
                 deg += w;
-                if u < v {
+                if (u as u32) < v {
                     total_weight += w;
                 }
             }
             degree.push(deg);
-            row_offsets.push(u32::try_from(neighbors.len()).expect("edge count exceeds u32"));
         }
         let cut_pairs = if n <= 64 {
-            graph
-                .edges()
-                .map(|e| ((1u64 << e.u) | (1u64 << e.v), e.weight))
+            (0..n)
+                .flat_map(|u| {
+                    let (lo, hi) = (row_offsets[u] as usize, row_offsets[u + 1] as usize);
+                    neighbors[lo..hi]
+                        .iter()
+                        .zip(&weights[lo..hi])
+                        .filter(move |(&v, _)| (u as u32) < v)
+                        .map(move |(&v, &w)| ((1u64 << u) | (1u64 << v), w))
+                })
                 .collect()
         } else {
             Vec::new()

@@ -34,11 +34,13 @@
 #![deny(missing_docs)]
 
 pub mod csr;
+pub mod delta;
 pub mod fingerprint;
 pub mod generators;
 mod graph;
 
 pub use csr::{ArrangementEval, CsrGraph};
+pub use delta::DeltaGraph;
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use graph::{AccessGraph, Edge};
 
@@ -52,5 +54,7 @@ pub fn register_obs_metrics() {
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::generators::{clustered_graph, path_graph, random_graph};
-    pub use crate::{fingerprint, AccessGraph, ArrangementEval, CsrGraph, Edge, Fingerprint};
+    pub use crate::{
+        fingerprint, AccessGraph, ArrangementEval, CsrGraph, DeltaGraph, Edge, Fingerprint,
+    };
 }

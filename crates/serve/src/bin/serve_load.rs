@@ -3,7 +3,7 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--requests N] [--clients N]
 //!            [--workloads N] [--items N] [--len N] [--seed N]
-//!            [--algorithm NAME] [--min-rps N]
+//!            [--algorithm NAME] [--min-rps N] [--sessions N]
 //! ```
 //!
 //! Exits 0 iff every request got a 2xx with a body consistent with
@@ -11,11 +11,18 @@
 //! throughput met `--min-rps` (default 0, i.e. no floor). The CI smoke
 //! job runs this with `--requests 200 --min-rps 1000` against a
 //! release-mode daemon.
+//!
+//! With `--sessions N` the harness switches to session mode: it opens
+//! `N` streaming sessions, streams each workload to them closed-loop
+//! in fixed chunks via `POST /session/{id}/accesses`, reports ingest
+//! latency percentiles, and cross-checks that sessions fed the same
+//! stream end with byte-identical placements (`--requests` is ignored;
+//! the stream length is `--len`).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
-use dwm_serve::load::{run, LoadConfig};
+use dwm_serve::load::{run, run_sessions, LoadConfig};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("serve_load: {msg}");
@@ -32,6 +39,7 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut algorithm = "hybrid".to_owned();
     let mut min_rps = 0f64;
+    let mut sessions = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -41,7 +49,7 @@ fn main() -> ExitCode {
             println!(
                 "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients N] \
                  [--workloads N] [--items N] [--len N] [--seed N] [--algorithm NAME] \
-                 [--min-rps N]"
+                 [--min-rps N] [--sessions N]"
             );
             return ExitCode::SUCCESS;
         }
@@ -80,6 +88,10 @@ fn main() -> ExitCode {
                 Ok(v) if v >= 0.0 => min_rps = v,
                 _ => return fail("--min-rps must be a nonnegative number"),
             },
+            "--sessions" => match parsed_usize() {
+                Ok(v) if v > 0 => sessions = v,
+                _ => return fail("--sessions must be a positive integer"),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -99,9 +111,14 @@ fn main() -> ExitCode {
         seed,
         algorithm,
     };
-    let report = match run(&config) {
+    let outcome = if sessions > 0 {
+        run_sessions(&config, sessions)
+    } else {
+        run(&config)
+    };
+    let report = match outcome {
         Ok(r) => r,
-        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+        Err(e) => return fail(&format!("load run against {addr} failed: {e}")),
     };
     println!("{}", report.summary());
 

@@ -34,8 +34,8 @@
 //! histogram, solver metrics) respects the knob. See
 //! `docs/OBSERVABILITY.md` for the full metric catalog.
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dwm_core::algorithms::standard_suite;
 use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePortCost};
@@ -50,30 +50,68 @@ use dwm_trace::Trace;
 
 use crate::cache::{CacheKey, SolveCache};
 use crate::protocol::{
-    error_body, opt_str, opt_u64, parse_body, parse_ids, parse_usize_array, parse_workloads,
-    ProtocolError,
+    error_body, opt_f64, opt_str, opt_u64, parse_body, parse_ids, parse_usize_array,
+    parse_workloads, ProtocolError,
 };
+use crate::session::{SessionConfig, SessionState, SessionTable};
 
 /// The header carrying per-request wall-clock time in microseconds.
 pub const ELAPSED_HEADER: &str = "x-dwm-elapsed-us";
 
-/// Shared request-handling state: the solve cache, the engine's
-/// metric registry, and handles to its counters.
+/// Capacity and lifetime knobs of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Solve-cache entry budget (0 disables memoization).
+    pub cache_capacity: usize,
+    /// Session budget (0 = unlimited); the LRU session of a full
+    /// shard is evicted to admit a new one.
+    pub session_capacity: usize,
+    /// Idle time after which a session expires (zero = never).
+    pub session_ttl: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 1024,
+            session_capacity: 64,
+            session_ttl: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Shared request-handling state: the solve cache, the session table,
+/// the engine's metric registry, and handles to its counters.
 pub struct Engine {
     cache: Arc<SolveCache>,
+    sessions: Arc<SessionTable>,
     registry: Arc<obs::Registry>,
     requests: Arc<obs::Counter>,
     solves: Arc<obs::Counter>,
     evaluates: Arc<obs::Counter>,
     simulates: Arc<obs::Counter>,
+    session_creates: Arc<obs::Counter>,
+    session_ingests: Arc<obs::Counter>,
+    session_reads: Arc<obs::Counter>,
+    session_closes: Arc<obs::Counter>,
     errors: Arc<obs::Counter>,
     latency_ns: Arc<obs::Histogram>,
+    ingest_latency_ns: Arc<obs::Histogram>,
 }
 
 impl Engine {
     /// Creates an engine whose solve cache holds about
-    /// `cache_capacity` entries (0 disables memoization).
+    /// `cache_capacity` entries (0 disables memoization), with default
+    /// session capacity and TTL.
     pub fn new(cache_capacity: usize) -> Self {
+        Engine::with_config(EngineConfig {
+            cache_capacity,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Creates an engine with explicit capacity and lifetime knobs.
+    pub fn with_config(config: EngineConfig) -> Self {
         // Solver/simulator/graph metrics live in the global registry;
         // touching them here means a scrape on a fresh daemon already
         // lists every family the first solve will move.
@@ -81,7 +119,11 @@ impl Engine {
         dwm_graph::register_obs_metrics();
         dwm_sim::register_obs_metrics();
 
-        let cache = Arc::new(SolveCache::new(cache_capacity));
+        let cache = Arc::new(SolveCache::new(config.cache_capacity));
+        let sessions = Arc::new(SessionTable::new(
+            config.session_capacity,
+            config.session_ttl,
+        ));
         let registry = Arc::new(obs::Registry::new());
         let endpoint = |ep: &str| {
             registry.counter_with(
@@ -98,6 +140,10 @@ impl Engine {
             solves: endpoint("solve"),
             evaluates: endpoint("evaluate"),
             simulates: endpoint("simulate"),
+            session_creates: endpoint("session_create"),
+            session_ingests: endpoint("session_ingest"),
+            session_reads: endpoint("session_read"),
+            session_closes: endpoint("session_close"),
             errors: registry.counter(
                 "dwm_serve_errors_total",
                 "Requests answered with an error status",
@@ -106,7 +152,12 @@ impl Engine {
                 "dwm_serve_request_latency_ns",
                 "Wall-clock nanoseconds per request, measured inside the engine",
             ),
+            ingest_latency_ns: registry.histogram(
+                "dwm_serve_session_ingest_latency_ns",
+                "Wall-clock nanoseconds per session ingest, measured inside the engine",
+            ),
             cache: Arc::clone(&cache),
+            sessions: Arc::clone(&sessions),
             registry: Arc::clone(&registry),
         };
         // Cache metrics are scrape-time callbacks over the cache's own
@@ -147,7 +198,111 @@ impl Engine {
             FnKind::Gauge,
             |c| c.stats().capacity,
         );
+        // Session metrics follow the same pattern: scrape-time
+        // callbacks over the table's own atomics, so /stats and
+        // /metrics can never disagree.
+        let session_fn = |name: &str, help: &str, kind, read: fn(&SessionTable) -> u64| {
+            let sessions = Arc::clone(&sessions);
+            engine
+                .registry
+                .register_fn(name, help, kind, move || read(&sessions));
+        };
+        session_fn(
+            "dwm_serve_sessions_active",
+            "Streaming sessions currently resident",
+            FnKind::Gauge,
+            |s| s.active() as u64,
+        );
+        session_fn(
+            "dwm_serve_sessions_capacity",
+            "Session budget (0 = unlimited)",
+            FnKind::Gauge,
+            |s| s.stats().capacity,
+        );
+        session_fn(
+            "dwm_serve_sessions_created_total",
+            "Sessions ever created",
+            FnKind::Counter,
+            |s| s.stats().created,
+        );
+        session_fn(
+            "dwm_serve_sessions_closed_total",
+            "Sessions closed by DELETE",
+            FnKind::Counter,
+            |s| s.stats().closed,
+        );
+        session_fn(
+            "dwm_serve_sessions_expired_total",
+            "Sessions dropped by TTL expiry",
+            FnKind::Counter,
+            |s| s.stats().expired,
+        );
+        session_fn(
+            "dwm_serve_sessions_evicted_total",
+            "Sessions evicted to stay within capacity",
+            FnKind::Counter,
+            |s| s.stats().evicted,
+        );
+        session_fn(
+            "dwm_serve_session_accesses_total",
+            "Accesses ingested across all sessions",
+            FnKind::Counter,
+            |s| s.stats().accesses,
+        );
+        session_fn(
+            "dwm_serve_session_windows_total",
+            "Decision windows completed across all sessions",
+            FnKind::Counter,
+            |s| s.stats().windows,
+        );
+        session_fn(
+            "dwm_serve_session_phase_changes_total",
+            "Confirmed phase changes across all sessions",
+            FnKind::Counter,
+            |s| s.stats().phase_changes,
+        );
+        session_fn(
+            "dwm_serve_session_replacements_total",
+            "Re-placements adopted across all sessions",
+            FnKind::Counter,
+            |s| s.stats().replacements,
+        );
+        session_fn(
+            "dwm_serve_session_suppressed_total",
+            "Re-placements suppressed by the migration rule",
+            FnKind::Counter,
+            |s| s.stats().suppressed,
+        );
+        session_fn(
+            "dwm_serve_session_refreezes_total",
+            "Delta-graph refreezes across all sessions",
+            FnKind::Counter,
+            |s| s.stats().refreezes,
+        );
+        session_fn(
+            "dwm_serve_session_access_shifts_total",
+            "Shifts served under live session placements",
+            FnKind::Counter,
+            |s| s.stats().access_shifts,
+        );
+        session_fn(
+            "dwm_serve_session_naive_shifts_total",
+            "Shifts the identity baseline would have served",
+            FnKind::Counter,
+            |s| s.stats().naive_shifts,
+        );
+        session_fn(
+            "dwm_serve_session_migration_shifts_total",
+            "Migration shifts billed across all sessions",
+            FnKind::Counter,
+            |s| s.stats().migration_shifts,
+        );
         engine
+    }
+
+    /// The session table (exposed for stats and load harnesses).
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
     }
 
     /// The solve cache (exposed for stats and priming in benches).
@@ -181,6 +336,11 @@ impl Engine {
     }
 
     fn route(&self, req: &Request) -> Result<Response, ProtocolError> {
+        if let Some(rest) = req.path.strip_prefix("/session") {
+            if rest.is_empty() || rest.starts_with('/') {
+                return self.route_session(req, rest);
+            }
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => Ok(self.health()),
             ("GET", "/stats") => Ok(self.stats_response()),
@@ -225,6 +385,26 @@ impl Engine {
         c.insert("entries", Value::Num(Number::U(cache.entries)));
         c.insert("evictions", Value::Num(Number::U(cache.evictions)));
         c.insert("capacity", Value::Num(Number::U(cache.capacity)));
+        let t = self.sessions.stats();
+        let mut s = Object::new();
+        s.insert("active", Value::Num(Number::U(t.active)));
+        s.insert("capacity", Value::Num(Number::U(t.capacity)));
+        s.insert("created", Value::Num(Number::U(t.created)));
+        s.insert("closed", Value::Num(Number::U(t.closed)));
+        s.insert("expired", Value::Num(Number::U(t.expired)));
+        s.insert("evicted", Value::Num(Number::U(t.evicted)));
+        s.insert("accesses", Value::Num(Number::U(t.accesses)));
+        s.insert("windows", Value::Num(Number::U(t.windows)));
+        s.insert("phase_changes", Value::Num(Number::U(t.phase_changes)));
+        s.insert("replacements", Value::Num(Number::U(t.replacements)));
+        s.insert("suppressed", Value::Num(Number::U(t.suppressed)));
+        s.insert("refreezes", Value::Num(Number::U(t.refreezes)));
+        s.insert("access_shifts", Value::Num(Number::U(t.access_shifts)));
+        s.insert("naive_shifts", Value::Num(Number::U(t.naive_shifts)));
+        s.insert(
+            "migration_shifts",
+            Value::Num(Number::U(t.migration_shifts)),
+        );
         let mut obj = Object::new();
         let count = |c: &obs::Counter| Value::Num(Number::U(c.value()));
         obj.insert("requests", count(&self.requests));
@@ -233,6 +413,7 @@ impl Engine {
         obj.insert("simulates", count(&self.simulates));
         obj.insert("errors", count(&self.errors));
         obj.insert("cache", Value::Obj(c));
+        obj.insert("sessions", Value::Obj(s));
         Response::json(200, Value::Obj(obj).to_compact())
     }
 
@@ -376,6 +557,256 @@ impl Engine {
         body.insert("report", report.to_json());
         Ok(Response::json(200, Value::Obj(body).to_compact()))
     }
+
+    /// Dispatches `/session` and `/session/{id}[/…]`. `rest` is the
+    /// path after the `/session` prefix (empty or starting with `/`).
+    fn route_session(&self, req: &Request, rest: &str) -> Result<Response, ProtocolError> {
+        if rest.is_empty() {
+            return match req.method.as_str() {
+                "POST" => {
+                    self.session_creates.inc_always();
+                    self.session_create(req)
+                }
+                other => Err(ProtocolError {
+                    status: 405,
+                    message: format!("method {other} not allowed for /session"),
+                }),
+            };
+        }
+        let rest = &rest[1..]; // checked to start with '/'
+        let (id_text, tail) = match rest.split_once('/') {
+            Some((id, tail)) => (id, Some(tail)),
+            None => (rest, None),
+        };
+        let id = parse_session_id(id_text)?;
+        match (req.method.as_str(), tail) {
+            ("DELETE", None) => {
+                self.session_closes.inc_always();
+                self.session_close(id)
+            }
+            ("POST", Some("accesses")) => {
+                self.session_ingests.inc_always();
+                self.session_ingest(id, req)
+            }
+            ("GET", Some("placement")) => {
+                self.session_reads.inc_always();
+                self.session_placement(id)
+            }
+            ("GET", Some("stats")) => {
+                self.session_reads.inc_always();
+                self.session_stats(id)
+            }
+            (method, None | Some("accesses" | "placement" | "stats")) => Err(ProtocolError {
+                status: 405,
+                message: format!("method {method} not allowed for {}", req.path),
+            }),
+            _ => Err(ProtocolError {
+                status: 404,
+                message: format!("unknown path {}", req.path),
+            }),
+        }
+    }
+
+    /// Looks up a live session or answers 404 — the uniform response
+    /// for unknown, closed, evicted, and expired ids.
+    fn session(&self, id: u64) -> Result<Arc<Mutex<SessionState>>, ProtocolError> {
+        self.sessions.get(id).ok_or_else(|| ProtocolError {
+            status: 404,
+            message: format!("unknown or expired session s-{id}"),
+        })
+    }
+
+    fn session_create(&self, req: &Request) -> Result<Response, ProtocolError> {
+        // An empty body means "all defaults"; otherwise every knob is
+        // an optional field.
+        let defaults = SessionConfig::default();
+        let config = if req.body.is_empty() {
+            defaults
+        } else {
+            let obj = parse_body(&req.body)?;
+            SessionConfig {
+                window: opt_u64(&obj, "window", defaults.window as u64)? as usize,
+                phase_threshold: opt_f64(&obj, "phase_threshold", defaults.phase_threshold)?,
+                confirm_windows: opt_u64(&obj, "confirm_windows", defaults.confirm_windows as u64)?
+                    as usize,
+                hysteresis: opt_f64(&obj, "hysteresis", defaults.hysteresis)?,
+                migration_shifts_per_item: opt_u64(
+                    &obj,
+                    "migration_shifts_per_item",
+                    defaults.migration_shifts_per_item,
+                )?,
+                horizon_windows: opt_u64(&obj, "horizon_windows", defaults.horizon_windows)?,
+                refreeze_edges: opt_u64(&obj, "refreeze_edges", defaults.refreeze_edges as u64)?
+                    as usize,
+            }
+        };
+        config.validate().map_err(ProtocolError::bad_request)?;
+        let id = self.sessions.create(config);
+        let mut body = Object::new();
+        body.insert("session", Value::Str(format!("s-{id}")));
+        body.insert("window", Value::Num(Number::U(config.window as u64)));
+        body.insert(
+            "phase_threshold",
+            Value::Num(Number::F(config.phase_threshold)),
+        );
+        body.insert(
+            "confirm_windows",
+            Value::Num(Number::U(config.confirm_windows as u64)),
+        );
+        body.insert("hysteresis", Value::Num(Number::F(config.hysteresis)));
+        body.insert(
+            "migration_shifts_per_item",
+            Value::Num(Number::U(config.migration_shifts_per_item)),
+        );
+        body.insert(
+            "horizon_windows",
+            Value::Num(Number::U(config.horizon_windows)),
+        );
+        body.insert(
+            "refreeze_edges",
+            Value::Num(Number::U(config.refreeze_edges as u64)),
+        );
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn session_ingest(&self, id: u64, req: &Request) -> Result<Response, ProtocolError> {
+        let obj = parse_body(&req.body)?;
+        let ids = parse_ids(&obj)?;
+        let state = self.session(id)?;
+        let started = Instant::now();
+        let (report, items, accesses, version) = {
+            let mut state = state.lock().expect("session state poisoned");
+            let report = state.ingest(&ids);
+            (
+                report,
+                state.num_items(),
+                state.totals().accesses,
+                state.placement_version(),
+            )
+        };
+        self.ingest_latency_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.sessions.record(&report);
+        let mut body = Object::new();
+        body.insert("session", Value::Str(format!("s-{id}")));
+        body.insert("accepted", Value::Num(Number::U(report.accepted)));
+        body.insert("new_items", Value::Num(Number::U(report.new_items)));
+        body.insert("items", Value::Num(Number::U(items as u64)));
+        body.insert("accesses", Value::Num(Number::U(accesses)));
+        body.insert(
+            "windows_completed",
+            Value::Num(Number::U(report.windows_completed)),
+        );
+        body.insert("phase_changes", Value::Num(Number::U(report.phase_changes)));
+        body.insert("replacements", Value::Num(Number::U(report.replacements)));
+        body.insert("suppressed", Value::Num(Number::U(report.suppressed)));
+        body.insert("refreezes", Value::Num(Number::U(report.refreezes)));
+        body.insert("placement_version", Value::Num(Number::U(version)));
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn session_placement(&self, id: u64) -> Result<Response, ProtocolError> {
+        let state = self.session(id)?;
+        let state = state.lock().expect("session state poisoned");
+        let mut body = Object::new();
+        body.insert("session", Value::Str(format!("s-{id}")));
+        body.insert("items", Value::Num(Number::U(state.num_items() as u64)));
+        body.insert("accesses", Value::Num(Number::U(state.totals().accesses)));
+        body.insert(
+            "placement_version",
+            Value::Num(Number::U(state.placement_version())),
+        );
+        body.insert("fingerprint", Value::Str(state.fingerprint().to_hex()));
+        body.insert(
+            "ids",
+            Value::Arr(
+                state
+                    .raw_ids()
+                    .iter()
+                    .map(|&r| Value::Num(Number::U(r as u64)))
+                    .collect(),
+            ),
+        );
+        body.insert(
+            "placement",
+            Value::Arr(
+                state
+                    .placement()
+                    .iter()
+                    .map(|&o| Value::Num(Number::U(o as u64)))
+                    .collect(),
+            ),
+        );
+        body.insert("cost", Value::Num(Number::U(state.current_cost())));
+        body.insert("naive_cost", Value::Num(Number::U(state.naive_cost())));
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn session_stats(&self, id: u64) -> Result<Response, ProtocolError> {
+        let state = self.session(id)?;
+        let state = state.lock().expect("session state poisoned");
+        let t = state.totals();
+        let mut body = Object::new();
+        body.insert("session", Value::Str(format!("s-{id}")));
+        body.insert("items", Value::Num(Number::U(state.num_items() as u64)));
+        body.insert("accesses", Value::Num(Number::U(t.accesses)));
+        body.insert("windows", Value::Num(Number::U(t.windows)));
+        body.insert("phase_changes", Value::Num(Number::U(t.phase_changes)));
+        body.insert("replacements", Value::Num(Number::U(t.replacements)));
+        body.insert("suppressed", Value::Num(Number::U(t.suppressed)));
+        body.insert("refreezes", Value::Num(Number::U(state.refreezes())));
+        body.insert(
+            "overlay_edges",
+            Value::Num(Number::U(state.graph().overlay_edges() as u64)),
+        );
+        body.insert(
+            "placement_version",
+            Value::Num(Number::U(state.placement_version())),
+        );
+        body.insert("access_shifts", Value::Num(Number::U(t.access_shifts)));
+        body.insert("naive_shifts", Value::Num(Number::U(t.naive_shifts)));
+        body.insert(
+            "migration_shifts",
+            Value::Num(Number::U(t.migration_shifts)),
+        );
+        body.insert("items_moved", Value::Num(Number::U(t.items_moved)));
+        body.insert("net_amortized_saved", signed(state.net_amortized_saved()));
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    fn session_close(&self, id: u64) -> Result<Response, ProtocolError> {
+        let state = self.sessions.remove(id).ok_or_else(|| ProtocolError {
+            status: 404,
+            message: format!("unknown or expired session s-{id}"),
+        })?;
+        let state = state.lock().expect("session state poisoned");
+        let mut body = Object::new();
+        body.insert("session", Value::Str(format!("s-{id}")));
+        body.insert("closed", Value::Bool(true));
+        body.insert("accesses", Value::Num(Number::U(state.totals().accesses)));
+        body.insert("net_amortized_saved", signed(state.net_amortized_saved()));
+        Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+}
+
+/// Renders a signed counter without round-tripping through floats.
+fn signed(v: i64) -> Value {
+    Value::Num(if v < 0 {
+        Number::I(v)
+    } else {
+        Number::U(v as u64)
+    })
+}
+
+/// Parses the `{id}` segment of a session path (`s-<n>`); malformed
+/// ids answer 404 like unknown ones — the resource cannot exist.
+fn parse_session_id(text: &str) -> Result<u64, ProtocolError> {
+    text.strip_prefix("s-")
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| ProtocolError {
+            status: 404,
+            message: format!("unknown session {text:?}"),
+        })
 }
 
 /// Names accepted by the `algorithm` field (the standard suite).

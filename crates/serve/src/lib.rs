@@ -21,6 +21,12 @@
 //!   binary: closed-loop clients, a seeded workload mix, latency
 //!   percentiles from [`dwm_foundation::bench::Histogram`], and a
 //!   cross-client determinism check on every response body.
+//! * [`session`] — streaming placement sessions: per-tenant state that
+//!   ingests an access stream in chunks, maintains the access graph
+//!   incrementally ([`dwm_graph::DeltaGraph`]), detects phase changes
+//!   ([`dwm_trace::analysis::PhaseDetector`]), and re-places on
+//!   confirmed drift when the projected saving beats the migration
+//!   bill ([`dwm_core::online::OnlinePlacer::decide`]).
 //!
 //! # Determinism across the wire
 //!
@@ -42,10 +48,12 @@ pub mod engine;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod session;
 pub mod signal;
 
 pub use cache::{CacheStats, SolveCache};
 pub use client::ClientConn;
-pub use engine::Engine;
+pub use engine::{Engine, EngineConfig};
 pub use load::{LoadConfig, LoadReport};
 pub use server::{start, ServeConfig, ServeHandle};
+pub use session::{IngestReport, SessionConfig, SessionState, SessionTable};

@@ -12,6 +12,12 @@
 //! Latency is recorded per request into a
 //! [`dwm_foundation::bench::Histogram`]; the report carries p50/p90/p99
 //! and throughput.
+//!
+//! [`run_sessions`] is the streaming twin: instead of stateless
+//! `/solve` calls, each client drives a set of long-lived sessions
+//! through `POST /session/{id}/accesses` in fixed-size chunks and the
+//! determinism check compares final placements across sessions that
+//! replayed the same stream.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -258,6 +264,178 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
     })
 }
 
+/// Renders the per-stream access sequences for session-mode load:
+/// the same Zipf/Markov mix as [`workload_bodies`], as raw id vectors.
+/// Sessions are assigned streams round-robin, so with more sessions
+/// than streams several sessions replay the *same* stream — the
+/// determinism check compares their placements at the end.
+pub fn session_streams(config: &LoadConfig) -> Vec<Vec<u32>> {
+    (0..config.workloads)
+        .map(|k| {
+            let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(k as u64);
+            let trace = if k % 2 == 0 {
+                ZipfGen::new(config.items, seed).generate(config.len)
+            } else {
+                MarkovGen::new(config.items, 4, seed).generate(config.len)
+            };
+            trace.iter().map(|a| a.item.index() as u32).collect()
+        })
+        .collect()
+}
+
+/// Accesses per ingest request in session mode.
+pub const SESSION_CHUNK: usize = 256;
+
+/// Session-mode load: opens `sessions` streaming sessions, streams
+/// each its workload in [`SESSION_CHUNK`]-access chunks closed-loop
+/// (clients own disjoint session subsets and round-robin over them),
+/// and reports ingest latency percentiles. After the streams drain,
+/// sessions that replayed the same stream must answer `GET
+/// …/placement` byte-identically (minus the session id) — any
+/// difference counts as a mismatch.
+///
+/// # Errors
+///
+/// Fails when a connection cannot be established or a session cannot
+/// be created; ingest-level failures are counted in the report.
+pub fn run_sessions(config: &LoadConfig, sessions: usize) -> std::io::Result<LoadReport> {
+    let streams = session_streams(config);
+    let chunk_bodies: Vec<Vec<String>> = streams
+        .iter()
+        .map(|stream| {
+            stream
+                .chunks(SESSION_CHUNK)
+                .map(|chunk| {
+                    let ids: Vec<String> = chunk.iter().map(u32::to_string).collect();
+                    format!(r#"{{"ids":[{}]}}"#, ids.join(","))
+                })
+                .collect()
+        })
+        .collect();
+
+    // A control connection creates every session up front, then
+    // closes before any client connects: the server parks one worker
+    // per live keep-alive connection, so holding the control
+    // connection open across the streaming phase would starve the
+    // clients on a daemon with few workers.
+    let mut session_ids: Vec<(String, usize)> = Vec::new(); // (id, stream)
+    {
+        let mut control = ClientConn::connect(config.addr)?;
+        for k in 0..sessions {
+            let resp = control.post_json(
+                "/session",
+                r#"{"window":256,"migration_shifts_per_item":8}"#,
+            )?;
+            let id = resp
+                .body_str()
+                .filter(|_| resp.is_success())
+                .and_then(|b| parse(b).ok())
+                .and_then(|v| v.as_object().and_then(|o| o.get("session").cloned()))
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .ok_or_else(|| {
+                    std::io::Error::other(format!("session create answered without an id ({k})"))
+                })?;
+            session_ids.push((id, k % streams.len()));
+        }
+    }
+
+    let clients = config.clients.max(1).min(sessions.max(1));
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let sent = AtomicU64::new(0);
+    let histograms: Vec<Mutex<Histogram>> =
+        (0..clients).map(|_| Mutex::new(Histogram::new())).collect();
+    let mut conns = Vec::new();
+    for _ in 0..clients {
+        conns.push(Some(ClientConn::connect(config.addr)?));
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for (c, conn) in conns.iter_mut().enumerate() {
+            // Client c owns sessions c, c+clients, c+2·clients, …
+            let owned: Vec<&(String, usize)> =
+                session_ids.iter().skip(c).step_by(clients).collect();
+            let chunk_bodies = &chunk_bodies;
+            let ok = &ok;
+            let errors = &errors;
+            let sent = &sent;
+            let histogram = &histograms[c];
+            let mut conn = conn.take().expect("connection present");
+            s.spawn(move || {
+                // Round-robin chunk j over every owned session before
+                // moving to chunk j+1 — all sessions progress together.
+                let max_chunks = owned
+                    .iter()
+                    .map(|(_, w)| chunk_bodies[*w].len())
+                    .max()
+                    .unwrap_or(0);
+                for j in 0..max_chunks {
+                    for (id, w) in &owned {
+                        let Some(body) = chunk_bodies[*w].get(j) else {
+                            continue;
+                        };
+                        sent.fetch_add(1, Ordering::Relaxed);
+                        let sent_at = Instant::now();
+                        let resp =
+                            conn.post_json(&format!("/session/{id}/accesses"), body.as_str());
+                        let nanos = sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        histogram.lock().unwrap().record(nanos);
+                        match resp {
+                            Ok(r) if r.is_success() => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // Determinism check: sessions that replayed the same stream must
+    // hold identical placements (the body differs only in the id).
+    // Fresh connection — the streaming ones have closed by now.
+    let mut control = ClientConn::connect(config.addr)?;
+    let mut mismatches = 0u64;
+    let mut reference: Vec<Option<String>> = vec![None; streams.len()];
+    for (id, w) in &session_ids {
+        let Ok(resp) = control.get(&format!("/session/{id}/placement")) else {
+            mismatches += 1;
+            continue;
+        };
+        let Some(body) = resp.body_str().filter(|_| resp.is_success()) else {
+            mismatches += 1;
+            continue;
+        };
+        // Strip the leading `{"session":"s-…",` so only state remains.
+        let state = body.split_once(',').map_or(body, |(_, rest)| rest);
+        match &reference[*w] {
+            None => reference[*w] = Some(state.to_owned()),
+            Some(first) if first == state => {}
+            Some(_) => mismatches += 1,
+        }
+    }
+
+    let mut latency = Histogram::new();
+    for h in &histograms {
+        latency.merge(&h.lock().unwrap());
+    }
+    Ok(LoadReport {
+        sent: sent.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        mismatches,
+        hits: 0,
+        misses: 0,
+        elapsed,
+        latency,
+    })
+}
+
 /// Extracts the `"results":…` suffix of a solve body — the part that
 /// must be byte-identical across repeats (the `cache` prefix is not).
 fn results_portion(body: &str) -> String {
@@ -320,6 +498,34 @@ mod tests {
         assert_eq!(report.latency.count(), 40);
         assert!(report.rps() > 0.0);
         assert!(report.summary().contains("req/s"));
+    }
+
+    #[test]
+    fn session_load_streams_and_matches_placements() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            session_capacity: 16,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let config = LoadConfig {
+            clients: 3,
+            workloads: 2,
+            items: 24,
+            len: 1200,
+            ..LoadConfig::new(handle.local_addr())
+        };
+        // Four sessions over two streams: 0 and 2 replay stream 0,
+        // 1 and 3 replay stream 1 — the placement cross-check runs.
+        let report = run_sessions(&config, 4).unwrap();
+        handle.shutdown();
+        handle.join();
+
+        assert!(report.all_ok(), "{}", report.summary());
+        // ceil(1200 / 256) = 5 chunks per stream, times 4 sessions.
+        assert_eq!(report.sent, 20);
+        assert_eq!(report.latency.count(), 20);
+        assert_eq!(report.hits + report.misses, 0);
     }
 
     #[test]

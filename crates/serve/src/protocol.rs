@@ -13,6 +13,19 @@
 //! | GET    | `/stats`    | —                                                 |
 //! | GET    | `/health`   | —                                                 |
 //!
+//! Streaming sessions add five more (see [`crate::session`]):
+//!
+//! | Method | Path                      | Body                                   |
+//! |--------|---------------------------|----------------------------------------|
+//! | POST   | `/session`                | `{"window"?, "phase_threshold"?, "confirm_windows"?, "hysteresis"?, "migration_shifts_per_item"?, "horizon_windows"?, "refreeze_edges"?}` (or empty for defaults) |
+//! | POST   | `/session/{id}/accesses`  | `{"ids": […]}`                         |
+//! | GET    | `/session/{id}/placement` | —                                      |
+//! | GET    | `/session/{id}/stats`     | —                                      |
+//! | DELETE | `/session/{id}`           | —                                      |
+//!
+//! Session ids look like `s-7`; unknown, closed, evicted, and expired
+//! ids all answer 404.
+//!
 //! `ids` is the access sequence as item ids (reads; the placement
 //! problem is read/write agnostic). Workloads are canonicalized server-
 //! side (`Trace::normalize`), so two id sequences with the same
@@ -80,6 +93,19 @@ pub fn opt_str(obj: &Object, key: &str, default: &str) -> Result<String, Protoco
         Some(Value::Str(s)) => Ok(s.clone()),
         Some(other) => Err(ProtocolError::bad_request(format!(
             "field {key:?} must be a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Numeric field with a default, as `f64` (integers are accepted and
+/// widened; used for session thresholds and hysteresis factors).
+pub fn opt_f64(obj: &Object, key: &str, default: f64) -> Result<f64, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Num(n)) => Ok(n.as_f64()),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field {key:?} must be a number, got {}",
             other.type_name()
         ))),
     }

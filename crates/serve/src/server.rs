@@ -10,11 +10,12 @@
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 use dwm_foundation::net::{self, ServerStats};
 use dwm_foundation::par;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineConfig};
 
 /// Environment variable overriding the default listen address.
 pub const ADDR_ENV: &str = "DWM_SERVE_ADDR";
@@ -35,6 +36,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Solve-cache entry budget (0 disables memoization).
     pub cache_capacity: usize,
+    /// Streaming-session budget (0 = unlimited); the least-recently-
+    /// used session gives way when the budget is exhausted.
+    pub session_capacity: usize,
+    /// Idle time after which a session expires (zero = never).
+    pub session_ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +50,8 @@ impl Default for ServeConfig {
             workers: par::num_threads(),
             queue_capacity: 128,
             cache_capacity: 1024,
+            session_capacity: 64,
+            session_ttl: Duration::from_secs(600),
         }
     }
 }
@@ -100,7 +108,11 @@ impl ServeHandle {
 ///
 /// Fails if the listen address cannot be bound.
 pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
-    let engine = Arc::new(Engine::new(config.cache_capacity));
+    let engine = Arc::new(Engine::with_config(EngineConfig {
+        cache_capacity: config.cache_capacity,
+        session_capacity: config.session_capacity,
+        session_ttl: config.session_ttl,
+    }));
     let handler_engine = Arc::clone(&engine);
     let server = net::Server::start(
         net::ServerConfig {

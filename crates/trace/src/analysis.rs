@@ -5,7 +5,7 @@
 //! placement in `dwm-core`: phase boundaries are where re-placing data
 //! pays for its migration cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::access::Trace;
 
@@ -128,20 +128,223 @@ pub fn detect_phases(trace: &Trace, window: usize, threshold: f64) -> Vec<usize>
     boundaries
 }
 
+fn window_counts(chunk: &[crate::access::Access]) -> BTreeMap<u32, u64> {
+    let mut m = BTreeMap::new();
+    for acc in chunk {
+        *m.entry(acc.item.0).or_insert(0u64) += 1;
+    }
+    m
+}
+
 fn total_variation(a: &[crate::access::Access], b: &[crate::access::Access]) -> f64 {
-    let freq = |chunk: &[crate::access::Access]| -> HashMap<u32, f64> {
-        let mut m = HashMap::new();
-        for acc in chunk {
-            *m.entry(acc.item.0).or_insert(0.0) += 1.0 / chunk.len() as f64;
+    total_variation_counts(&window_counts(a), a.len(), &window_counts(b), b.len())
+}
+
+/// Total-variation distance between two windows given their item
+/// counts. Keys are visited in ascending item order (both maps are
+/// ordered), so the floating-point summation order — and therefore
+/// every threshold comparison downstream — is deterministic.
+fn total_variation_counts(
+    a: &BTreeMap<u32, u64>,
+    a_len: usize,
+    b: &BTreeMap<u32, u64>,
+    b_len: usize,
+) -> f64 {
+    let mut ai = a.iter().peekable();
+    let mut bi = b.iter().peekable();
+    let mut sum = 0.0f64;
+    let norm = |count: u64, len: usize| count as f64 / len as f64;
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some((&ka, &ca)), Some((&kb, &cb))) => {
+                if ka < kb {
+                    sum += norm(ca, a_len);
+                    ai.next();
+                } else if kb < ka {
+                    sum += norm(cb, b_len);
+                    bi.next();
+                } else {
+                    sum += (norm(ca, a_len) - norm(cb, b_len)).abs();
+                    ai.next();
+                    bi.next();
+                }
+            }
+            (Some((_, &ca)), None) => {
+                sum += norm(ca, a_len);
+                ai.next();
+            }
+            (None, Some((_, &cb))) => {
+                sum += norm(cb, b_len);
+                bi.next();
+            }
+            (None, None) => break,
         }
-        m
-    };
-    let (fa, fb) = (freq(a), freq(b));
-    let keys: std::collections::HashSet<u32> = fa.keys().chain(fb.keys()).copied().collect();
-    0.5 * keys
-        .into_iter()
-        .map(|k| (fa.get(&k).unwrap_or(&0.0) - fb.get(&k).unwrap_or(&0.0)).abs())
-        .sum::<f64>()
+    }
+    0.5 * sum
+}
+
+/// Streaming phase-change detector: the incremental counterpart of
+/// [`detect_phases`], for consumers that see the trace arrive in
+/// arbitrary chunks (the `dwm-serve` session subsystem).
+///
+/// Accesses are pushed one at a time; every `window` accesses the
+/// detector compares the completed window's item-frequency distribution
+/// against the previous window's (total-variation distance, same rule
+/// as [`detect_phases`]) and reports a *confirmed* boundary once
+/// `confirm` consecutive comparisons diverge — `confirm = 1` (the
+/// default) makes it equivalent to the offline function, higher values
+/// add hysteresis against one-window blips. [`finish`] mirrors the
+/// offline treatment of the trailing partial window.
+///
+/// The equivalence is exact and chunking-independent: feeding any
+/// trace through `push` (however it was split) plus one `finish`
+/// yields precisely `detect_phases(trace, window, threshold)` when
+/// `confirm == 1` — pinned by the test suite.
+///
+/// [`finish`]: PhaseDetector::finish
+///
+/// # Example
+///
+/// ```
+/// use dwm_trace::analysis::PhaseDetector;
+///
+/// let mut det = PhaseDetector::new(50, 0.5);
+/// let mut boundaries = Vec::new();
+/// for i in 0..100u32 {
+///     boundaries.extend(det.push(i % 4));
+/// }
+/// for i in 0..100u32 {
+///     boundaries.extend(det.push(10 + i % 4));
+/// }
+/// boundaries.extend(det.finish());
+/// assert_eq!(boundaries, vec![100]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    window: usize,
+    threshold: f64,
+    confirm: usize,
+    /// Item counts of the last *complete* window, if any.
+    prev: Option<BTreeMap<u32, u64>>,
+    /// Item counts of the window being filled.
+    current: BTreeMap<u32, u64>,
+    current_len: usize,
+    /// Consecutive diverging window comparisons seen so far.
+    streak: usize,
+    /// Total accesses pushed.
+    accesses: usize,
+    /// Divergences observed (before confirmation), for stats.
+    divergences: u64,
+}
+
+impl PhaseDetector {
+    /// A detector comparing `window`-access frequency distributions
+    /// against `threshold`, confirming on the first divergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        PhaseDetector {
+            window,
+            threshold,
+            confirm: 1,
+            prev: None,
+            current: BTreeMap::new(),
+            current_len: 0,
+            streak: 0,
+            accesses: 0,
+            divergences: 0,
+        }
+    }
+
+    /// Requires `confirm` consecutive diverging windows before a
+    /// boundary is reported (1 = report immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirm` is zero.
+    pub fn with_confirm(mut self, confirm: usize) -> Self {
+        assert!(confirm > 0, "confirm must be nonzero");
+        self.confirm = confirm;
+        self
+    }
+
+    /// The window length in accesses.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total accesses pushed so far.
+    pub fn accesses(&self) -> usize {
+        self.accesses
+    }
+
+    /// Window comparisons that diverged (whether or not confirmed).
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Feeds one access. Returns the confirmed phase boundary (an
+    /// access index, as in [`detect_phases`]) completed by this access,
+    /// if any.
+    pub fn push(&mut self, item: u32) -> Option<usize> {
+        *self.current.entry(item).or_insert(0) += 1;
+        self.current_len += 1;
+        self.accesses += 1;
+        if self.current_len < self.window {
+            return None;
+        }
+        let counts = std::mem::take(&mut self.current);
+        self.current_len = 0;
+        self.compare_and_roll(counts, self.window)
+    }
+
+    /// Feeds a chunk of accesses, collecting every confirmed boundary.
+    pub fn push_chunk(&mut self, items: impl IntoIterator<Item = u32>) -> Vec<usize> {
+        items.into_iter().filter_map(|i| self.push(i)).collect()
+    }
+
+    /// Evaluates the trailing partial window (if any) against the last
+    /// complete one, exactly as [`detect_phases`] compares its final
+    /// short chunk. A pure query: the detector is untouched, so it can
+    /// be consulted at any point of the stream and pushed into again.
+    pub fn finish(&self) -> Option<usize> {
+        if self.current_len == 0 {
+            return None;
+        }
+        let prev = self.prev.as_ref()?;
+        let tv = total_variation_counts(prev, self.window, &self.current, self.current_len);
+        (tv > self.threshold && self.streak + 1 >= self.confirm)
+            .then(|| self.accesses - self.current_len)
+    }
+
+    /// Compares a just-completed window against the previous one and
+    /// rolls the window state. `len` is the completed window's length.
+    fn compare_and_roll(&mut self, counts: BTreeMap<u32, u64>, len: usize) -> Option<usize> {
+        let boundary = match self.prev.as_ref() {
+            Some(prev) => {
+                let tv = total_variation_counts(prev, self.window, &counts, len);
+                if tv > self.threshold {
+                    self.divergences += 1;
+                    self.streak += 1;
+                    // The boundary sits where the diverging window
+                    // began — matching detect_phases' (i + 1) · window.
+                    (self.streak >= self.confirm).then(|| {
+                        self.streak = 0;
+                        self.accesses - len
+                    })
+                } else {
+                    self.streak = 0;
+                    None
+                }
+            }
+            None => None,
+        };
+        self.prev = Some(counts);
+        boundary
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +427,128 @@ mod tests {
         assert_eq!(p.reuses(), 0);
         assert_eq!(p.mean_distance(), 0.0);
         assert_eq!(p.hit_ratio(8), 0.0);
+    }
+
+    /// Streams `trace` through a detector in chunks of `chunk` accesses
+    /// and collects every boundary, including the trailing-window check.
+    fn stream_boundaries(trace: &Trace, window: usize, threshold: f64, chunk: usize) -> Vec<usize> {
+        let mut det = PhaseDetector::new(window, threshold);
+        let mut out = Vec::new();
+        for ids in trace
+            .accesses()
+            .chunks(chunk)
+            .map(|c| c.iter().map(|a| a.item.0).collect::<Vec<_>>())
+        {
+            out.extend(det.push_chunk(ids));
+        }
+        out.extend(det.finish());
+        out
+    }
+
+    #[test]
+    fn streaming_detector_matches_offline_under_any_chunking() {
+        // A mix of stable and shifting workloads, including a trailing
+        // partial window that only `finish` can see.
+        let mut ids: Vec<u32> = (0..230).map(|i| i % 6).collect();
+        ids.extend((0..170).map(|i| 40 + i % 6));
+        ids.extend((0..95).map(|i| 80 + i % 3));
+        let trace = Trace::from_ids(ids);
+        for window in [50usize, 64, 100] {
+            let offline = detect_phases(&trace, window, 0.5);
+            assert!(!offline.is_empty(), "fixture must contain a phase change");
+            for chunk in [1usize, 7, 50, 64, 1000] {
+                assert_eq!(
+                    stream_boundaries(&trace, window, 0.5, chunk),
+                    offline,
+                    "window {window}, chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_detector_matches_offline_on_random_traces() {
+        let trace = churning_markov_trace();
+        for window in [32usize, 75] {
+            for threshold in [0.3f64, 0.5, 0.8] {
+                let offline = detect_phases(&trace, window, threshold);
+                assert_eq!(
+                    stream_boundaries(&trace, window, threshold, 13),
+                    offline,
+                    "window {window}, threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    /// A phase-churning random trace for the equivalence sweep.
+    fn churning_markov_trace() -> Trace {
+        let mut ids = Vec::new();
+        for phase in 0..5u32 {
+            let t = crate::synth::MarkovGen::new(24, 4, u64::from(phase) + 3).generate(333);
+            ids.extend(t.iter().map(|a| a.item.0 + phase * 3));
+        }
+        Trace::from_ids(ids)
+    }
+
+    #[test]
+    fn confirm_count_adds_hysteresis() {
+        // Alternating phases every window: each comparison diverges.
+        let mut ids: Vec<u32> = Vec::new();
+        for phase in 0..6 {
+            let base = if phase % 2 == 0 { 0 } else { 50 };
+            ids.extend((0..100).map(|i| base + i % 4));
+        }
+        let eager: Vec<usize> = {
+            let mut det = PhaseDetector::new(100, 0.5);
+            ids.iter().filter_map(|&i| det.push(i)).collect()
+        };
+        assert_eq!(eager, vec![100, 200, 300, 400, 500]);
+        // confirm = 2 needs two diverging comparisons in a row; every
+        // comparison diverges here, so boundaries fire on alternating
+        // windows (streak resets after each confirmation).
+        let damped: Vec<usize> = {
+            let mut det = PhaseDetector::new(100, 0.5).with_confirm(2);
+            ids.iter().filter_map(|&i| det.push(i)).collect()
+        };
+        assert_eq!(damped, vec![200, 400]);
+        // A stable workload never confirms at any setting.
+        let mut det = PhaseDetector::new(100, 0.5).with_confirm(2);
+        let stable: Vec<usize> = (0..1000u32).filter_map(|i| det.push(i % 4)).collect();
+        assert!(stable.is_empty());
+        assert_eq!(det.accesses(), 1000);
+        assert_eq!(det.divergences(), 0);
+    }
+
+    #[test]
+    fn finish_is_a_pure_query() {
+        let mut det = PhaseDetector::new(10, 0.5);
+        for i in 0..10u32 {
+            assert!(det.push(i % 2).is_none());
+        }
+        for _ in 0..5 {
+            assert!(det.push(40).is_none());
+        }
+        // Trailing partial window diverges; finish sees it without
+        // consuming it.
+        assert_eq!(det.finish(), Some(10));
+        assert_eq!(det.finish(), Some(10), "repeat finish is stable");
+        for _ in 0..5 {
+            let _ = det.push(41);
+        }
+        // The window completed; the boundary now arrives via push.
+        assert_eq!(det.accesses(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "confirm must be nonzero")]
+    fn zero_confirm_rejected() {
+        let _ = PhaseDetector::new(10, 0.5).with_confirm(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_detector_rejected() {
+        let _ = PhaseDetector::new(0, 0.5);
     }
 }

@@ -39,7 +39,7 @@ pub use stats::TraceStats;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::analysis::{detect_phases, working_set_curve, ReuseProfile};
+    pub use crate::analysis::{detect_phases, working_set_curve, PhaseDetector, ReuseProfile};
     pub use crate::kernels::Kernel;
     pub use crate::synth::{
         MarkovGen, PhasedGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen,

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Documentation smoke test: extracts the fenced ```sh blocks from the
-# README's Quickstart section and actually runs them, so the commands
-# users copy-paste can never rot. (The Rust quickstart block is already
-# compiled and run by rustdoc via the README doctest include.)
+# README's Quickstart and Sessions sections and actually runs them, so
+# the commands users copy-paste can never rot. (The Rust quickstart
+# block is already compiled and run by rustdoc via the README doctest
+# include.)
 #
 # Blocks run from a scratch directory under target/ so generated files
 # (fft.trace, fft.placement.json, …) never land in the repo root;
@@ -17,10 +18,11 @@ workdir="$repo_root/target/doc_smoke"
 rm -rf "$workdir"
 mkdir -p "$workdir"
 
-# Pull every ```sh block between '## Quickstart' and the next '## '
-# heading into numbered scripts.
+# Pull every ```sh block between a covered section heading
+# ('## Quickstart', '## Sessions') and the next '## ' heading into
+# numbered scripts.
 awk -v out="$workdir/block" '
-  /^## Quickstart/   { in_section = 1; next }
+  /^## Quickstart/ || /^## Sessions/ { in_section = 1; next }
   /^## /             { in_section = 0 }
   !in_section        { next }
   /^```sh$/          { in_block = 1; n++; next }
@@ -30,7 +32,7 @@ awk -v out="$workdir/block" '
 
 blocks=("$workdir"/block*.sh)
 if [[ ! -e "${blocks[0]}" ]]; then
-  echo "doc_smoke: no \`\`\`sh blocks found in README Quickstart" >&2
+  echo "doc_smoke: no \`\`\`sh blocks found in the covered README sections" >&2
   exit 1
 fi
 
@@ -41,4 +43,4 @@ for block in "${blocks[@]}"; do
   bash -euo pipefail "$block"
 done
 
-echo "doc_smoke: ${#blocks[@]} Quickstart block(s) ran clean"
+echo "doc_smoke: ${#blocks[@]} README block(s) ran clean"

@@ -20,7 +20,8 @@ bins=(
   exp_t8_layout_pass exp_t9_instruction exp_f3_normalized
   exp_f4_tape_length exp_f5_ports exp_f6_latency_energy
   exp_f7_runtime exp_f8_typed_ports exp_f9_reliability
-  exp_f10_online exp_f11_wear exp_a1_ablation exp_v1_crosscheck
+  exp_f10_online exp_f11_wear exp_f11_session_drift
+  exp_a1_ablation exp_v1_crosscheck
 )
 failed=()
 for b in "${bins[@]}"; do

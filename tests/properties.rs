@@ -424,6 +424,90 @@ fn wear_rotation_conserves_writes() {
     );
 }
 
+/// Streaming a trace through a [`DeltaGraph`] — under a random
+/// refreeze cadence — answers every query exactly like an
+/// [`AccessGraph`] rebuilt from scratch, and after a final refreeze
+/// the frozen CSR base is field-identical (`==`, covering every
+/// derived cache) to freezing the rebuilt graph. The serve session
+/// subsystem's determinism rests on this.
+fn check_delta_graph_matches_rebuilt(name: &str, threads: usize) {
+    use dwm_foundation::par;
+    let _guard = par::override_threads(threads);
+    Checker::new(name).run(
+        |rng| {
+            (
+                arb_trace(rng, 24, 400),
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..100u64),
+            )
+        },
+        |(trace, refreeze_every, seed)| {
+            let n = trace.num_items();
+            let mut delta = DeltaGraph::new(n);
+            let mut scratch = AccessGraph::with_items(n);
+            let mut last: Option<usize> = None;
+            for (step, access) in trace.accesses().iter().enumerate() {
+                let i = access.item.index();
+                delta.record_access(i);
+                scratch.set_frequency(i, scratch.frequency(i) + 1);
+                if let Some(prev) = last {
+                    if prev != i {
+                        delta.add_weight(prev, i, 1);
+                        scratch.add_weight(prev, i, 1);
+                    }
+                }
+                last = Some(i);
+                if *refreeze_every > 0 && step % refreeze_every == 0 {
+                    delta.maybe_refreeze(*refreeze_every);
+                }
+            }
+            // Every live query agrees with the rebuilt graph.
+            require_eq!(delta.num_items(), scratch.num_items());
+            require_eq!(delta.num_edges(), scratch.num_edges());
+            require_eq!(delta.total_weight(), scratch.total_weight());
+            require_eq!(delta.frequencies(), scratch.frequencies());
+            for u in 0..n {
+                require_eq!(delta.degree(u), scratch.degree(u));
+                for v in 0..n {
+                    if u != v {
+                        require_eq!(delta.weight(u, v), scratch.weight(u, v));
+                    }
+                }
+            }
+            let p = RandomPlacement::new(*seed).place(&scratch);
+            require_eq!(
+                delta.arrangement_cost(p.offsets()),
+                scratch.arrangement_cost(p.offsets())
+            );
+            require_eq!(delta.fingerprint(), fingerprint(&scratch));
+            require!(
+                delta.to_access_graph() == scratch,
+                "to_access_graph diverged from the rebuilt graph"
+            );
+            // After a forced refreeze, the CSR base must be identical
+            // to freezing the rebuilt graph — same adjacency, same
+            // derived caches, byte for byte.
+            delta.refreeze();
+            require_eq!(delta.base(), &CsrGraph::freeze(&scratch));
+            require_eq!(delta.fingerprint(), fingerprint(&scratch));
+            Ok(())
+        },
+    );
+}
+
+/// Delta-overlay maintenance equals rebuild-from-scratch, sequentially.
+#[test]
+fn delta_graph_matches_rebuilt_graph_at_one_thread() {
+    check_delta_graph_matches_rebuilt("delta_graph_matches_rebuilt_graph_at_one_thread", 1);
+}
+
+/// The same equivalence with the worker pool at width 8 — graph
+/// maintenance must not depend on `DWM_THREADS`.
+#[test]
+fn delta_graph_matches_rebuilt_graph_at_eight_threads() {
+    check_delta_graph_matches_rebuilt("delta_graph_matches_rebuilt_graph_at_eight_threads", 8);
+}
+
 /// The online placer's access+migration accounting is internally
 /// consistent and its final placement is a valid permutation.
 #[test]

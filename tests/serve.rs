@@ -261,6 +261,246 @@ fn shutdown_drains_the_in_flight_request() {
     assert!(eof.is_none(), "connection must close after shutdown");
 }
 
+/// Drives the full session lifecycle over a real socket and returns
+/// every response body, in order — the fixture for both the lifecycle
+/// assertions and the thread-count determinism check.
+fn run_session_sequence(workers: usize) -> Vec<String> {
+    let handle = ephemeral_server(workers, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).expect("connect");
+    let mut bodies = Vec::new();
+    let mut push = |resp: Response, what: &str| -> String {
+        assert!(resp.is_success(), "{what}: status {}", resp.status);
+        let body = resp.body_str().expect("utf-8 body").to_owned();
+        bodies.push(body.clone());
+        body
+    };
+
+    // Two phases: a 16-item sweep, then a ping-pong between the two
+    // items the sweep placed at opposite ends — only a re-placement
+    // fixes that, so the session must adapt.
+    let sweep: Vec<String> = (0..2000).map(|i| (i % 16).to_string()).collect();
+    let pong: Vec<String> = (0..2000).map(|i| [0, 15][i % 2].to_string()).collect();
+
+    let create = conn
+        .post_json(
+            "/session",
+            r#"{"window":100,"migration_shifts_per_item":2}"#,
+        )
+        .unwrap();
+    let create_body = push(create, "create");
+    assert!(create_body.contains(r#""session":"s-1""#), "{create_body}");
+    assert!(create_body.contains(r#""window":100"#), "{create_body}");
+
+    // Ingest phase 1 in two chunks, then phase 2 in one.
+    for (i, chunk) in [&sweep[..1000], &sweep[1000..], &pong[..]]
+        .iter()
+        .enumerate()
+    {
+        let body = format!(r#"{{"ids":[{}]}}"#, chunk.join(","));
+        let resp = conn.post_json("/session/s-1/accesses", body).unwrap();
+        push(resp, &format!("ingest {i}"));
+    }
+
+    let placement = push(conn.get("/session/s-1/placement").unwrap(), "placement");
+    assert!(placement.contains(r#""items":16"#), "{placement}");
+    assert!(placement.contains(r#""accesses":4000"#), "{placement}");
+
+    let stats = push(conn.get("/session/s-1/stats").unwrap(), "session stats");
+    assert!(stats.contains(r#""phase_changes":"#), "{stats}");
+
+    let global = push(conn.get("/stats").unwrap(), "global stats");
+    assert!(global.contains(r#""sessions":"#), "{global}");
+
+    let delete = push(
+        conn.request(&Request::new("DELETE", "/session/s-1"))
+            .unwrap(),
+        "delete",
+    );
+    assert!(delete.contains(r#""closed":true"#), "{delete}");
+
+    handle.shutdown();
+    handle.join();
+    bodies
+}
+
+#[test]
+fn session_lifecycle_adapts_to_drift_and_closes_cleanly() {
+    let bodies = run_session_sequence(2);
+    // The phase switch at access 2000 must have been detected and the
+    // re-placement adopted (migration cost 2 per item is cheap against
+    // a 15-offset ping-pong).
+    let stats = &bodies[5];
+    assert!(
+        !stats.contains(r#""phase_changes":0"#),
+        "no phase change detected: {stats}"
+    );
+    assert!(
+        !stats.contains(r#""replacements":0"#),
+        "no re-placement adopted: {stats}"
+    );
+    // Adapting must have paid off, and the stats JSON says by how much.
+    let saved: i64 = stats
+        .split(r#""net_amortized_saved":"#)
+        .nth(1)
+        .and_then(|rest| rest.split(&['}', ','][..]).next())
+        .expect("net_amortized_saved in stats")
+        .parse()
+        .expect("signed integer");
+    assert!(saved > 0, "adaptation did not pay off: {stats}");
+}
+
+#[test]
+fn session_bodies_are_byte_identical_across_thread_counts() {
+    let single = {
+        let _guard = par::override_threads(1);
+        run_session_sequence(1)
+    };
+    let wide = {
+        let _guard = par::override_threads(8);
+        run_session_sequence(8)
+    };
+    assert_eq!(
+        single, wide,
+        "same session stream must produce the same bytes at 1 and 8 threads"
+    );
+}
+
+#[test]
+fn unknown_and_closed_sessions_answer_404() {
+    let handle = ephemeral_server(2, 16);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Never-created, malformed, and non-session ids: all 404.
+    for path in [
+        "/session/s-99/stats",
+        "/session/s-99/placement",
+        "/session/nope/stats",
+        "/session/s-/stats",
+    ] {
+        let resp = conn.request(&Request::new("GET", path)).unwrap();
+        assert_eq!(resp.status, 404, "{path}");
+    }
+    assert_eq!(
+        conn.request(&Request::new("DELETE", "/session/s-99"))
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        conn.post_json("/session/s-99/accesses", r#"{"ids":[1,2]}"#)
+            .unwrap()
+            .status,
+        404
+    );
+
+    // A closed session is indistinguishable from an unknown one.
+    let create = conn.post_json("/session", "").unwrap();
+    assert_eq!(create.status, 200, "{:?}", create.body_str());
+    assert!(create.body_str().unwrap().contains(r#""session":"s-1""#));
+    assert!(conn
+        .request(&Request::new("DELETE", "/session/s-1"))
+        .unwrap()
+        .is_success());
+    assert_eq!(
+        conn.request(&Request::new("GET", "/session/s-1/stats"))
+            .unwrap()
+            .status,
+        404
+    );
+
+    // Wrong methods are 405, not 404: the resource space is known.
+    assert_eq!(
+        conn.request(&Request::new("GET", "/session"))
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        conn.post_json("/session/s-1/placement", "{}")
+            .unwrap()
+            .status,
+        405
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn idle_sessions_expire_after_the_ttl() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        session_ttl: std::time::Duration::from_millis(50),
+        ..ServeConfig::ephemeral()
+    })
+    .expect("loopback server starts");
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    assert!(conn.post_json("/session", "").unwrap().is_success());
+    assert!(conn
+        .request(&Request::new("GET", "/session/s-1/stats"))
+        .unwrap()
+        .is_success());
+
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    assert_eq!(
+        conn.request(&Request::new("GET", "/session/s-1/stats"))
+            .unwrap()
+            .status,
+        404,
+        "idle session must expire"
+    );
+    let stats = conn.get("/stats").unwrap();
+    let body = stats.body_str().unwrap();
+    assert!(body.contains(r#""expired":1"#), "{body}");
+    assert!(body.contains(r#""active":0"#), "{body}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_an_in_flight_session_ingest() {
+    let handle = ephemeral_server(2, 16);
+    let addr = handle.local_addr();
+
+    // Create the session over a normal connection first.
+    let mut conn = ClientConn::connect(addr).unwrap();
+    assert!(conn.post_json("/session", "").unwrap().is_success());
+
+    // Hand-roll an ingest so shutdown lands between the write and the
+    // read: the daemon must answer it — and the session's state must
+    // reflect the ingest — before closing.
+    let ids: Vec<String> = (0..5000).map(|i| (i % 32).to_string()).collect();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut wire = Vec::new();
+    Request::post(
+        "/session/s-1/accesses",
+        format!(r#"{{"ids":[{}]}}"#, ids.join(",")).into_bytes(),
+    )
+    .write_to(&mut wire)
+    .unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    handle.shutdown();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let resp: Response = read_response(&mut reader)
+        .expect("readable response")
+        .expect("a response, not EOF: shutdown must drain live sessions");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body_str().unwrap().contains(r#""accepted":5000"#),
+        "{:?}",
+        resp.body_str()
+    );
+
+    handle.join();
+    let eof = read_response(&mut reader).expect("clean teardown");
+    assert!(eof.is_none(), "connection must close after shutdown");
+}
+
 #[test]
 fn load_harness_reports_clean_deterministic_run() {
     let handle = ephemeral_server(4, 128);
