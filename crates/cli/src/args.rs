@@ -34,7 +34,7 @@ pub struct ParsedArgs {
 impl ParsedArgs {
     /// Known boolean switches: these never consume a following token,
     /// so `--csv trace.txt` keeps `trace.txt` positional.
-    const SWITCHES: &'static [&'static str] = &["csv", "quiet", "verbose", "obs"];
+    const SWITCHES: &'static [&'static str] = &["csv", "quiet", "verbose", "obs", "no-upgrades"];
 
     /// Parses a token stream (exclusive of the program name).
     ///
@@ -177,6 +177,13 @@ mod tests {
     #[test]
     fn empty_flag_is_an_error() {
         assert!(ParsedArgs::parse(vec!["cmd".into(), "--".into()]).is_err());
+    }
+
+    #[test]
+    fn no_upgrades_is_a_switch_not_a_value_flag() {
+        let p = parse("serve --no-upgrades --workers 2");
+        assert!(p.switch("no-upgrades"));
+        assert_eq!(p.opt_num("workers", 0usize).unwrap(), 2);
     }
 
     #[test]

@@ -148,12 +148,15 @@ COMMANDS:
   cache <trace> [--sets N] [--ways N] [--window N]
                      DWM cache policy comparison (LRU vs shift-aware)
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N]
-        [--session-capacity N] [--session-ttl SECS]
+        [--session-capacity N] [--session-ttl SECS] [--no-upgrades]
                      placement-as-a-service daemon (solve/evaluate/
                      simulate/stats/health/metrics over HTTP, plus
                      streaming /session endpoints with phase-triggered
-                     re-placement; GET /metrics is a Prometheus
-                     scrape; DWM_SERVE_ADDR overrides the default
+                     re-placement; tiered solves take quality/
+                     deadline_us knobs and quality:\"best\" enqueues
+                     background tier-2 upgrades unless --no-upgrades;
+                     GET /metrics is a Prometheus scrape;
+                     DWM_SERVE_ADDR overrides the default
                      127.0.0.1:7077; stops gracefully on
                      SIGINT/SIGTERM)
   help               this text
@@ -487,6 +490,7 @@ fn cmd_serve(args: &ParsedArgs) -> CommandResult {
     config.session_capacity = args.opt_num("session-capacity", config.session_capacity)?;
     let ttl_secs: u64 = args.opt_num("session-ttl", config.session_ttl.as_secs())?;
     config.session_ttl = std::time::Duration::from_secs(ttl_secs);
+    config.upgrades = !args.switch("no-upgrades");
     if config.workers == 0 || config.queue_capacity == 0 {
         return Err(CliError::usage("--workers and --queue must be at least 1"));
     }

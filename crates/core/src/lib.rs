@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod anytime;
 pub mod cost;
 mod error;
 pub mod exact;
@@ -61,6 +62,7 @@ pub use algorithms::{
     OrderOfAppearance, OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing,
     Spectral, TraceRefiner, WindowedDp,
 };
+pub use anytime::{AnytimeOutcome, AnytimePlacement, AnytimeSolver, Quality, Tier, TierPlan};
 pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
 pub use error::PlacementError;
 pub use placement::Placement;
@@ -85,6 +87,9 @@ pub mod prelude {
         ChainGrowth, GreedyInsertion, GroupedChainGrowth, Hybrid, LocalSearch, MultiStart,
         OrderOfAppearance, OrganPipe, PlacementAlgorithm, RandomPlacement, SimulatedAnnealing,
         Spectral, TraceRefiner, WindowedDp,
+    };
+    pub use crate::anytime::{
+        plan as plan_tier, AnytimeOutcome, AnytimePlacement, AnytimeSolver, Quality, Tier, TierPlan,
     };
     pub use crate::cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
     pub use crate::exact::optimal_placement;

@@ -250,8 +250,22 @@ impl OnlinePlacer {
     /// decision is a pure function of `(placement, window_graph,
     /// config)`.
     pub fn decide(&self, placement: &Placement, window_graph: &AccessGraph) -> Decision {
+        self.decide_with(placement, window_graph, &Hybrid::default())
+    }
+
+    /// [`decide`](Self::decide) with an explicit candidate solver —
+    /// the tiered anytime portfolio plugs in here so a streaming
+    /// session can pick its re-placement tier by budget. The decision
+    /// stays a pure function of `(placement, window_graph, config,
+    /// solver)` as long as the solver is deterministic.
+    pub fn decide_with(
+        &self,
+        placement: &Placement,
+        window_graph: &AccessGraph,
+        solver: &dyn PlacementAlgorithm,
+    ) -> Decision {
         let n = window_graph.num_items();
-        let candidate = Hybrid::default().place(window_graph);
+        let candidate = solver.place(window_graph);
         let current_cost = window_graph.arrangement_cost(placement.offsets());
         let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
         let items_moved: u64 = (0..n)

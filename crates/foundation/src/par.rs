@@ -28,15 +28,39 @@
 //!
 //! # Thread-count selection
 //!
-//! [`num_threads`] resolves, in order: the process-local
+//! [`num_threads`] resolves, in order: the thread-local
+//! [`override_threads_local`] value, the process-local
 //! [`override_threads`] value, the `DWM_THREADS` environment variable,
 //! and finally [`std::thread::available_parallelism`].
+//!
+//! # Priority lanes
+//!
+//! Foreground work (a request being answered right now) and background
+//! work (speculative refinement that only matters eventually) share one
+//! machine. [`IdleLane`] is the background side of that split: a single
+//! dedicated worker that runs queued jobs **sequentially** (thread-local
+//! override pinned to 1) and only starts a job while no section marked
+//! with [`enter_foreground`] is in flight. Foreground latency therefore
+//! pays at most one core of background interference, and only for the
+//! remainder of a job that was already running when the request
+//! arrived.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Process-local thread-count override; 0 means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread thread-count override; 0 means "not set". Outranks
+    /// the process-global override so a background worker can pin
+    /// itself sequential without perturbing foreground `par_*` calls.
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Serializes tests (across this crate's test binary) that install
 /// thread overrides, since the override is process-global.
@@ -66,12 +90,44 @@ pub fn override_threads(n: usize) -> ThreadOverrideGuard {
     }
 }
 
+/// Restores the previous [`override_threads_local`] value when dropped.
+/// Not `Send`: the guard must drop on the thread that installed it.
+#[derive(Debug)]
+#[must_use = "the override is reverted when the guard drops"]
+pub struct LocalThreadOverrideGuard {
+    prev: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for LocalThreadOverrideGuard {
+    fn drop(&mut self) {
+        LOCAL_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Overrides the worker count for the **current thread only** until the
+/// returned guard drops. Outranks [`override_threads`] and
+/// `DWM_THREADS`, so one thread can run sequentially (or wider) while
+/// the rest of the process is unaffected — the [`IdleLane`] worker pins
+/// itself to 1 this way.
+pub fn override_threads_local(n: usize) -> LocalThreadOverrideGuard {
+    LocalThreadOverrideGuard {
+        prev: LOCAL_OVERRIDE.with(|c| c.replace(n)),
+        _not_send: PhantomData,
+    }
+}
+
 /// The worker count `par_*` calls will use right now.
 ///
-/// Resolution order: [`override_threads`], then the `DWM_THREADS`
-/// environment variable (values `>= 1`; `0` or garbage fall through),
-/// then [`std::thread::available_parallelism`]. Always `>= 1`.
+/// Resolution order: [`override_threads_local`], then
+/// [`override_threads`], then the `DWM_THREADS` environment variable
+/// (values `>= 1`; `0` or garbage fall through), then
+/// [`std::thread::available_parallelism`]. Always `>= 1`.
 pub fn num_threads() -> usize {
+    let local = LOCAL_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
     let over = OVERRIDE.load(Ordering::SeqCst);
     if over > 0 {
         return over;
@@ -86,6 +142,199 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Count of foreground sections currently in flight (process-wide).
+static FOREGROUND: AtomicUsize = AtomicUsize::new(0);
+
+/// Marks the current code path as foreground until dropped; see
+/// [`enter_foreground`].
+#[derive(Debug)]
+#[must_use = "foreground status ends when the guard drops"]
+pub struct ForegroundGuard(());
+
+impl Drop for ForegroundGuard {
+    fn drop(&mut self) {
+        FOREGROUND.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Declares that latency-sensitive foreground work is in flight until
+/// the returned guard drops. While any foreground section is active,
+/// every [`IdleLane`] defers *starting* queued jobs — a request never
+/// waits behind speculative background work for a core.
+pub fn enter_foreground() -> ForegroundGuard {
+    FOREGROUND.fetch_add(1, Ordering::SeqCst);
+    ForegroundGuard(())
+}
+
+/// Whether any [`enter_foreground`] section is currently in flight.
+pub fn foreground_active() -> bool {
+    FOREGROUND.load(Ordering::SeqCst) > 0
+}
+
+struct LaneShared {
+    queue: Mutex<LaneQueue>,
+    cv: Condvar,
+    closed: AtomicBool,
+    executed: AtomicU64,
+}
+
+struct LaneQueue {
+    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    running: bool,
+}
+
+/// An idle-priority background lane: one dedicated worker draining a
+/// FIFO of jobs, each run **sequentially** (thread-local override
+/// pinned to 1) and only started while no [`enter_foreground`] section
+/// is in flight.
+///
+/// The lane is the substrate for `dwm-serve`'s background solve
+/// upgrades: heavier solvers re-run cached workloads without stealing
+/// cycles from the requests that are being answered right now. Jobs
+/// must be self-contained (`FnOnce() + Send + 'static`); a panicking
+/// job is swallowed so the lane survives. Dropping the lane finishes
+/// the job in progress, discards the rest of the queue, and joins the
+/// worker.
+pub struct IdleLane {
+    shared: Arc<LaneShared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IdleLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdleLane")
+            .field("pending", &self.pending())
+            .field("executed", &self.executed())
+            .finish()
+    }
+}
+
+impl Default for IdleLane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IdleLane {
+    /// Starts the lane and its worker thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(LaneShared {
+            queue: Mutex::new(LaneQueue {
+                jobs: VecDeque::new(),
+                running: false,
+            }),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("dwm-idle-lane".into())
+            .spawn(move || Self::run_worker(&worker_shared))
+            .expect("spawning the idle-lane worker");
+        IdleLane {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    fn run_worker(shared: &LaneShared) {
+        loop {
+            let job = {
+                let mut q = shared.queue.lock().expect("lane queue poisoned");
+                loop {
+                    if shared.closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(job) = q.jobs.pop_front() {
+                        q.running = true;
+                        break job;
+                    }
+                    q = shared
+                        .cv
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .expect("lane queue poisoned")
+                        .0;
+                }
+            };
+            // Idle priority: hold the job until no foreground section
+            // is in flight (shutdown cuts the wait short so drop never
+            // hangs behind a busy foreground). The poll interval is a
+            // foreground-visible cost on a loaded single-core box —
+            // every wakeup steals a context switch from whatever is
+            // running — so it is deliberately coarse; background jobs
+            // can afford to start a millisecond late.
+            while foreground_active() && !shared.closed.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            {
+                let _pin = override_threads_local(1);
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            shared.executed.fetch_add(1, Ordering::SeqCst);
+            let mut q = shared.queue.lock().expect("lane queue poisoned");
+            q.running = false;
+            drop(q);
+            shared.cv.notify_all();
+        }
+    }
+
+    /// Enqueues a job. Jobs run in submission order, one at a time.
+    /// Jobs submitted after shutdown began are dropped.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut q = self.shared.queue.lock().expect("lane queue poisoned");
+        q.jobs.push_back(Box::new(job));
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    /// Jobs queued or currently running.
+    pub fn pending(&self) -> usize {
+        let q = self.shared.queue.lock().expect("lane queue poisoned");
+        q.jobs.len() + usize::from(q.running)
+    }
+
+    /// Total jobs the lane has finished (including panicked ones).
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the lane is empty (no queued or running job) or the
+    /// timeout elapses; returns `true` when it drained. Tests and the
+    /// bench harness use this to make background completion a
+    /// synchronization point instead of a race.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().expect("lane queue poisoned");
+        while !q.jobs.is_empty() || q.running {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            q = self
+                .shared
+                .cv
+                .wait_timeout(q, (deadline - now).min(Duration::from_millis(20)))
+                .expect("lane queue poisoned")
+                .0;
+        }
+        true
+    }
+}
+
+impl Drop for IdleLane {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// A shared monotonically decreasing `u64` — the atomic-best reducer
@@ -490,6 +739,96 @@ mod tests {
         }
         assert_eq!(num_threads(), 5);
         drop(outer);
+    }
+
+    #[test]
+    fn local_override_outranks_global_and_is_thread_scoped() {
+        let _l = LOCK.lock().unwrap();
+        let _g = override_threads(6);
+        assert_eq!(num_threads(), 6);
+        {
+            let _local = override_threads_local(2);
+            assert_eq!(num_threads(), 2);
+            // Another thread is unaffected by this thread's override.
+            let other = std::thread::spawn(num_threads).join().unwrap();
+            assert_eq!(other, 6);
+        }
+        assert_eq!(num_threads(), 6);
+    }
+
+    #[test]
+    fn foreground_guard_counts_nested_sections() {
+        // FOREGROUND is process-global; serialize with the other test
+        // that observes it.
+        let _l = LOCK.lock().unwrap();
+        assert!(!foreground_active());
+        let outer = enter_foreground();
+        let inner = enter_foreground();
+        assert!(foreground_active());
+        drop(inner);
+        assert!(foreground_active());
+        drop(outer);
+        assert!(!foreground_active());
+    }
+
+    #[test]
+    fn idle_lane_runs_jobs_in_order_and_drains() {
+        let lane = IdleLane::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..8 {
+            let log = Arc::clone(&log);
+            lane.submit(move || log.lock().unwrap().push(i));
+        }
+        assert!(lane.wait_idle(Duration::from_secs(10)), "lane drained");
+        assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(lane.pending(), 0);
+        assert_eq!(lane.executed(), 8);
+    }
+
+    #[test]
+    fn idle_lane_jobs_run_sequentially_pinned() {
+        let lane = IdleLane::new();
+        let seen = Arc::new(Mutex::new(0usize));
+        {
+            let seen = Arc::clone(&seen);
+            lane.submit(move || *seen.lock().unwrap() = num_threads());
+        }
+        assert!(lane.wait_idle(Duration::from_secs(10)));
+        assert_eq!(*seen.lock().unwrap(), 1, "lane jobs are pinned to 1 thread");
+    }
+
+    #[test]
+    fn idle_lane_defers_while_foreground_active() {
+        let _l = LOCK.lock().unwrap();
+        let lane = IdleLane::new();
+        let fg = enter_foreground();
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let ran = Arc::clone(&ran);
+            lane.submit(move || ran.store(true, Ordering::SeqCst));
+        }
+        assert!(
+            !lane.wait_idle(Duration::from_millis(150)),
+            "job must not start while a foreground section is in flight"
+        );
+        assert!(!ran.load(Ordering::SeqCst));
+        drop(fg);
+        assert!(lane.wait_idle(Duration::from_secs(10)));
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn idle_lane_survives_a_panicking_job() {
+        let lane = IdleLane::new();
+        lane.submit(|| panic!("boom"));
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let ran = Arc::clone(&ran);
+            lane.submit(move || ran.store(true, Ordering::SeqCst));
+        }
+        assert!(lane.wait_idle(Duration::from_secs(10)));
+        assert!(ran.load(Ordering::SeqCst), "lane survives a panic");
+        assert_eq!(lane.executed(), 2);
     }
 
     #[test]

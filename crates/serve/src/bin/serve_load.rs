@@ -3,7 +3,8 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--requests N] [--clients N]
 //!            [--workloads N] [--items N] [--len N] [--seed N]
-//!            [--algorithm NAME] [--min-rps N] [--sessions N]
+//!            [--algorithm NAME] [--quality NAME] [--deadline-us N]
+//!            [--min-rps N] [--sessions N] [--wait-ready SECS]
 //! ```
 //!
 //! Exits 0 iff every request got a 2xx with a body consistent with
@@ -12,22 +13,41 @@
 //! job runs this with `--requests 200 --min-rps 1000` against a
 //! release-mode daemon.
 //!
+//! `--wait-ready SECS` polls `GET /health` until the daemon answers
+//! (or the window lapses, exit 2) before generating any load — the
+//! scripted replacement for a fixed-iteration spin-wait after starting
+//! a daemon in the background.
+//!
+//! `--quality` / `--deadline-us` switch the solve bodies to the tiered
+//! form (mutually exclusive with `--algorithm`). With `--deadline-us`
+//! the run additionally *enforces the deadline contract*: it fails
+//! (exit 1) unless every response's server-side time stayed within the
+//! budget — i.e. p99 under budget and zero deadline misses. The CI
+//! deadline-contract step runs `--quality fast --deadline-us …` to pin
+//! the tier-0 latency envelope.
+//!
 //! With `--sessions N` the harness switches to session mode: it opens
 //! `N` streaming sessions, streams each workload to them closed-loop
 //! in fixed chunks via `POST /session/{id}/accesses`, reports ingest
 //! latency percentiles, and cross-checks that sessions fed the same
 //! stream end with byte-identical placements (`--requests` is ignored;
-//! the stream length is `--len`).
+//! the stream length is `--len`). Tier knobs are forwarded to session
+//! creation (`quality` / `replace_deadline_us`) so re-placement runs
+//! through the anytime portfolio; the deadline contract applies to
+//! stateless solves only.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use dwm_serve::load::{run, run_sessions, LoadConfig};
+use dwm_serve::load::{run, run_sessions, wait_ready, LoadConfig};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("serve_load: {msg}");
     ExitCode::from(2)
 }
+
+const QUALITY_NAMES: [&str; 3] = ["fast", "balanced", "best"];
 
 fn main() -> ExitCode {
     let mut addr = std::env::var("DWM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7077".to_owned());
@@ -37,9 +57,12 @@ fn main() -> ExitCode {
     let mut items = 48usize;
     let mut len = 2400usize;
     let mut seed = 7u64;
-    let mut algorithm = "hybrid".to_owned();
+    let mut algorithm: Option<String> = None;
+    let mut quality: Option<String> = None;
+    let mut deadline_us: Option<u64> = None;
     let mut min_rps = 0f64;
     let mut sessions = 0usize;
+    let mut wait_ready_secs = 0f64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -49,7 +72,8 @@ fn main() -> ExitCode {
             println!(
                 "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients N] \
                  [--workloads N] [--items N] [--len N] [--seed N] [--algorithm NAME] \
-                 [--min-rps N] [--sessions N]"
+                 [--quality NAME] [--deadline-us N] [--min-rps N] [--sessions N] \
+                 [--wait-ready SECS]"
             );
             return ExitCode::SUCCESS;
         }
@@ -83,7 +107,19 @@ fn main() -> ExitCode {
                 Ok(v) => seed = v,
                 Err(_) => return fail("--seed must be an unsigned integer"),
             },
-            "--algorithm" => algorithm = value.clone(),
+            "--algorithm" => algorithm = Some(value.clone()),
+            "--quality" => {
+                if !QUALITY_NAMES.contains(&value.as_str()) {
+                    return fail(&format!(
+                        "--quality must be one of {QUALITY_NAMES:?}, got {value:?}"
+                    ));
+                }
+                quality = Some(value.clone());
+            }
+            "--deadline-us" => match value.parse::<u64>() {
+                Ok(v) => deadline_us = Some(v),
+                Err(_) => return fail("--deadline-us must be an unsigned integer"),
+            },
             "--min-rps" => match value.parse::<f64>() {
                 Ok(v) if v >= 0.0 => min_rps = v,
                 _ => return fail("--min-rps must be a nonnegative number"),
@@ -92,15 +128,34 @@ fn main() -> ExitCode {
                 Ok(v) if v > 0 => sessions = v,
                 _ => return fail("--sessions must be a positive integer"),
             },
+            "--wait-ready" => match value.parse::<f64>() {
+                Ok(v) if v >= 0.0 => wait_ready_secs = v,
+                _ => return fail("--wait-ready must be a nonnegative number of seconds"),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
         i += 2;
+    }
+
+    if algorithm.is_some() && (quality.is_some() || deadline_us.is_some()) {
+        return fail("--algorithm cannot be combined with --quality/--deadline-us");
     }
 
     let addr: SocketAddr = match addr.parse() {
         Ok(a) => a,
         Err(_) => return fail(&format!("invalid address {addr:?}")),
     };
+
+    if wait_ready_secs > 0.0 {
+        match wait_ready(addr, Duration::from_secs_f64(wait_ready_secs)) {
+            Ok(took) => println!(
+                "serve_load: daemon at {addr} ready after {:.2}s",
+                took.as_secs_f64()
+            ),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+
     let config = LoadConfig {
         addr,
         requests,
@@ -109,7 +164,9 @@ fn main() -> ExitCode {
         items,
         len,
         seed,
-        algorithm,
+        algorithm: algorithm.unwrap_or_else(|| "hybrid".to_owned()),
+        quality,
+        deadline_us,
     };
     let outcome = if sessions > 0 {
         run_sessions(&config, sessions)
@@ -135,6 +192,23 @@ fn main() -> ExitCode {
             report.rps()
         );
         return ExitCode::FAILURE;
+    }
+    if sessions == 0 {
+        if let Some(budget) = config.deadline_us {
+            let p99 = report.server_elapsed.percentile(0.99).unwrap_or(u64::MAX);
+            if report.deadline_misses > 0 || p99 > budget {
+                eprintln!(
+                    "serve_load: FAILED (deadline contract: p99 {p99}us vs {budget}us budget, \
+                     {} misses)",
+                    report.deadline_misses
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "serve_load: deadline contract held (server p99 {p99}us within {budget}us, \
+                 0 misses)"
+            );
+        }
     }
     ExitCode::SUCCESS
 }

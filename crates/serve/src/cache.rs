@@ -1,10 +1,21 @@
-//! The memoizing solve cache: sharded, LRU-evicting, fingerprint-keyed.
+//! The memoizing solve cache: sharded, LRU-evicting, fingerprint-keyed,
+//! with versioned records that background upgrades rewrite in place.
 //!
 //! A cache entry memoizes the full solve *result object* (placement,
 //! costs, metadata) for one `(fingerprint, algorithm, seed)` triple.
 //! Because every solver in the workspace is deterministic, a hit is
 //! byte-for-byte what a fresh solve would have produced — the cache is
-//! a pure latency optimization and can never change response bodies.
+//! a pure latency optimization and can never change response bodies
+//! for a fixed record version.
+//!
+//! Records are **versioned**: each carries the arrangement cost it
+//! memoizes, the tier and solver that produced it, a monotonically
+//! increasing version, and the count of applied upgrades. The
+//! background upgrade lane calls [`SolveCache::upgrade`], which
+//! replaces a record in place **only when the new arrangement is
+//! strictly cheaper** — so versions only move forward to strictly
+//! better placements, and a repeat caller can watch `version` bump as
+//! heavier solvers land.
 //!
 //! Sharding: entries are spread over a power-of-two number of
 //! independently locked shards by the low fingerprint bits, so
@@ -29,14 +40,47 @@ const SHARDS: usize = 8;
 pub struct CacheKey {
     /// Canonical workload fingerprint.
     pub fingerprint: Fingerprint,
-    /// Algorithm name the solve used.
+    /// Algorithm name the solve used (`"anytime"` for tiered solves).
     pub algorithm: String,
     /// Seed the stochastic algorithms used.
     pub seed: u64,
 }
 
+/// One memoized solve with its provenance and upgrade lineage.
+#[derive(Debug, Clone)]
+pub struct CacheRecord {
+    /// The memoized result object (never includes the `cache` field —
+    /// that is derived per response from this record's metadata).
+    pub value: Arc<Value>,
+    /// Arrangement cost of the memoized placement; the strict-
+    /// improvement bar every upgrade must clear.
+    pub cost: u64,
+    /// Tier index that produced the current value (0/1/2).
+    pub tier: u8,
+    /// Solver provenance (e.g. `"greedy-csr"`, `"annealing"`).
+    pub solver: String,
+    /// Record version; starts at 1, bumped by every applied upgrade.
+    pub version: u64,
+    /// Number of upgrades applied to this record.
+    pub upgrades: u64,
+}
+
+impl CacheRecord {
+    /// A freshly solved record at version 1.
+    pub fn fresh(value: Arc<Value>, cost: u64, tier: u8, solver: impl Into<String>) -> Self {
+        CacheRecord {
+            value,
+            cost,
+            tier,
+            solver: solver.into(),
+            version: 1,
+            upgrades: 0,
+        }
+    }
+}
+
 struct Entry {
-    value: Arc<Value>,
+    record: CacheRecord,
     last_used: u64,
 }
 
@@ -59,9 +103,15 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Configured capacity (0 = caching disabled).
     pub capacity: u64,
+    /// Background upgrades that strictly improved a record.
+    pub upgrades_applied: u64,
+    /// Background upgrades discarded (not strictly better, or the
+    /// record was gone by the time the upgrade landed).
+    pub upgrades_discarded: u64,
 }
 
-/// A sharded LRU cache from [`CacheKey`] to memoized solve results.
+/// A sharded LRU cache from [`CacheKey`] to versioned memoized solve
+/// records.
 ///
 /// `capacity` is the total entry budget, split evenly across shards; a
 /// capacity of 0 disables caching entirely (every lookup misses, every
@@ -74,6 +124,8 @@ pub struct SolveCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    upgrades_applied: AtomicU64,
+    upgrades_discarded: AtomicU64,
 }
 
 impl SolveCache {
@@ -91,6 +143,8 @@ impl SolveCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            upgrades_applied: AtomicU64::new(0),
+            upgrades_discarded: AtomicU64::new(0),
         }
     }
 
@@ -98,8 +152,8 @@ impl SolveCache {
         &self.shards[(key.fingerprint.lo as usize) & (SHARDS - 1)]
     }
 
-    /// Looks up a memoized result, refreshing its LRU position.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Value>> {
+    /// Looks up a memoized record, refreshing its LRU position.
+    pub fn get(&self, key: &CacheKey) -> Option<CacheRecord> {
         if self.per_shard_capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -111,7 +165,7 @@ impl SolveCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.value))
+                Some(entry.record.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -120,9 +174,9 @@ impl SolveCache {
         }
     }
 
-    /// Memoizes a solve result, evicting the least-recently-used entry
+    /// Memoizes a solve record, evicting the least-recently-used entry
     /// of the target shard if it is full.
-    pub fn insert(&self, key: CacheKey, value: Arc<Value>) {
+    pub fn insert(&self, key: CacheKey, record: CacheRecord) {
         if self.per_shard_capacity == 0 {
             return;
         }
@@ -143,10 +197,48 @@ impl SolveCache {
         shard.map.insert(
             key,
             Entry {
-                value,
+                record,
                 last_used: tick,
             },
         );
+    }
+
+    /// Rewrites a record in place with a strictly better arrangement:
+    /// the new value is installed only when `cost` is strictly below
+    /// the resident record's cost, bumping `version` and `upgrades`
+    /// while keeping the LRU position untouched (an upgrade is not a
+    /// use). Returns `true` when the upgrade was applied; `false` (and
+    /// a discard count) when it wasn't strictly better or the record
+    /// was evicted in the meantime.
+    pub fn upgrade(
+        &self,
+        key: &CacheKey,
+        value: Arc<Value>,
+        cost: u64,
+        tier: u8,
+        solver: impl Into<String>,
+    ) -> bool {
+        if self.per_shard_capacity == 0 {
+            self.upgrades_discarded.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        match shard.map.get_mut(key) {
+            Some(entry) if cost < entry.record.cost => {
+                entry.record.value = value;
+                entry.record.cost = cost;
+                entry.record.tier = tier;
+                entry.record.solver = solver.into();
+                entry.record.version += 1;
+                entry.record.upgrades += 1;
+                self.upgrades_applied.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => {
+                self.upgrades_discarded.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     /// A consistent-enough snapshot of the counters.
@@ -162,6 +254,8 @@ impl SolveCache {
             entries,
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity as u64,
+            upgrades_applied: self.upgrades_applied.load(Ordering::Relaxed),
+            upgrades_discarded: self.upgrades_discarded.load(Ordering::Relaxed),
         }
     }
 }
@@ -183,11 +277,17 @@ mod tests {
         Arc::new(Value::Num(Number::U(n)))
     }
 
+    fn rec(n: u64, cost: u64) -> CacheRecord {
+        CacheRecord::fresh(val(n), cost, 0, "greedy-csr")
+    }
+
     #[test]
     fn hit_after_insert_and_key_components_distinguish() {
         let cache = SolveCache::new(64);
-        cache.insert(key(1, "hybrid", 1), val(10));
-        assert_eq!(cache.get(&key(1, "hybrid", 1)).as_deref(), Some(&*val(10)));
+        cache.insert(key(1, "hybrid", 1), rec(10, 100));
+        let hit = cache.get(&key(1, "hybrid", 1)).expect("hit");
+        assert_eq!(hit.value.as_ref(), val(10).as_ref());
+        assert_eq!((hit.cost, hit.version, hit.upgrades), (100, 1, 0));
         assert!(cache.get(&key(2, "hybrid", 1)).is_none());
         assert!(cache.get(&key(1, "spectral", 1)).is_none());
         assert!(cache.get(&key(1, "hybrid", 2)).is_none());
@@ -202,10 +302,10 @@ mod tests {
         // Capacity 8 over 8 shards = 1 entry per shard; keys 0 and 8
         // land in the same shard (lo % 8).
         let cache = SolveCache::new(8);
-        cache.insert(key(0, "a", 0), val(1));
-        cache.insert(key(8, "a", 0), val(2));
+        cache.insert(key(0, "a", 0), rec(1, 10));
+        cache.insert(key(8, "a", 0), rec(2, 10));
         assert!(cache.get(&key(0, "a", 0)).is_none(), "cold entry evicted");
-        assert_eq!(cache.get(&key(8, "a", 0)).as_deref(), Some(&*val(2)));
+        assert!(cache.get(&key(8, "a", 0)).is_some());
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -213,11 +313,11 @@ mod tests {
     fn get_refreshes_recency() {
         // 16 total → 2 per shard. Keys 0, 8, 16 share shard 0.
         let cache = SolveCache::new(16);
-        cache.insert(key(0, "a", 0), val(1));
-        cache.insert(key(8, "a", 0), val(2));
+        cache.insert(key(0, "a", 0), rec(1, 10));
+        cache.insert(key(8, "a", 0), rec(2, 10));
         // Touch 0 so 8 becomes the LRU victim.
         assert!(cache.get(&key(0, "a", 0)).is_some());
-        cache.insert(key(16, "a", 0), val(3));
+        cache.insert(key(16, "a", 0), rec(3, 10));
         assert!(cache.get(&key(0, "a", 0)).is_some());
         assert!(cache.get(&key(8, "a", 0)).is_none());
         assert!(cache.get(&key(16, "a", 0)).is_some());
@@ -226,21 +326,80 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = SolveCache::new(0);
-        cache.insert(key(1, "a", 0), val(1));
+        cache.insert(key(1, "a", 0), rec(1, 10));
         assert!(cache.get(&key(1, "a", 0)).is_none());
+        assert!(!cache.upgrade(&key(1, "a", 0), val(2), 5, 2, "annealing"));
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.capacity, 0);
         assert_eq!(stats.misses, 1);
+        assert_eq!(stats.upgrades_discarded, 1);
     }
 
     #[test]
     fn reinserting_an_existing_key_replaces_without_eviction() {
         let cache = SolveCache::new(8);
-        cache.insert(key(0, "a", 0), val(1));
-        cache.insert(key(0, "a", 0), val(9));
-        assert_eq!(cache.get(&key(0, "a", 0)).as_deref(), Some(&*val(9)));
+        cache.insert(key(0, "a", 0), rec(1, 10));
+        cache.insert(key(0, "a", 0), rec(9, 10));
+        let got = cache.get(&key(0, "a", 0)).unwrap();
+        assert_eq!(got.value.as_ref(), val(9).as_ref());
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn upgrade_applies_only_strict_improvements() {
+        let cache = SolveCache::new(64);
+        let k = key(3, "anytime", 1);
+        cache.insert(k.clone(), rec(1, 100));
+
+        // Equal cost: discarded, record untouched.
+        assert!(!cache.upgrade(&k, val(2), 100, 2, "annealing"));
+        let r = cache.get(&k).unwrap();
+        assert_eq!((r.version, r.upgrades, r.cost), (1, 0, 100));
+        assert_eq!(r.value.as_ref(), val(1).as_ref());
+
+        // Strictly better: applied, version bumped.
+        assert!(cache.upgrade(&k, val(2), 60, 2, "annealing"));
+        let r = cache.get(&k).unwrap();
+        assert_eq!((r.version, r.upgrades, r.cost), (2, 1, 60));
+        assert_eq!(r.tier, 2);
+        assert_eq!(r.solver, "annealing");
+        assert_eq!(r.value.as_ref(), val(2).as_ref());
+
+        // Worse: discarded again.
+        assert!(!cache.upgrade(&k, val(3), 90, 2, "hybrid"));
+        assert_eq!(cache.get(&k).unwrap().version, 2);
+
+        let stats = cache.stats();
+        assert_eq!(stats.upgrades_applied, 1);
+        assert_eq!(stats.upgrades_discarded, 2);
+    }
+
+    #[test]
+    fn upgrade_of_a_missing_record_is_discarded() {
+        let cache = SolveCache::new(64);
+        assert!(!cache.upgrade(&key(5, "anytime", 0), val(1), 1, 2, "annealing"));
+        assert_eq!(cache.stats().upgrades_discarded, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn upgrade_does_not_refresh_lru_position() {
+        // 8 total → 1 per shard; keys 0 and 8 share shard 0.
+        let cache = SolveCache::new(16);
+        cache.insert(key(0, "a", 0), rec(1, 100));
+        cache.insert(key(8, "a", 0), rec(2, 100));
+        // Upgrading key 0 must not make it "recently used"…
+        assert!(cache.upgrade(&key(0, "a", 0), val(3), 50, 2, "annealing"));
+        // …so after touching 8 and inserting a third key into the
+        // shard, key 0 is still the LRU victim.
+        assert!(cache.get(&key(8, "a", 0)).is_some());
+        cache.insert(key(16, "a", 0), rec(4, 100));
+        assert!(
+            cache.get(&key(0, "a", 0)).is_none(),
+            "upgraded entry evicted"
+        );
+        assert!(cache.get(&key(8, "a", 0)).is_some());
     }
 }

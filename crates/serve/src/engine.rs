@@ -20,6 +20,21 @@
 //!    `x-dwm-elapsed-us` header, never in the body, keeping bodies a
 //!    pure function of the request.
 //!
+//! # Tiered solves
+//!
+//! The `quality` / `deadline_us` request form routes through the
+//! anytime solver instead of a named algorithm: [`anytime::plan`] maps
+//! the knobs and graph size to a foreground tier — a *pure function of
+//! the request*, never of measured wall-clock, so tier choice is
+//! deterministic across machines and thread counts. Tiered results are
+//! cached under the tier-independent [`ANYTIME_ALGORITHM`] name with
+//! versioned records; `quality:"best"` additionally enqueues a tier-2
+//! re-solve on an idle-priority [`par::IdleLane`] that only runs while
+//! no request is in flight and rewrites the cache record in place when
+//! strictly better. An upgrade is observable only through the
+//! response's versioned `cache` labels — for a fixed record version,
+//! bodies stay byte-deterministic.
+//!
 //! # Observability
 //!
 //! Each engine owns a private [`obs::Registry`] holding its request
@@ -34,10 +49,12 @@
 //! histogram, solver metrics) respects the knob. See
 //! `docs/OBSERVABILITY.md` for the full metric catalog.
 
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dwm_core::algorithms::standard_suite;
+use dwm_core::anytime::{self, AnytimeOutcome, AnytimeSolver, Tier, TierPlan};
 use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePortCost};
 use dwm_device::DeviceConfig;
 use dwm_foundation::json::{Number, Object, ToJson, Value};
@@ -48,12 +65,18 @@ use dwm_graph::{fingerprint, AccessGraph};
 use dwm_sim::SpmSimulator;
 use dwm_trace::Trace;
 
-use crate::cache::{CacheKey, SolveCache};
+use crate::cache::{CacheKey, CacheRecord, SolveCache};
 use crate::protocol::{
-    error_body, opt_f64, opt_str, opt_u64, parse_body, parse_ids, parse_usize_array,
-    parse_workloads, ProtocolError,
+    error_body, opt_f64, opt_str, opt_u64, parse_body, parse_ids, parse_session_knobs,
+    parse_tier_knobs, parse_usize_array, parse_workloads, ProtocolError, TierKnobs,
 };
 use crate::session::{SessionConfig, SessionState, SessionTable};
+
+/// Algorithm name under which tiered (quality/deadline-addressed)
+/// solves are cached. Tier-independent on purpose: the background
+/// upgrade lane rewrites the record in place, so repeat callers pick
+/// up the best placement any tier has produced so far.
+pub const ANYTIME_ALGORITHM: &str = "anytime";
 
 /// The header carrying per-request wall-clock time in microseconds.
 pub const ELAPSED_HEADER: &str = "x-dwm-elapsed-us";
@@ -68,6 +91,9 @@ pub struct EngineConfig {
     pub session_capacity: usize,
     /// Idle time after which a session expires (zero = never).
     pub session_ttl: Duration,
+    /// Whether `quality:"best"` solves enqueue background tier-2
+    /// upgrades on the idle lane (`--no-upgrades` turns this off).
+    pub upgrades: bool,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +102,7 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             session_capacity: 64,
             session_ttl: Duration::from_secs(600),
+            upgrades: true,
         }
     }
 }
@@ -86,6 +113,12 @@ pub struct Engine {
     cache: Arc<SolveCache>,
     sessions: Arc<SessionTable>,
     registry: Arc<obs::Registry>,
+    /// Idle-priority lane running background tier-2 upgrades; `None`
+    /// when upgrades are disabled.
+    lane: Option<Arc<par::IdleLane>>,
+    /// Keys with an upgrade queued or running, so one workload never
+    /// occupies more than one lane slot.
+    inflight_upgrades: Arc<Mutex<HashSet<CacheKey>>>,
     requests: Arc<obs::Counter>,
     solves: Arc<obs::Counter>,
     evaluates: Arc<obs::Counter>,
@@ -95,6 +128,10 @@ pub struct Engine {
     session_reads: Arc<obs::Counter>,
     session_closes: Arc<obs::Counter>,
     errors: Arc<obs::Counter>,
+    tier_solves: [Arc<obs::Counter>; 3],
+    upgrades_enqueued: Arc<obs::Counter>,
+    deadline_met: Arc<obs::Counter>,
+    deadline_missed: Arc<obs::Counter>,
     latency_ns: Arc<obs::Histogram>,
     ingest_latency_ns: Arc<obs::Histogram>,
 }
@@ -132,6 +169,14 @@ impl Engine {
                 "Requests dispatched per endpoint",
             )
         };
+        let lane = config.upgrades.then(|| Arc::new(par::IdleLane::new()));
+        let tier_counter = |tier: &str| {
+            registry.counter_with(
+                "dwm_serve_tier_solves_total",
+                &[("tier", tier)],
+                "Foreground tiered solves per tier (cache misses only)",
+            )
+        };
         let engine = Engine {
             requests: registry.counter(
                 "dwm_serve_requests_total",
@@ -148,6 +193,19 @@ impl Engine {
                 "dwm_serve_errors_total",
                 "Requests answered with an error status",
             ),
+            tier_solves: [tier_counter("0"), tier_counter("1"), tier_counter("2")],
+            upgrades_enqueued: registry.counter(
+                "dwm_serve_upgrades_enqueued_total",
+                "Background tier-2 upgrades submitted to the idle lane",
+            ),
+            deadline_met: registry.counter(
+                "dwm_serve_deadline_met_total",
+                "Tiered solves whose wall-clock beat the caller's deadline_us",
+            ),
+            deadline_missed: registry.counter(
+                "dwm_serve_deadline_missed_total",
+                "Tiered solves whose wall-clock exceeded the caller's deadline_us",
+            ),
             latency_ns: registry.histogram(
                 "dwm_serve_request_latency_ns",
                 "Wall-clock nanoseconds per request, measured inside the engine",
@@ -159,6 +217,8 @@ impl Engine {
             cache: Arc::clone(&cache),
             sessions: Arc::clone(&sessions),
             registry: Arc::clone(&registry),
+            lane,
+            inflight_upgrades: Arc::new(Mutex::new(HashSet::new())),
         };
         // Cache metrics are scrape-time callbacks over the cache's own
         // counters — /stats and /metrics read the same atomics.
@@ -198,6 +258,27 @@ impl Engine {
             FnKind::Gauge,
             |c| c.stats().capacity,
         );
+        cache_fn(
+            "dwm_serve_upgrades_applied_total",
+            "Background upgrades that strictly improved a cached record",
+            FnKind::Counter,
+            |c| c.stats().upgrades_applied,
+        );
+        cache_fn(
+            "dwm_serve_upgrades_discarded_total",
+            "Background upgrades discarded (not strictly better, or record gone)",
+            FnKind::Counter,
+            |c| c.stats().upgrades_discarded,
+        );
+        if let Some(lane) = &engine.lane {
+            let lane = Arc::clone(lane);
+            engine.registry.register_fn(
+                "dwm_serve_upgrade_queue_depth",
+                "Background upgrades queued or running on the idle lane",
+                FnKind::Gauge,
+                move || lane.pending() as u64,
+            );
+        }
         // Session metrics follow the same pattern: scrape-time
         // callbacks over the table's own atomics, so /stats and
         // /metrics can never disagree.
@@ -319,6 +400,10 @@ impl Engine {
     /// Handles one request, timing it into [`ELAPSED_HEADER`].
     pub fn handle(&self, req: &Request) -> Response {
         let started = Instant::now();
+        // Mark the request as foreground work for its whole duration:
+        // the idle upgrade lane defers while any request is in flight,
+        // so background tier-2 solves never steal foreground cycles.
+        let _fg = par::enter_foreground();
         // `add_always`: these counters back /stats, which must keep
         // counting even with DWM_OBS=0.
         self.requests.inc_always();
@@ -385,6 +470,14 @@ impl Engine {
         c.insert("entries", Value::Num(Number::U(cache.entries)));
         c.insert("evictions", Value::Num(Number::U(cache.evictions)));
         c.insert("capacity", Value::Num(Number::U(cache.capacity)));
+        c.insert(
+            "upgrades_applied",
+            Value::Num(Number::U(cache.upgrades_applied)),
+        );
+        c.insert(
+            "upgrades_discarded",
+            Value::Num(Number::U(cache.upgrades_discarded)),
+        );
         let t = self.sessions.stats();
         let mut s = Object::new();
         s.insert("active", Value::Num(Number::U(t.active)));
@@ -413,6 +506,24 @@ impl Engine {
         obj.insert("simulates", count(&self.simulates));
         obj.insert("errors", count(&self.errors));
         obj.insert("cache", Value::Obj(c));
+        let mut tiers = Object::new();
+        for (i, counter) in self.tier_solves.iter().enumerate() {
+            tiers.insert(format!("tier{i}"), count(counter));
+        }
+        obj.insert("tiers", Value::Obj(tiers));
+        let mut u = Object::new();
+        u.insert("enqueued", count(&self.upgrades_enqueued));
+        u.insert("applied", Value::Num(Number::U(cache.upgrades_applied)));
+        u.insert("discarded", Value::Num(Number::U(cache.upgrades_discarded)));
+        u.insert(
+            "queue_depth",
+            Value::Num(Number::U(self.upgrade_queue_depth() as u64)),
+        );
+        obj.insert("upgrades", Value::Obj(u));
+        let mut d = Object::new();
+        d.insert("met", count(&self.deadline_met));
+        d.insert("missed", count(&self.deadline_missed));
+        obj.insert("deadline", Value::Obj(d));
         obj.insert("sessions", Value::Obj(s));
         Response::json(200, Value::Obj(obj).to_compact())
     }
@@ -428,6 +539,9 @@ impl Engine {
 
     fn solve(&self, req: &Request) -> Result<Response, ProtocolError> {
         let obj = parse_body(&req.body)?;
+        if let Some(knobs) = parse_tier_knobs(&obj)? {
+            return self.solve_tiered(&obj, knobs);
+        }
         let algorithm = opt_str(&obj, "algorithm", "hybrid")?;
         let seed = opt_u64(&obj, "seed", 1)?;
         if resolve_algorithm(&algorithm, seed).is_none() {
@@ -451,9 +565,9 @@ impl Engine {
                 seed,
             };
             match self.cache.get(&key) {
-                Some(value) => {
+                Some(record) => {
                     labels.push("hit");
-                    results.push(Some(value));
+                    results.push(Some(record.value));
                 }
                 None => {
                     labels.push("miss");
@@ -469,10 +583,13 @@ impl Engine {
         let solved = par::par_map(&misses, |(_, key, graph)| {
             let algo =
                 resolve_algorithm(&key.algorithm, key.seed).expect("algorithm validated above");
-            Arc::new(solve_result(graph, key, algo.as_ref()))
+            let (value, cost) = solve_result(graph, key, algo.as_ref());
+            (Arc::new(value), cost)
         });
-        for ((slot, key, _), value) in misses.into_iter().zip(solved) {
-            self.cache.insert(key, Arc::clone(&value));
+        for ((slot, key, _), (value, cost)) in misses.into_iter().zip(solved) {
+            let solver = key.algorithm.clone();
+            self.cache
+                .insert(key, CacheRecord::fresh(Arc::clone(&value), cost, 0, solver));
             results[slot] = Some(value);
         }
 
@@ -491,6 +608,155 @@ impl Engine {
             ),
         );
         Ok(Response::json(200, Value::Obj(body).to_compact()))
+    }
+
+    /// The tiered `/solve` form: `quality` / `deadline_us` select a
+    /// foreground tier via [`anytime::plan`] — a pure function of the
+    /// request, never of measured wall-clock — and `quality:"best"`
+    /// additionally enqueues a background tier-2 upgrade per workload.
+    /// Wall-clock is only compared against the deadline *after* the
+    /// response is built, feeding the deadline met/missed counters.
+    fn solve_tiered(&self, obj: &Object, knobs: TierKnobs) -> Result<Response, ProtocolError> {
+        let started = Instant::now();
+        let seed = opt_u64(obj, "seed", 1)?;
+        let workloads = parse_workloads(obj)?;
+
+        let mut labels: Vec<Option<Value>> = Vec::with_capacity(workloads.len());
+        let mut results: Vec<Option<Arc<Value>>> = Vec::with_capacity(workloads.len());
+        let mut misses: Vec<(usize, CacheKey, AccessGraph, TierPlan)> = Vec::new();
+        for (i, ids) in workloads.iter().enumerate() {
+            let trace = Trace::from_ids(ids.iter().copied()).normalize();
+            let graph = AccessGraph::from_trace(&trace);
+            let plan = anytime::plan(
+                knobs.quality,
+                knobs.deadline_us,
+                graph.num_items(),
+                graph.num_edges(),
+            );
+            let key = CacheKey {
+                fingerprint: fingerprint(&graph),
+                algorithm: ANYTIME_ALGORITHM.to_owned(),
+                seed,
+            };
+            match self.cache.get(&key) {
+                Some(record) => {
+                    // A hit serves whatever tier is resident — the
+                    // label reports the truth, and `best` still queues
+                    // an upgrade if the record isn't tier 2 yet.
+                    if plan.upgrade && record.tier < Tier::Thorough.index() {
+                        self.schedule_upgrade(key, graph, seed);
+                    }
+                    labels.push(Some(cache_label("hit", &record)));
+                    results.push(Some(record.value));
+                }
+                None => {
+                    labels.push(None);
+                    results.push(None);
+                    misses.push((i, key, graph, plan));
+                }
+            }
+        }
+
+        // Batch the misses exactly like the legacy path; each workload
+        // solves at its planned tier.
+        let solved = par::par_map(&misses, |(_, key, graph, plan)| {
+            let outcome = AnytimeSolver::new(seed).solve(graph, plan.tier, plan.passes);
+            let (value, cost) = anytime_result(graph, key, &outcome);
+            (Arc::new(value), cost, outcome)
+        });
+        for ((slot, key, graph, plan), (value, cost, outcome)) in misses.into_iter().zip(solved) {
+            self.tier_solves[usize::from(outcome.tier.index())].inc_always();
+            let record = CacheRecord::fresh(
+                Arc::clone(&value),
+                cost,
+                outcome.tier.index(),
+                outcome.solver,
+            );
+            labels[slot] = Some(cache_label("miss", &record));
+            if plan.upgrade && outcome.tier != Tier::Thorough {
+                self.cache.insert(key.clone(), record);
+                self.schedule_upgrade(key, graph, seed);
+            } else {
+                self.cache.insert(key, record);
+            }
+            results[slot] = Some(value);
+        }
+
+        let mut body = Object::new();
+        body.insert(
+            "cache",
+            Value::Arr(
+                labels
+                    .into_iter()
+                    .map(|l| l.expect("every workload labeled"))
+                    .collect(),
+            ),
+        );
+        body.insert(
+            "results",
+            Value::Arr(
+                results
+                    .into_iter()
+                    .map(|r| (*r.expect("every workload resolved")).clone())
+                    .collect(),
+            ),
+        );
+        let response = Response::json(200, Value::Obj(body).to_compact());
+        if let Some(deadline) = knobs.deadline_us {
+            if started.elapsed().as_micros() as u64 <= deadline {
+                self.deadline_met.inc_always();
+            } else {
+                self.deadline_missed.inc_always();
+            }
+        }
+        Ok(response)
+    }
+
+    /// Enqueues a background tier-2 solve for `key` on the idle lane.
+    /// At most one upgrade per key is ever in flight; results land via
+    /// [`SolveCache::upgrade`], which only applies strict improvements.
+    fn schedule_upgrade(&self, key: CacheKey, graph: AccessGraph, seed: u64) {
+        let Some(lane) = &self.lane else { return };
+        {
+            let mut inflight = self
+                .inflight_upgrades
+                .lock()
+                .expect("inflight set poisoned");
+            if !inflight.insert(key.clone()) {
+                return;
+            }
+        }
+        self.upgrades_enqueued.inc_always();
+        let cache = Arc::clone(&self.cache);
+        let inflight = Arc::clone(&self.inflight_upgrades);
+        lane.submit(move || {
+            let outcome =
+                AnytimeSolver::new(seed).solve(&graph, Tier::Thorough, anytime::MAX_PASSES);
+            let (value, cost) = anytime_result(&graph, &key, &outcome);
+            cache.upgrade(
+                &key,
+                Arc::new(value),
+                cost,
+                outcome.tier.index(),
+                outcome.solver,
+            );
+            inflight.lock().expect("inflight set poisoned").remove(&key);
+        });
+    }
+
+    /// Blocks until every queued background upgrade has run (tests and
+    /// orderly shutdown). Returns `false` on timeout; trivially `true`
+    /// when upgrades are disabled.
+    pub fn drain_upgrades(&self, timeout: Duration) -> bool {
+        match &self.lane {
+            Some(lane) => lane.wait_idle(timeout),
+            None => true,
+        }
+    }
+
+    /// Background upgrades queued or running right now.
+    pub fn upgrade_queue_depth(&self) -> usize {
+        self.lane.as_ref().map_or(0, |l| l.pending())
     }
 
     fn evaluate(&self, req: &Request) -> Result<Response, ProtocolError> {
@@ -624,7 +890,10 @@ impl Engine {
             defaults
         } else {
             let obj = parse_body(&req.body)?;
+            let (quality, replace_deadline_us) = parse_session_knobs(&obj)?;
             SessionConfig {
+                quality,
+                replace_deadline_us,
                 window: opt_u64(&obj, "window", defaults.window as u64)? as usize,
                 phase_threshold: opt_f64(&obj, "phase_threshold", defaults.phase_threshold)?,
                 confirm_windows: opt_u64(&obj, "confirm_windows", defaults.confirm_windows as u64)?
@@ -666,6 +935,14 @@ impl Engine {
             "refreeze_edges",
             Value::Num(Number::U(config.refreeze_edges as u64)),
         );
+        // Tier knobs are echoed only when set, keeping legacy
+        // session-create responses byte-identical.
+        if let Some(q) = config.quality {
+            body.insert("quality", Value::Str(q.name().into()));
+        }
+        if let Some(d) = config.replace_deadline_us {
+            body.insert("replace_deadline_us", Value::Num(Number::U(d)));
+        }
         Ok(Response::json(200, Value::Obj(body).to_compact()))
     }
 
@@ -819,13 +1096,34 @@ fn resolve_algorithm(name: &str, seed: u64) -> Option<Box<dyn PlacementAlgorithm
     standard_suite(seed).into_iter().find(|a| a.name() == name)
 }
 
-/// Builds the memoized result object for one solved workload.
-fn solve_result(graph: &AccessGraph, key: &CacheKey, algo: &dyn PlacementAlgorithm) -> Value {
+/// Builds the memoized result object for one solved workload,
+/// returning it with the placement's arrangement cost (the cache
+/// record needs the cost as its strict-improvement bar).
+fn solve_result(
+    graph: &AccessGraph,
+    key: &CacheKey,
+    algo: &dyn PlacementAlgorithm,
+) -> (Value, u64) {
     let placement = algo.place(graph);
+    result_object(graph, key, &placement)
+}
+
+/// Builds the result object for one anytime-tier outcome. Same field
+/// set as the legacy form — tier and solver provenance live in the
+/// response's `cache` labels, not the body, so a background upgrade is
+/// observable only through the versioned `cache` field. The returned
+/// cost is the body's `cost` field, recomputed under [`SinglePortCost`]
+/// so record costs and response bodies can never disagree.
+fn anytime_result(graph: &AccessGraph, key: &CacheKey, outcome: &AnytimeOutcome) -> (Value, u64) {
+    result_object(graph, key, &outcome.placement)
+}
+
+/// The per-workload result body shared by legacy and tiered solves.
+fn result_object(graph: &AccessGraph, key: &CacheKey, placement: &Placement) -> (Value, u64) {
     let cost_model = SinglePortCost::new();
     let n = graph.num_items();
     let naive = cost_model.graph_cost(&Placement::identity(n), graph);
-    let cost = cost_model.graph_cost(&placement, graph);
+    let cost = cost_model.graph_cost(placement, graph);
     let reduction = if naive > 0 {
         ((naive - naive.min(cost)) as f64) * 100.0 / naive as f64
     } else {
@@ -850,6 +1148,18 @@ fn solve_result(graph: &AccessGraph, key: &CacheKey, algo: &dyn PlacementAlgorit
                 .collect(),
         ),
     );
+    (Value::Obj(obj), cost)
+}
+
+/// The per-workload `cache` label for tiered solves: an object carrying
+/// the resident record's provenance and upgrade lineage.
+fn cache_label(status: &str, record: &CacheRecord) -> Value {
+    let mut obj = Object::new();
+    obj.insert("status", Value::Str(status.into()));
+    obj.insert("tier", Value::Num(Number::U(u64::from(record.tier))));
+    obj.insert("solver", Value::Str(record.solver.clone()));
+    obj.insert("version", Value::Num(Number::U(record.version)));
+    obj.insert("upgrades", Value::Num(Number::U(record.upgrades)));
     Value::Obj(obj)
 }
 
@@ -1020,6 +1330,244 @@ mod tests {
         assert_eq!(e.handle(&Request::new("GET", "/nope")).status, 404);
         assert_eq!(e.handle(&Request::new("DELETE", "/solve")).status, 405);
         assert_eq!(e.handle(&Request::post("/health", "")).status, 405);
+    }
+
+    /// Ids whose transition graph interleaves two heavy triangles
+    /// ({0,2,4} and {1,3,5}) — the greedy tier-0 fast path leaves
+    /// headroom that the tier-2 portfolio strictly claims, which the
+    /// upgrade tests below depend on.
+    fn interleaved_ids() -> String {
+        let mut ids: Vec<u32> = vec![0, 1, 2, 3, 4, 5];
+        for _ in 0..10 {
+            ids.extend_from_slice(&[0, 2, 4]);
+        }
+        for _ in 0..10 {
+            ids.extend_from_slice(&[1, 3, 5]);
+        }
+        let ids: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+        format!("[{}]", ids.join(","))
+    }
+
+    fn label_at(obj: &Object, i: usize) -> Object {
+        obj.get("cache").unwrap().as_array().unwrap()[i]
+            .as_object()
+            .unwrap()
+            .clone()
+    }
+
+    fn label_field(label: &Object, field: &str) -> u64 {
+        label
+            .get(field)
+            .unwrap()
+            .as_number()
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    }
+
+    fn result_cost(obj: &Object, i: usize) -> u64 {
+        obj.get("results").unwrap().as_array().unwrap()[i]
+            .as_object()
+            .unwrap()
+            .get("cost")
+            .unwrap()
+            .as_number()
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    }
+
+    #[test]
+    fn tiered_fast_solve_labels_with_provenance_objects() {
+        let e = engine();
+        let req = Request::post("/solve", r#"{"quality":"fast","ids":[0,1,0,1,2,0,3,2,1]}"#);
+        let first = e.handle(&req);
+        assert_eq!(first.status, 200, "{:?}", first.body_str());
+        let b1 = body_obj(&first);
+        let l1 = label_at(&b1, 0);
+        assert_eq!(l1.get("status").unwrap().as_str(), Some("miss"));
+        assert_eq!(label_field(&l1, "tier"), 0);
+        assert_eq!(l1.get("solver").unwrap().as_str(), Some("greedy-csr"));
+        assert_eq!(label_field(&l1, "version"), 1);
+        assert_eq!(label_field(&l1, "upgrades"), 0);
+        let result = b1.get("results").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap();
+        assert_eq!(result.get("algorithm").unwrap().as_str(), Some("anytime"));
+        // Fast never schedules an upgrade.
+        assert_eq!(e.upgrade_queue_depth(), 0);
+        let second = e.handle(&req);
+        let b2 = body_obj(&second);
+        let l2 = label_at(&b2, 0);
+        assert_eq!(l2.get("status").unwrap().as_str(), Some("hit"));
+        assert_eq!(label_field(&l2, "version"), 1);
+        assert_eq!(b1.get("results"), b2.get("results"));
+    }
+
+    #[test]
+    fn tiered_knob_misuse_is_rejected() {
+        let e = engine();
+        for body in [
+            r#"{"quality":"turbo","ids":[0,1]}"#,
+            r#"{"algorithm":"hybrid","quality":"fast","ids":[0,1]}"#,
+            r#"{"algorithm":"hybrid","deadline_us":50,"ids":[0,1]}"#,
+            r#"{"deadline_us":-3,"ids":[0,1]}"#,
+            r#"{"quality":7,"ids":[0,1]}"#,
+        ] {
+            let resp = e.handle(&Request::post("/solve", body));
+            assert_eq!(resp.status, 400, "{body} → {:?}", resp.body_str());
+        }
+        // deadline_us alone is valid (implies balanced) — including 0.
+        for body in [
+            r#"{"deadline_us":0,"ids":[0,1,0,2]}"#,
+            r#"{"deadline_us":18446744073709551615,"ids":[0,1,0,2]}"#,
+        ] {
+            let resp = e.handle(&Request::post("/solve", body));
+            assert_eq!(resp.status, 200, "{body} → {:?}", resp.body_str());
+        }
+    }
+
+    #[test]
+    fn best_quality_upgrades_the_cached_record_in_place() {
+        let e = engine();
+        // A 45 µs deadline is below the tier-1 estimate for this
+        // workload, so the foreground answers from tier 0 and `best`
+        // queues a background tier-2 upgrade.
+        let body = format!(
+            r#"{{"quality":"best","deadline_us":45,"ids":{}}}"#,
+            interleaved_ids()
+        );
+        let req = Request::post("/solve", body.as_str());
+        let first = e.handle(&req);
+        assert_eq!(first.status, 200, "{:?}", first.body_str());
+        let b1 = body_obj(&first);
+        let l1 = label_at(&b1, 0);
+        assert_eq!(l1.get("status").unwrap().as_str(), Some("miss"));
+        assert_eq!(label_field(&l1, "tier"), 0);
+        assert_eq!(label_field(&l1, "version"), 1);
+
+        assert!(e.drain_upgrades(Duration::from_secs(60)), "upgrade hung");
+        let stats = e.cache().stats();
+        assert_eq!(stats.upgrades_applied, 1, "{stats:?}");
+
+        let second = e.handle(&req);
+        let b2 = body_obj(&second);
+        let l2 = label_at(&b2, 0);
+        assert_eq!(l2.get("status").unwrap().as_str(), Some("hit"));
+        assert_eq!(label_field(&l2, "tier"), 2);
+        assert_eq!(label_field(&l2, "version"), 2);
+        assert_eq!(label_field(&l2, "upgrades"), 1);
+        assert!(
+            result_cost(&b2, 0) < result_cost(&b1, 0),
+            "upgrade must be strictly better: {} vs {}",
+            result_cost(&b2, 0),
+            result_cost(&b1, 0)
+        );
+        // The record is already tier 2 — no further upgrade queued.
+        assert_eq!(e.upgrade_queue_depth(), 0);
+    }
+
+    #[test]
+    fn upgrades_can_be_disabled() {
+        let e = Engine::with_config(EngineConfig {
+            upgrades: false,
+            ..EngineConfig::default()
+        });
+        let body = format!(
+            r#"{{"quality":"best","deadline_us":45,"ids":{}}}"#,
+            interleaved_ids()
+        );
+        let first = e.handle(&Request::post("/solve", body.as_str()));
+        assert_eq!(first.status, 200);
+        assert!(e.drain_upgrades(Duration::from_millis(10)));
+        let second = e.handle(&Request::post("/solve", body.as_str()));
+        let l2 = label_at(&body_obj(&second), 0);
+        assert_eq!(l2.get("status").unwrap().as_str(), Some("hit"));
+        assert_eq!(label_field(&l2, "tier"), 0);
+        assert_eq!(label_field(&l2, "version"), 1);
+    }
+
+    #[test]
+    fn stats_expose_tier_upgrade_and_deadline_families() {
+        let e = engine();
+        let solve = e.handle(&Request::post(
+            "/solve",
+            r#"{"quality":"balanced","deadline_us":100000,"ids":[0,1,0,1,2,0]}"#,
+        ));
+        assert_eq!(solve.status, 200);
+        let s = body_obj(&e.handle(&Request::new("GET", "/stats")));
+        let tiers = s.get("tiers").unwrap().as_object().unwrap();
+        let t0 = label_field(tiers, "tier0");
+        let t1 = label_field(tiers, "tier1");
+        assert_eq!(t0 + t1, 1, "exactly one foreground tiered solve");
+        let upgrades = s.get("upgrades").unwrap().as_object().unwrap();
+        assert_eq!(label_field(upgrades, "enqueued"), 0);
+        let deadline = s.get("deadline").unwrap().as_object().unwrap();
+        assert_eq!(
+            label_field(deadline, "met") + label_field(deadline, "missed"),
+            1
+        );
+        let cache = s.get("cache").unwrap().as_object().unwrap();
+        assert_eq!(label_field(cache, "upgrades_applied"), 0);
+        // /metrics renders the same families.
+        let m = e.handle(&Request::new("GET", "/metrics"));
+        let text = m.body_str().unwrap().to_owned();
+        for family in [
+            "dwm_serve_tier_solves_total",
+            "dwm_serve_upgrades_enqueued_total",
+            "dwm_serve_upgrades_applied_total",
+            "dwm_serve_upgrades_discarded_total",
+            "dwm_serve_upgrade_queue_depth",
+            "dwm_serve_deadline_met_total",
+            "dwm_serve_deadline_missed_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in /metrics");
+        }
+    }
+
+    #[test]
+    fn session_create_echoes_tier_knobs_only_when_set() {
+        let e = engine();
+        let legacy = e.handle(&Request::post("/session", r#"{"window":100}"#));
+        assert_eq!(legacy.status, 200);
+        assert!(!legacy.body_str().unwrap().contains("quality"));
+        let tiered = e.handle(&Request::post(
+            "/session",
+            r#"{"window":100,"quality":"best","replace_deadline_us":500}"#,
+        ));
+        assert_eq!(tiered.status, 200, "{:?}", tiered.body_str());
+        let body = tiered.body_str().unwrap();
+        assert!(body.contains(r#""quality":"best""#), "{body}");
+        assert!(body.contains(r#""replace_deadline_us":500"#), "{body}");
+        // A bare deadline implies balanced, like /solve.
+        let implied = e.handle(&Request::post("/session", r#"{"replace_deadline_us":250}"#));
+        assert!(
+            implied
+                .body_str()
+                .unwrap()
+                .contains(r#""quality":"balanced""#),
+            "{:?}",
+            implied.body_str()
+        );
+        let bad = e.handle(&Request::post("/session", r#"{"quality":"turbo"}"#));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn tiered_bodies_are_thread_count_invariant() {
+        use dwm_foundation::par;
+        let req = Request::post(
+            "/solve",
+            r#"{"quality":"balanced","workloads":[{"ids":[0,1,0,2,1,3]},{"ids":[4,4,2,0]},{"ids":[9,8,7,9,8]}]}"#,
+        );
+        let body_at = |threads: usize| {
+            let _guard = par::override_threads(threads);
+            let e = engine();
+            let resp = e.handle(&req);
+            assert_eq!(resp.status, 200);
+            resp.body_str().unwrap().to_owned()
+        };
+        assert_eq!(body_at(1), body_at(8));
     }
 
     #[test]

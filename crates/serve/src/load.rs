@@ -18,6 +18,22 @@
 //! through `POST /session/{id}/accesses` in fixed-size chunks and the
 //! determinism check compares final placements across sessions that
 //! replayed the same stream.
+//!
+//! # Deadline contracts
+//!
+//! With [`LoadConfig::quality`] / [`LoadConfig::deadline_us`] set, the
+//! solve bodies switch from the legacy `algorithm` form to the tiered
+//! form, and the harness additionally records the *server-side* time
+//! each request took (from the `x-dwm-elapsed-us` response header) into
+//! [`LoadReport::server_elapsed`]. Every tiered response whose
+//! server-side time exceeded the requested budget counts as a
+//! [`LoadReport::deadline_misses`] — the CI deadline-contract step
+//! asserts this stays zero at `quality:"fast"`.
+//!
+//! [`wait_ready`] is the polling twin of a shell spin-wait: it retries
+//! `GET /health` until the daemon answers 200 or the timeout lapses,
+//! so scripts can start a daemon in the background and block on
+//! readiness without sleeping a fixed amount.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -30,6 +46,7 @@ use dwm_foundation::rng::Rng;
 use dwm_trace::synth::{MarkovGen, TraceGenerator, ZipfGen};
 
 use crate::client::ClientConn;
+use crate::engine::ELAPSED_HEADER;
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -48,8 +65,18 @@ pub struct LoadConfig {
     pub len: usize,
     /// Master seed for the workload pool and the per-client pick RNG.
     pub seed: u64,
-    /// Algorithm requested from the server.
+    /// Algorithm requested from the server (legacy solve form; ignored
+    /// when a tier knob below is set).
     pub algorithm: String,
+    /// Tiered-solve quality knob (`"fast"`, `"balanced"`, `"best"`).
+    /// Setting this (or `deadline_us`) switches the solve bodies to
+    /// the tiered form; in session mode it is forwarded to the session
+    /// create request so re-placement runs through the portfolio.
+    pub quality: Option<String>,
+    /// Tiered-solve deadline budget in microseconds. Responses whose
+    /// server-side elapsed time exceeds it count as deadline misses.
+    /// In session mode this is forwarded as `replace_deadline_us`.
+    pub deadline_us: Option<u64>,
 }
 
 impl LoadConfig {
@@ -64,6 +91,8 @@ impl LoadConfig {
             len: 2400,
             seed: 7,
             algorithm: "hybrid".to_owned(),
+            quality: None,
+            deadline_us: None,
         }
     }
 }
@@ -88,6 +117,13 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-request latency distribution (nanoseconds).
     pub latency: Histogram,
+    /// Server-side per-request time distribution (microseconds, from
+    /// the `x-dwm-elapsed-us` header) — the side the deadline contract
+    /// is written against. Empty in session mode.
+    pub server_elapsed: Histogram,
+    /// Responses whose server-side time exceeded
+    /// [`LoadConfig::deadline_us`]. Always zero without a deadline.
+    pub deadline_misses: u64,
 }
 
 impl LoadReport {
@@ -113,7 +149,7 @@ impl LoadReport {
                 .percentile(q)
                 .map_or_else(|| "-".to_owned(), |ns| format!("{:.1}us", ns as f64 / 1e3))
         };
-        format!(
+        let mut line = format!(
             "{} requests in {:.2}s ({:.0} req/s): {} ok, {} errors, {} mismatches, \
              {} hits / {} misses, latency p50 {} p90 {} p99 {}",
             self.sent,
@@ -127,7 +163,21 @@ impl LoadReport {
             pct(0.50),
             pct(0.90),
             pct(0.99),
-        )
+        );
+        if self.server_elapsed.count() > 0 {
+            let server_pct = |q: f64| {
+                self.server_elapsed
+                    .percentile(q)
+                    .map_or_else(|| "-".to_owned(), |us| format!("{us}us"))
+            };
+            line.push_str(&format!(
+                ", server p50 {} p99 {}, {} deadline misses",
+                server_pct(0.50),
+                server_pct(0.99),
+                self.deadline_misses,
+            ));
+        }
+        line
     }
 }
 
@@ -135,8 +185,11 @@ impl LoadReport {
 ///
 /// Even-indexed workloads draw from a Zipf generator, odd ones from a
 /// clustered Markov walk, each with a seed derived from the master
-/// seed — a mix of skewed-hot and phase-local access patterns.
+/// seed — a mix of skewed-hot and phase-local access patterns. With a
+/// tier knob set the bodies take the tiered form (`quality` /
+/// `deadline_us`) instead of the legacy `algorithm` form.
 pub fn workload_bodies(config: &LoadConfig) -> Vec<String> {
+    let prefix = solve_body_prefix(config);
     (0..config.workloads)
         .map(|k| {
             let seed = config.seed.wrapping_mul(1_000_003).wrapping_add(k as u64);
@@ -146,13 +199,26 @@ pub fn workload_bodies(config: &LoadConfig) -> Vec<String> {
                 MarkovGen::new(config.items, 4, seed).generate(config.len)
             };
             let ids: Vec<String> = trace.iter().map(|a| a.item.index().to_string()).collect();
-            format!(
-                r#"{{"algorithm":"{}","ids":[{}]}}"#,
-                config.algorithm,
-                ids.join(",")
-            )
+            format!(r#"{{{prefix}"ids":[{}]}}"#, ids.join(","))
         })
         .collect()
+}
+
+/// The knob fields preceding `"ids"` in a solve body: tier knobs when
+/// any is set, the legacy `algorithm` field otherwise (the two are
+/// mutually exclusive on the wire).
+fn solve_body_prefix(config: &LoadConfig) -> String {
+    if config.quality.is_none() && config.deadline_us.is_none() {
+        return format!(r#""algorithm":"{}","#, config.algorithm);
+    }
+    let mut prefix = String::new();
+    if let Some(quality) = &config.quality {
+        prefix.push_str(&format!(r#""quality":"{quality}","#));
+    }
+    if let Some(deadline) = config.deadline_us {
+        prefix.push_str(&format!(r#""deadline_us":{deadline},"#));
+    }
+    prefix
 }
 
 /// Runs the closed-loop load test and gathers the report.
@@ -173,7 +239,11 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
     let mismatches = AtomicU64::new(0);
     let hits = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
+    let deadline_misses = AtomicU64::new(0);
     let histograms: Vec<Mutex<Histogram>> = (0..config.clients.max(1))
+        .map(|_| Mutex::new(Histogram::new()))
+        .collect();
+    let server_histograms: Vec<Mutex<Histogram>> = (0..config.clients.max(1))
         .map(|_| Mutex::new(Histogram::new()))
         .collect();
 
@@ -194,7 +264,9 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
             let mismatches = &mismatches;
             let hits = &hits;
             let misses = &misses;
+            let deadline_misses = &deadline_misses;
             let histogram = &histograms[c];
+            let server_histogram = &server_histograms[c];
             let mut conn = conn.take().expect("connection present");
             let mut rng = Rng::seed_from_u64(config.seed ^ (0x9E37 + c as u64));
             s.spawn(move || {
@@ -219,6 +291,15 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
                     if !resp.is_success() {
                         errors.fetch_add(1, Ordering::Relaxed);
                         continue;
+                    }
+                    if let Some(us) = resp
+                        .header(ELAPSED_HEADER)
+                        .and_then(|v| v.parse::<u64>().ok())
+                    {
+                        server_histogram.lock().unwrap().record(us);
+                        if config.deadline_us.is_some_and(|budget| us > budget) {
+                            deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     let Some(body) = resp.body_str() else {
                         errors.fetch_add(1, Ordering::Relaxed);
@@ -252,6 +333,10 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
     for h in &histograms {
         latency.merge(&h.lock().unwrap());
     }
+    let mut server_elapsed = Histogram::new();
+    for h in &server_histograms {
+        server_elapsed.merge(&h.lock().unwrap());
+    }
     Ok(LoadReport {
         sent: config.requests as u64,
         ok: ok.load(Ordering::Relaxed),
@@ -261,6 +346,8 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
         misses: misses.load(Ordering::Relaxed),
         elapsed,
         latency,
+        server_elapsed,
+        deadline_misses: deadline_misses.load(Ordering::Relaxed),
     })
 }
 
@@ -320,12 +407,17 @@ pub fn run_sessions(config: &LoadConfig, sessions: usize) -> std::io::Result<Loa
     // clients on a daemon with few workers.
     let mut session_ids: Vec<(String, usize)> = Vec::new(); // (id, stream)
     {
+        let mut create_body = String::from(r#"{"window":256,"migration_shifts_per_item":8"#);
+        if let Some(quality) = &config.quality {
+            create_body.push_str(&format!(r#","quality":"{quality}""#));
+        }
+        if let Some(deadline) = config.deadline_us {
+            create_body.push_str(&format!(r#","replace_deadline_us":{deadline}"#));
+        }
+        create_body.push('}');
         let mut control = ClientConn::connect(config.addr)?;
         for k in 0..sessions {
-            let resp = control.post_json(
-                "/session",
-                r#"{"window":256,"migration_shifts_per_item":8}"#,
-            )?;
+            let resp = control.post_json("/session", create_body.as_str())?;
             let id = resp
                 .body_str()
                 .filter(|_| resp.is_success())
@@ -433,7 +525,38 @@ pub fn run_sessions(config: &LoadConfig, sessions: usize) -> std::io::Result<Loa
         misses: 0,
         elapsed,
         latency,
+        server_elapsed: Histogram::new(),
+        deadline_misses: 0,
     })
+}
+
+/// Polls `GET /health` until the daemon answers 200 or `timeout`
+/// lapses — the scripted replacement for spin-waiting on a freshly
+/// started daemon. Returns how long readiness took.
+///
+/// # Errors
+///
+/// `TimedOut` when the daemon never became ready. A zero timeout
+/// makes exactly one attempt (a fail-fast liveness probe).
+pub fn wait_ready(addr: SocketAddr, timeout: Duration) -> std::io::Result<Duration> {
+    let started = Instant::now();
+    loop {
+        if let Ok(resp) = ClientConn::connect(addr).and_then(|mut conn| conn.get("/health")) {
+            if resp.is_success() {
+                return Ok(started.elapsed());
+            }
+        }
+        if started.elapsed() >= timeout {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!(
+                    "daemon at {addr} not ready within {:.1}s",
+                    timeout.as_secs_f64()
+                ),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 /// Extracts the `"results":…` suffix of a solve body — the part that
@@ -450,7 +573,15 @@ fn tally_cache_labels(body: &str, hits: &AtomicU64, misses: &AtomicU64) {
     };
     let Some(arr) = labels.as_array() else { return };
     for label in arr {
-        match label.as_str() {
+        // Legacy solves label with bare strings; tiered solves with
+        // provenance objects carrying a "status" field.
+        let status = label.as_str().or_else(|| {
+            label
+                .as_object()
+                .and_then(|o| o.get("status"))
+                .and_then(|v| v.as_str())
+        });
+        match status {
             Some("hit") => {
                 hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -526,6 +657,115 @@ mod tests {
         assert_eq!(report.sent, 20);
         assert_eq!(report.latency.count(), 20);
         assert_eq!(report.hits + report.misses, 0);
+    }
+
+    #[test]
+    fn tiered_load_meets_the_fast_deadline_contract() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let config = LoadConfig {
+            requests: 30,
+            clients: 3,
+            workloads: 3,
+            items: 24,
+            len: 600,
+            quality: Some("fast".to_owned()),
+            // Generous budget: tier 0 on a 24-item workload finishes in
+            // well under a second even in debug builds.
+            deadline_us: Some(1_000_000),
+            ..LoadConfig::new(handle.local_addr())
+        };
+        let report = run(&config).unwrap();
+        handle.shutdown();
+        handle.join();
+
+        assert!(report.all_ok(), "{}", report.summary());
+        // Object-form cache labels are tallied like legacy strings.
+        assert_eq!(report.hits + report.misses, report.sent);
+        assert_eq!(report.server_elapsed.count(), 30);
+        assert_eq!(report.deadline_misses, 0, "{}", report.summary());
+        assert!(
+            report.server_elapsed.percentile(0.99).unwrap() <= 1_000_000,
+            "{}",
+            report.summary()
+        );
+        assert!(report.summary().contains("deadline misses"));
+    }
+
+    #[test]
+    fn tiered_session_load_forwards_knobs_and_matches_placements() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            session_capacity: 16,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let config = LoadConfig {
+            clients: 2,
+            workloads: 2,
+            items: 24,
+            len: 600,
+            quality: Some("balanced".to_owned()),
+            deadline_us: Some(500_000),
+            ..LoadConfig::new(handle.local_addr())
+        };
+        // Sessions 0 and 2 replay stream 0, 1 and 3 stream 1: the
+        // cross-check proves tiered re-placement is deterministic.
+        let report = run_sessions(&config, 4).unwrap();
+        handle.shutdown();
+        handle.join();
+
+        assert!(report.all_ok(), "{}", report.summary());
+        assert_eq!(report.sent, 12); // ceil(600/256)=3 chunks × 4 sessions
+    }
+
+    #[test]
+    fn wait_ready_answers_for_a_live_daemon_and_fails_fast_otherwise() {
+        let handle = start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let addr = handle.local_addr();
+        let took = wait_ready(addr, Duration::from_secs(5)).unwrap();
+        assert!(took < Duration::from_secs(5));
+        handle.shutdown();
+        handle.join();
+
+        // The port is closed now: a zero timeout makes one attempt and
+        // reports TimedOut instead of hanging.
+        let err = wait_ready(addr, Duration::ZERO).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("not ready"));
+    }
+
+    #[test]
+    fn workload_bodies_render_the_requested_knob_form() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let legacy = workload_bodies(&LoadConfig::new(addr));
+        assert!(legacy[0].starts_with(r#"{"algorithm":"hybrid","ids":["#));
+
+        let tiered = workload_bodies(&LoadConfig {
+            quality: Some("fast".to_owned()),
+            deadline_us: Some(500),
+            ..LoadConfig::new(addr)
+        });
+        assert!(tiered[0].starts_with(r#"{"quality":"fast","deadline_us":500,"ids":["#));
+        // Same trace pool either way — only the knob prefix differs.
+        assert_eq!(
+            legacy[0].split_once(r#""ids":"#).map(|x| x.1.to_owned()),
+            tiered[0].split_once(r#""ids":"#).map(|x| x.1.to_owned()),
+        );
+
+        let deadline_only = workload_bodies(&LoadConfig {
+            deadline_us: Some(500),
+            ..LoadConfig::new(addr)
+        });
+        assert!(deadline_only[0].starts_with(r#"{"deadline_us":500,"ids":["#));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! | Method | Path        | Body                                              |
 //! |--------|-------------|---------------------------------------------------|
-//! | POST   | `/solve`    | `{"algorithm"?, "seed"?, "workloads": [{"ids": […]}…]}` or `{"ids": […]}` |
+//! | POST   | `/solve`    | `{"algorithm"?, "seed"?, "workloads": [{"ids": […]}…]}` or `{"ids": […]}`; tiered form replaces `algorithm` with `"quality"` (`fast`/`balanced`/`best`) and/or `"deadline_us"` |
 //! | POST   | `/evaluate` | `{"ids": […], "placement": […], "ports"?, "tape_length"?}` |
 //! | POST   | `/simulate` | `{"ids": […], "domains_per_track"?, "tracks"?, "dbcs"?, "ports"?}` |
 //! | GET    | `/stats`    | —                                                 |
@@ -31,6 +31,7 @@
 //! side (`Trace::normalize`), so two id sequences with the same
 //! canonical access graph share a cache entry.
 
+use dwm_core::anytime::Quality;
 use dwm_foundation::json::{Object, Value};
 
 /// A protocol-level failure: HTTP status plus a one-line message.
@@ -222,6 +223,101 @@ pub fn parse_workloads(obj: &Object) -> Result<Vec<Vec<u32>>, ProtocolError> {
         .collect()
 }
 
+/// The tiered-solve knobs of a solve request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierKnobs {
+    /// Requested quality level.
+    pub quality: Quality,
+    /// Latency budget in microseconds, if the caller stated one.
+    pub deadline_us: Option<u64>,
+}
+
+/// Parses the optional tiered-solve knobs (`quality`, `deadline_us`).
+///
+/// Returns `Ok(None)` when neither field is present — the request is a
+/// legacy algorithm-addressed solve and must keep its exact historical
+/// response shape. A `deadline_us` without `quality` implies
+/// `"balanced"`.
+///
+/// # Errors
+///
+/// 400 on an unknown quality string, a malformed `deadline_us`, or a
+/// request mixing `algorithm` with the tier knobs (the two addressing
+/// schemes are mutually exclusive).
+pub fn parse_tier_knobs(obj: &Object) -> Result<Option<TierKnobs>, ProtocolError> {
+    let quality_raw = quality_field(obj)?;
+    let deadline_us = deadline_field(obj, "deadline_us")?;
+    if quality_raw.is_none() && deadline_us.is_none() {
+        return Ok(None);
+    }
+    if !matches!(obj.get("algorithm"), None | Some(Value::Null)) {
+        return Err(ProtocolError::bad_request(
+            "\"algorithm\" cannot be combined with \"quality\"/\"deadline_us\" \
+             (tier selection picks the solver)",
+        ));
+    }
+    let quality = match quality_raw {
+        None => Quality::Balanced,
+        Some(s) => parse_quality(s)?,
+    };
+    Ok(Some(TierKnobs {
+        quality,
+        deadline_us,
+    }))
+}
+
+/// Parses the optional session re-placement tier knobs (`quality`,
+/// `replace_deadline_us`) of a session-create body. `(None, None)`
+/// keeps the legacy hybrid re-placement solver; a
+/// `replace_deadline_us` without `quality` implies `"balanced"`, like
+/// `deadline_us` on `/solve`.
+///
+/// # Errors
+///
+/// 400 on an unknown quality string or malformed deadline.
+pub fn parse_session_knobs(obj: &Object) -> Result<(Option<Quality>, Option<u64>), ProtocolError> {
+    let quality_raw = quality_field(obj)?;
+    let deadline = deadline_field(obj, "replace_deadline_us")?;
+    let quality = match quality_raw {
+        None if deadline.is_some() => Some(Quality::Balanced),
+        None => None,
+        Some(s) => Some(parse_quality(s)?),
+    };
+    Ok((quality, deadline))
+}
+
+fn quality_field(obj: &Object) -> Result<Option<&str>, ProtocolError> {
+    match obj.get("quality") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.as_str())),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field \"quality\" must be a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn parse_quality(s: &str) -> Result<Quality, ProtocolError> {
+    Quality::parse(s).ok_or_else(|| {
+        ProtocolError::bad_request(format!(
+            "unknown quality {s:?} (expected \"fast\", \"balanced\", or \"best\")"
+        ))
+    })
+}
+
+fn deadline_field(obj: &Object, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) => n.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::bad_request(format!("field {key:?} must be a nonnegative integer"))
+        }),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field {key:?} must be a number, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
 /// Serializes an error as the canonical `{"error": …}` body.
 pub fn error_body(message: &str) -> String {
     let mut obj = Object::new();
@@ -271,5 +367,53 @@ mod tests {
     #[test]
     fn error_body_is_stable_json() {
         assert_eq!(error_body("nope"), r#"{"error":"nope"}"#);
+    }
+
+    #[test]
+    fn tier_knobs_absent_means_legacy() {
+        assert_eq!(
+            parse_tier_knobs(&obj(r#"{"algorithm":"hybrid","ids":[1]}"#)).unwrap(),
+            None
+        );
+        assert_eq!(parse_tier_knobs(&obj(r#"{"ids":[1]}"#)).unwrap(), None);
+    }
+
+    #[test]
+    fn tier_knobs_parse_quality_and_deadline() {
+        let k = parse_tier_knobs(&obj(r#"{"quality":"fast","ids":[1]}"#))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.quality, Quality::Fast);
+        assert_eq!(k.deadline_us, None);
+        // deadline alone implies balanced.
+        let k = parse_tier_knobs(&obj(r#"{"deadline_us":500,"ids":[1]}"#))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.quality, Quality::Balanced);
+        assert_eq!(k.deadline_us, Some(500));
+        // Edge deadlines parse fine.
+        let k = parse_tier_knobs(&obj(r#"{"quality":"best","deadline_us":0}"#))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.deadline_us, Some(0));
+        let k = parse_tier_knobs(&obj(r#"{"deadline_us":18446744073709551615}"#))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.deadline_us, Some(u64::MAX));
+    }
+
+    #[test]
+    fn tier_knobs_reject_bad_values_with_400() {
+        for body in [
+            r#"{"quality":"turbo"}"#,
+            r#"{"quality":7}"#,
+            r#"{"deadline_us":-3}"#,
+            r#"{"deadline_us":"soon"}"#,
+            r#"{"quality":"fast","algorithm":"hybrid"}"#,
+            r#"{"deadline_us":100,"algorithm":"hybrid"}"#,
+        ] {
+            let err = parse_tier_knobs(&obj(body)).unwrap_err();
+            assert_eq!(err.status, 400, "{body} must 400, got {err:?}");
+        }
     }
 }

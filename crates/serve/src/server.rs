@@ -41,6 +41,9 @@ pub struct ServeConfig {
     pub session_capacity: usize,
     /// Idle time after which a session expires (zero = never).
     pub session_ttl: Duration,
+    /// Whether `quality:"best"` solves enqueue background tier-2
+    /// upgrades (`--no-upgrades` turns this off).
+    pub upgrades: bool,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +55,7 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             session_capacity: 64,
             session_ttl: Duration::from_secs(600),
+            upgrades: true,
         }
     }
 }
@@ -112,6 +116,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
         cache_capacity: config.cache_capacity,
         session_capacity: config.session_capacity,
         session_ttl: config.session_ttl,
+        upgrades: config.upgrades,
     }));
     let handler_engine = Arc::clone(&engine);
     let server = net::Server::start(

@@ -49,10 +49,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dwm_core::anytime::{self, AnytimePlacement, Quality};
 use dwm_core::online::{OnlineConfig, OnlinePlacer};
 use dwm_core::Placement;
 use dwm_graph::{AccessGraph, DeltaGraph, Fingerprint};
 use dwm_trace::analysis::PhaseDetector;
+
+/// Seed the tiered re-placement solver uses for its stochastic tier-2
+/// members — fixed, so session state stays a pure function of the
+/// stream.
+const REPLACEMENT_SEED: u64 = 1;
 
 /// Tuning parameters of one session, fixed at creation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +82,19 @@ pub struct SessionConfig {
     /// Refreeze the [`DeltaGraph`] once its overlay holds this many
     /// (directed half-)edges; 0 disables refreezing.
     pub refreeze_edges: usize,
+    /// Tiered re-placement quality. `None` keeps the legacy hybrid
+    /// candidate solver (byte-identical to pre-tier sessions); `Some`
+    /// routes candidate solves through the anytime portfolio at the
+    /// tier [`anytime::plan`] picks from this quality and the
+    /// hysteresis-adjusted [`replace_deadline_us`](Self::replace_deadline_us).
+    pub quality: Option<Quality>,
+    /// Latency budget for one re-placement candidate solve, in
+    /// microseconds. The effective budget is this divided by the
+    /// session's `hysteresis`: the more conservative the adoption bar,
+    /// the less compute is spent on candidates that will likely be
+    /// suppressed. `None` = no deadline (tier 1 at full passes for
+    /// `balanced`/`best`).
+    pub replace_deadline_us: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -88,6 +107,8 @@ impl Default for SessionConfig {
             migration_shifts_per_item: 64,
             horizon_windows: 4,
             refreeze_edges: 1024,
+            quality: None,
+            replace_deadline_us: None,
         }
     }
 }
@@ -399,7 +420,10 @@ impl SessionState {
         }
         let placement = Placement::from_offsets(self.placement.clone())
             .expect("session placement is a permutation by construction");
-        let decision = self.placer.decide(&placement, &window_graph);
+        let decision = match self.replacement_solver(n, window_graph.num_edges()) {
+            Some(solver) => self.placer.decide_with(&placement, &window_graph, &solver),
+            None => self.placer.decide(&placement, &window_graph),
+        };
         if decision.adapt {
             report.replacements += 1;
             report.migration_shifts += decision.bill;
@@ -409,6 +433,30 @@ impl SessionState {
         } else {
             report.suppressed += 1;
         }
+    }
+
+    /// The tiered candidate solver for this session's re-placements,
+    /// or `None` for the legacy hybrid default. Tier choice runs the
+    /// same [`anytime::plan`] budget logic as `/solve`, against the
+    /// hysteresis-adjusted deadline: `replace_deadline_us / hysteresis`
+    /// (a hysteresis of 0 — adopt anything — keeps the raw deadline).
+    /// A pure function of the config and graph size, so chunk
+    /// boundaries and wall-clock never influence the candidate.
+    fn replacement_solver(&self, items: usize, edges: usize) -> Option<AnytimePlacement> {
+        let quality = self.config.quality?;
+        let deadline = self.config.replace_deadline_us.map(|d| {
+            if self.config.hysteresis > 0.0 {
+                (d as f64 / self.config.hysteresis) as u64
+            } else {
+                d
+            }
+        });
+        let plan = anytime::plan(quality, deadline, items, edges);
+        Some(AnytimePlacement {
+            tier: plan.tier,
+            seed: REPLACEMENT_SEED,
+            passes: plan.passes,
+        })
     }
 }
 
@@ -787,6 +835,70 @@ mod tests {
         assert_eq!(s.accesses, 1000);
         assert_eq!(s.windows, report.windows_completed);
         assert_eq!(s.access_shifts, report.access_shifts);
+    }
+
+    #[test]
+    fn tiered_sessions_replace_deterministically_across_chunking() {
+        let config = SessionConfig {
+            quality: Some(Quality::Balanced),
+            ..small_config()
+        };
+        let ids = phased_ids(1000);
+        let run = |chunk: usize| {
+            let mut s = SessionState::new(config);
+            for c in ids.chunks(chunk) {
+                s.ingest(c);
+            }
+            (
+                s.placement().to_vec(),
+                *s.totals(),
+                s.placement_version(),
+                s.current_cost(),
+            )
+        };
+        let whole = run(usize::MAX);
+        assert!(whole.2 >= 1, "tiered session never re-placed");
+        for chunk in [1, 7, 333] {
+            assert_eq!(run(chunk), whole, "chunk size {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn replacement_tier_follows_the_hysteresis_adjusted_budget() {
+        use dwm_core::anytime::{estimate_us, Tier};
+        let mk = |hysteresis: f64, deadline: Option<u64>| {
+            SessionState::new(SessionConfig {
+                quality: Some(Quality::Balanced),
+                replace_deadline_us: deadline,
+                hysteresis,
+                ..small_config()
+            })
+        };
+        let solver_tier = |s: &SessionState| s.replacement_solver(16, 40).unwrap().tier;
+        // No deadline → full-pass tier 1.
+        assert_eq!(solver_tier(&mk(1.0, None)), Tier::Refined);
+        // An unmeetable deadline still answers from the fast path.
+        assert_eq!(solver_tier(&mk(1.0, Some(1))), Tier::Fast);
+        // A deadline that exactly fits tier 1 at hysteresis 1…
+        let fits = estimate_us(Tier::Refined, 16, 40);
+        assert_eq!(solver_tier(&mk(1.0, Some(fits))), Tier::Refined);
+        // …stops fitting once a conservative hysteresis halves the
+        // effective budget…
+        assert_eq!(solver_tier(&mk(2.0, Some(fits))), Tier::Fast);
+        // …and a lax hysteresis stretches it.
+        assert_eq!(solver_tier(&mk(0.5, Some(fits / 2))), Tier::Refined);
+        // Hysteresis 0 (adopt anything) keeps the raw deadline.
+        assert_eq!(solver_tier(&mk(0.0, Some(fits))), Tier::Refined);
+        // Fast quality ignores the budget entirely.
+        let fast = SessionState::new(SessionConfig {
+            quality: Some(Quality::Fast),
+            ..small_config()
+        });
+        assert_eq!(fast.replacement_solver(16, 40).unwrap().tier, Tier::Fast);
+        // Legacy sessions have no tiered solver at all.
+        assert!(SessionState::new(small_config())
+            .replacement_solver(16, 40)
+            .is_none());
     }
 
     #[test]

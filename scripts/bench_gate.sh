@@ -44,11 +44,16 @@ for suite in bench_sweep bench_exact bench_graph bench_serve; do
     cargo bench -q -p dwm-bench --bench "$suite"
 done
 
-# Same-run pair bound: the cached-solve path with metric collection on
-# must be within 5% of the same path with collection off. Both sides
-# run seconds apart on this machine, so the bound holds even where the
-# absolute baseline would drift.
+# Same-run pair bounds (both 5%, alternating samples):
+#  - the cached-solve path with metric collection on vs off, proving
+#    observability costs < 5%;
+#  - the cached-solve path while the idle lane holds a deep queue of
+#    pending tier-2 upgrades vs a quiet engine, proving background
+#    upgrades never steal cycles from foreground solves.
+# Both sides of each pair run seconds apart on this machine, so the
+# bounds hold even where the absolute baseline would drift.
 PAIR=(--pair serve/serve/solve_hit serve/serve/solve_hit_obs_off
+      --pair serve/serve/solve_hit_idle_load serve/serve/solve_hit_lane_quiet
       --pair-threshold "${DWM_BENCH_OBS_THRESHOLD:-0.05}")
 
 mkdir -p results

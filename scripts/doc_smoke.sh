@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Documentation smoke test: extracts the fenced ```sh blocks from the
-# README's Quickstart and Sessions sections and actually runs them, so
-# the commands users copy-paste can never rot. (The Rust quickstart
-# block is already compiled and run by rustdoc via the README doctest
+# README's Quickstart and Sessions sections — plus the self-contained
+# Tiers walkthrough inside Serving — and actually runs them, so the
+# commands users copy-paste can never rot. (The Rust quickstart block
+# is already compiled and run by rustdoc via the README doctest
 # include.)
 #
 # Blocks run from a scratch directory under target/ so generated files
@@ -18,12 +19,14 @@ workdir="$repo_root/target/doc_smoke"
 rm -rf "$workdir"
 mkdir -p "$workdir"
 
-# Pull every ```sh block between a covered section heading
-# ('## Quickstart', '## Sessions') and the next '## ' heading into
-# numbered scripts.
+# Pull every ```sh block between a covered heading ('## Quickstart',
+# '## Sessions', '### Tiers') and the next heading at the same or a
+# higher level into numbered scripts. The rest of Serving is excluded
+# on purpose: its blocks are illustrative fragments (bare `dwmplace`,
+# curls against an unstated daemon), not runnable walkthroughs.
 awk -v out="$workdir/block" '
-  /^## Quickstart/ || /^## Sessions/ { in_section = 1; next }
-  /^## /             { in_section = 0 }
+  /^## Quickstart/ || /^## Sessions/ || /^### Tiers/ { in_section = 1; next }
+  /^## / || /^### /  { in_section = 0 }
   !in_section        { next }
   /^```sh$/          { in_block = 1; n++; next }
   /^```$/            { in_block = 0; next }

@@ -501,6 +501,325 @@ fn shutdown_drains_an_in_flight_session_ingest() {
     assert!(eof.is_none(), "connection must close after shutdown");
 }
 
+/// The interleaved workload used by the tiered tests: a linear sweep
+/// over six items, then `[0,2,4]` and `[1,3,5]` bursts. The greedy
+/// tier-0 placement is good but beatable, so a tier-2 portfolio run
+/// finds a strictly cheaper arrangement — exactly the gap background
+/// upgrades exist to close.
+fn interleaved_ids() -> String {
+    let mut ids: Vec<u32> = (0..6).collect();
+    for _ in 0..10 {
+        ids.extend([0, 2, 4]);
+    }
+    for _ in 0..10 {
+        ids.extend([1, 3, 5]);
+    }
+    ids.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Pulls the first workload's `cache` label object and `cost` out of a
+/// tiered solve response body.
+fn tiered_label_and_cost(body: &str) -> (dwm_foundation::json::Object, u64) {
+    let parsed = dwm_foundation::json::parse(body).expect("response is JSON");
+    let obj = parsed.as_object().expect("object body");
+    let label = obj
+        .get("cache")
+        .and_then(|v| v.as_array())
+        .and_then(|a| a.first())
+        .and_then(|v| v.as_object())
+        .unwrap_or_else(|| panic!("tiered cache label missing: {body}"))
+        .clone();
+    let cost = obj
+        .get("results")
+        .and_then(|v| v.as_array())
+        .and_then(|a| a.first())
+        .and_then(|v| v.as_object())
+        .and_then(|r| r.get("cost"))
+        .and_then(|v| v.as_number())
+        .and_then(|n| n.as_u64())
+        .unwrap_or_else(|| panic!("cost missing: {body}"));
+    (label, cost)
+}
+
+fn label_u64(label: &dwm_foundation::json::Object, key: &str) -> u64 {
+    label
+        .get(key)
+        .and_then(|v| v.as_number())
+        .and_then(|n| n.as_u64())
+        .unwrap_or_else(|| panic!("label field {key} missing: {label:?}"))
+}
+
+#[test]
+fn tiered_protocol_edges_over_the_socket() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Degenerate deadlines are valid requests, not errors: 0 can never
+    // be met (the planner answers from tier 0 and the audit records a
+    // miss), u64::MAX always can. Distinct workloads so the second
+    // request is not a cache hit.
+    let zero = conn
+        .post_json(
+            "/solve",
+            r#"{"quality":"fast","deadline_us":0,"ids":[0,1,0,2,1,3]}"#,
+        )
+        .unwrap();
+    assert_eq!(zero.status, 200, "{:?}", zero.body_str());
+    let (label, _) = tiered_label_and_cost(zero.body_str().unwrap());
+    assert_eq!(label_u64(&label, "tier"), 0, "deadline 0 must stay tier 0");
+
+    // A structurally different workload — ids normalize to a dense
+    // trace, so a mere relabeling of the first would be a cache hit.
+    let huge = conn
+        .post_json(
+            "/solve",
+            r#"{"deadline_us":18446744073709551615,"ids":[0,1,2,3,0,2,4,1,5,3]}"#,
+        )
+        .unwrap();
+    assert_eq!(huge.status, 200, "{:?}", huge.body_str());
+    let (label, _) = tiered_label_and_cost(huge.body_str().unwrap());
+    assert_eq!(label.get("status").unwrap().as_str(), Some("miss"));
+    assert_eq!(
+        label_u64(&label, "tier"),
+        1,
+        "an unbounded deadline buys the refined tier"
+    );
+
+    // Unknown quality names, mixed legacy/tiered forms, and negative
+    // deadlines are protocol errors — 400 with a JSON error body, and
+    // the connection stays usable.
+    for body in [
+        r#"{"quality":"turbo","ids":[0,1]}"#,
+        r#"{"algorithm":"hybrid","quality":"fast","ids":[0,1]}"#,
+        r#"{"deadline_us":-3,"ids":[0,1]}"#,
+    ] {
+        let resp = conn.post_json("/solve", body).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        assert!(resp.body_str().unwrap().contains("error"), "{body}");
+    }
+    assert!(conn.get("/health").unwrap().is_success());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn repeat_solve_after_background_upgrade_returns_the_upgraded_record() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    let body = format!(
+        r#"{{"quality":"best","deadline_us":45,"ids":[{}]}}"#,
+        interleaved_ids()
+    );
+
+    // First solve: the 45 µs budget only fits tier 0, so the response
+    // is the greedy answer and a tier-2 job is queued behind it.
+    let first = conn.post_json("/solve", body.as_str()).unwrap();
+    assert_eq!(first.status, 200, "{:?}", first.body_str());
+    let (label, greedy_cost) = tiered_label_and_cost(first.body_str().unwrap());
+    assert_eq!(label.get("status").unwrap().as_str(), Some("miss"));
+    assert_eq!(label_u64(&label, "tier"), 0);
+    assert_eq!(label_u64(&label, "version"), 1);
+
+    assert!(
+        handle
+            .engine()
+            .drain_upgrades(std::time::Duration::from_secs(60)),
+        "background upgrade must land"
+    );
+
+    // Same request again: a cache hit, but the record underneath was
+    // rewritten in place — higher tier, bumped version, strictly lower
+    // cost. The client never re-sent anything to get the better answer.
+    let second = conn.post_json("/solve", body.as_str()).unwrap();
+    let (label, upgraded_cost) = tiered_label_and_cost(second.body_str().unwrap());
+    assert_eq!(label.get("status").unwrap().as_str(), Some("hit"));
+    assert_eq!(label_u64(&label, "tier"), 2);
+    assert_eq!(label_u64(&label, "version"), 2);
+    assert_eq!(label_u64(&label, "upgrades"), 1);
+    assert!(
+        upgraded_cost < greedy_cost,
+        "upgrade must strictly improve: tier0 {greedy_cost}, tier2 {upgraded_cost}"
+    );
+
+    let stats = conn.get("/stats").unwrap();
+    let stats_body = stats.body_str().unwrap();
+    assert!(
+        stats_body
+            .contains(r#""upgrades":{"enqueued":1,"applied":1,"discarded":0,"queue_depth":0}"#),
+        "{stats_body}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Drives one workload through each tier's foreground solve path plus
+/// a drained background upgrade, and returns every response body.
+fn run_tiered_sequence(workers: usize) -> Vec<String> {
+    let handle = ephemeral_server(workers, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).expect("connect");
+    let mut bodies = Vec::new();
+
+    // Distinct workloads per knob form: tiered solves share one cache
+    // namespace, so reusing ids would turn later requests into hits of
+    // the first record instead of exercising their own tier.
+    let sweep: Vec<String> = (0..600).map(|i| (i % 24).to_string()).collect();
+    for body in [
+        format!(r#"{{"quality":"fast","ids":[{}]}}"#, sweep.join(",")),
+        format!(
+            r#"{{"quality":"balanced","deadline_us":18446744073709551615,"workloads":[{{"ids":[{}]}},{{"ids":[0,7,0,7,3,5]}}]}}"#,
+            sweep.join(",")
+        ),
+        format!(
+            r#"{{"quality":"best","deadline_us":45,"ids":[{}]}}"#,
+            interleaved_ids()
+        ),
+    ] {
+        let resp = conn.post_json("/solve", body.as_str()).expect("response");
+        assert!(resp.is_success(), "{body}: status {}", resp.status);
+        bodies.push(resp.body_str().expect("utf-8 body").to_owned());
+    }
+
+    // Drain the tier-2 job the best-quality solve queued, then re-read
+    // it: the fourth body is the upgraded record's rendering.
+    assert!(handle
+        .engine()
+        .drain_upgrades(std::time::Duration::from_secs(60)));
+    let body = format!(
+        r#"{{"quality":"best","deadline_us":45,"ids":[{}]}}"#,
+        interleaved_ids()
+    );
+    let resp = conn.post_json("/solve", body.as_str()).expect("response");
+    assert!(resp.is_success());
+    bodies.push(resp.body_str().expect("utf-8 body").to_owned());
+
+    handle.shutdown();
+    handle.join();
+    bodies
+}
+
+#[test]
+fn tiered_bodies_are_byte_identical_across_thread_counts() {
+    let single = {
+        let _guard = par::override_threads(1);
+        run_tiered_sequence(1)
+    };
+    let wide = {
+        let _guard = par::override_threads(8);
+        run_tiered_sequence(8)
+    };
+    assert_eq!(
+        single, wide,
+        "every tier — including the parallel tier-2 portfolio — must \
+         produce the same bytes at 1 and 8 threads"
+    );
+}
+
+#[test]
+fn stats_and_metrics_agree_on_tier_upgrade_and_deadline_families() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Two tier-0 misses (one carrying a deadline), one upgrade cycle,
+    // one hit — every new counter family ends up nonzero or provably
+    // zero.
+    let fast = r#"{"quality":"fast","deadline_us":1000000,"ids":[0,1,0,2,1,3]}"#;
+    assert!(conn.post_json("/solve", fast).unwrap().is_success());
+    let best = format!(
+        r#"{{"quality":"best","deadline_us":45,"ids":[{}]}}"#,
+        interleaved_ids()
+    );
+    assert!(conn
+        .post_json("/solve", best.as_str())
+        .unwrap()
+        .is_success());
+    assert!(handle
+        .engine()
+        .drain_upgrades(std::time::Duration::from_secs(60)));
+    assert!(conn
+        .post_json("/solve", best.as_str())
+        .unwrap()
+        .is_success());
+
+    let stats = conn.get("/stats").unwrap();
+    let stats_json = dwm_foundation::json::parse(stats.body_str().unwrap()).expect("stats is JSON");
+    let stats_obj = stats_json.as_object().expect("stats is an object");
+    let section = |name: &str, key: &str| {
+        stats_obj
+            .get(name)
+            .and_then(|v| v.as_object())
+            .and_then(|o| o.get(key))
+            .and_then(|v| v.as_number())
+            .and_then(|n| n.as_u64())
+            .unwrap_or_else(|| panic!("stats field {name}.{key} missing"))
+    };
+
+    let text = conn.get("/metrics").unwrap().body_str().unwrap().to_owned();
+    for (stats_value, metric) in [
+        (
+            section("tiers", "tier0"),
+            r#"dwm_serve_tier_solves_total{tier="0"}"#,
+        ),
+        (
+            section("tiers", "tier1"),
+            r#"dwm_serve_tier_solves_total{tier="1"}"#,
+        ),
+        (
+            section("tiers", "tier2"),
+            r#"dwm_serve_tier_solves_total{tier="2"}"#,
+        ),
+        (
+            section("upgrades", "enqueued"),
+            "dwm_serve_upgrades_enqueued_total",
+        ),
+        (
+            section("upgrades", "applied"),
+            "dwm_serve_upgrades_applied_total",
+        ),
+        (
+            section("upgrades", "discarded"),
+            "dwm_serve_upgrades_discarded_total",
+        ),
+        (
+            section("upgrades", "queue_depth"),
+            "dwm_serve_upgrade_queue_depth",
+        ),
+        (section("deadline", "met"), "dwm_serve_deadline_met_total"),
+        (
+            section("deadline", "missed"),
+            "dwm_serve_deadline_missed_total",
+        ),
+    ] {
+        assert_eq!(
+            stats_value,
+            scrape_value(&text, metric),
+            "/stats and /metrics disagree on {metric}"
+        );
+    }
+
+    // The concrete shape of this sequence: two foreground tier-0
+    // solves, no foreground tier 1/2, exactly one upgrade enqueued and
+    // applied, and every deadline-carrying response audited.
+    assert_eq!(section("tiers", "tier0"), 2);
+    assert_eq!(section("tiers", "tier1"), 0);
+    assert_eq!(section("tiers", "tier2"), 0);
+    assert_eq!(section("upgrades", "enqueued"), 1);
+    assert_eq!(section("upgrades", "applied"), 1);
+    assert_eq!(section("upgrades", "queue_depth"), 0);
+    assert_eq!(
+        section("deadline", "met") + section("deadline", "missed"),
+        3,
+        "all three deadline-carrying solves must be audited"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn load_harness_reports_clean_deterministic_run() {
     let handle = ephemeral_server(4, 128);
