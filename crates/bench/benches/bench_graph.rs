@@ -9,7 +9,7 @@
 
 use dwm_bench::{markov_fixture, BENCH_SEED};
 use dwm_core::SimulatedAnnealing;
-use dwm_core::{GreedyInsertion, LocalSearch, PlacementAlgorithm, RandomPlacement};
+use dwm_core::{ChainGrowth, GreedyInsertion, LocalSearch, PlacementAlgorithm, RandomPlacement};
 use dwm_foundation::bench::{black_box, Harness};
 use dwm_foundation::par;
 use dwm_graph::{ArrangementEval, CsrGraph};
@@ -59,6 +59,32 @@ fn main() {
         h.bench(&format!("algo/local_search/{n}"), || {
             let mut p = rough.clone();
             LocalSearch::default().refine_frozen(black_box(&csr), &mut p);
+            p
+        });
+    }
+
+    // The 10⁸-scale profile-driven workloads land on graphs this
+    // size. The fixture is the realistic refinement call — polish a
+    // ChainGrowth placement to convergence, exactly what the Hybrid
+    // pipeline does — and the profile-cached path is benched against
+    // its scalar reference (same scan order and byte-identical
+    // output, but a full two-row delta per candidate pair) so
+    // `bench_gate.sh` can enforce the ≥2x speedup as a same-run pair,
+    // immune to machine drift.
+    {
+        let n = 4096usize;
+        let (_, graph) = markov_fixture(n);
+        let csr = CsrGraph::freeze(&graph);
+        let start = ChainGrowth.place(&graph);
+        let ls = LocalSearch::default();
+        h.bench(&format!("algo/local_search/{n}"), || {
+            let mut p = start.clone();
+            ls.refine_frozen(black_box(&csr), &mut p);
+            p
+        });
+        h.bench(&format!("algo/local_search_scalar/{n}"), || {
+            let mut p = start.clone();
+            ls.refine_frozen_scalar(black_box(&csr), &mut p);
             p
         });
     }

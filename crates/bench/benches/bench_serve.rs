@@ -31,9 +31,11 @@
 use std::time::Duration;
 
 use dwm_bench::BENCH_SEED;
+use dwm_core::anytime::{estimate_us, Tier};
 use dwm_foundation::bench::{black_box, Harness};
 use dwm_foundation::net::Request;
 use dwm_foundation::obs;
+use dwm_graph::AccessGraph;
 use dwm_serve::client::ClientConn;
 use dwm_serve::{start, Engine, ServeConfig};
 use dwm_trace::synth::{TraceGenerator, ZipfGen};
@@ -51,6 +53,17 @@ fn tiered_body(prefix: &str, items: usize, len: usize, seed: u64) -> String {
     let trace = ZipfGen::new(items, seed).generate(len);
     let ids: Vec<String> = trace.iter().map(|a| a.item.index().to_string()).collect();
     format!(r#"{{{prefix}"ids":[{}]}}"#, ids.join(","))
+}
+
+/// The tightest deadline the engine's admission control accepts for
+/// this workload: exactly the tier-0 estimate. `plan` then answers
+/// from tier 0 (tier 1 costs strictly more than the deadline), so a
+/// `quality:"best"` request with this budget is the canonical
+/// "answer fast, upgrade in the background" shape — and never 503s.
+fn tier0_deadline(items: usize, len: usize, seed: u64) -> u64 {
+    let trace = ZipfGen::new(items, seed).generate(len).normalize();
+    let graph = AccessGraph::from_trace(&trace);
+    estimate_us(Tier::Fast, graph.num_items(), graph.num_edges())
 }
 
 fn main() {
@@ -114,23 +127,23 @@ fn main() {
     // schedules a tier-2 portfolio job on the idle lane; the drain
     // waits for that job to land in the cache. Every iteration renders
     // a never-before-seen workload (the cache is sharded, so eviction
-    // tricks cannot force repeat misses) — rendering ~600 ids costs
-    // ~10 µs against a multi-hundred-µs cycle.
+    // tricks cannot force repeat misses) — rendering ~600 ids and
+    // sizing its admissible deadline costs ~10 µs against a
+    // multi-hundred-µs cycle.
     let upgrading = Engine::new(64);
     let mut upgrade_seed = BENCH_SEED + 100;
     h.bench("serve/upgrade_drain", || {
         upgrade_seed += 1;
+        let prefix = format!(
+            r#""quality":"best","deadline_us":{},"#,
+            tier0_deadline(24, 600, upgrade_seed)
+        );
         let req = Request::post(
             "/solve",
-            tiered_body(
-                r#""quality":"best","deadline_us":50,"#,
-                24,
-                600,
-                upgrade_seed,
-            )
-            .into_bytes(),
+            tiered_body(&prefix, 24, 600, upgrade_seed).into_bytes(),
         );
         let resp = upgrading.handle(&req);
+        assert!(resp.is_success());
         assert!(upgrading.drain_upgrades(Duration::from_secs(30)));
         black_box(resp)
     });
@@ -151,16 +164,12 @@ fn main() {
     let busy = Engine::new(1024);
     let quiet = Engine::new(1024);
     for k in 0..256 {
-        let req = Request::post(
-            "/solve",
-            tiered_body(
-                r#""quality":"best","deadline_us":50,"#,
-                16,
-                300,
-                BENCH_SEED + 1000 + k,
-            )
-            .into_bytes(),
+        let seed = BENCH_SEED + 1000 + k;
+        let prefix = format!(
+            r#""quality":"best","deadline_us":{},"#,
+            tier0_deadline(16, 300, seed)
         );
+        let req = Request::post("/solve", tiered_body(&prefix, 16, 300, seed).into_bytes());
         assert!(busy.handle(&req).is_success());
     }
     assert!(busy.handle(&request).is_success());

@@ -1,0 +1,48 @@
+//! Profile-driven trace synthesis benchmarks.
+//!
+//! The S21 pipeline's two throughput claims: profiling is a cheap
+//! single pass (`trace/profile_1M`), and a profile replays at 10⁸
+//! accesses in `O(items)` memory at generator speed
+//! (`trace/synth_100M` — the headline scale point, ~10 s per
+//! iteration, so `bench_gate.sh` runs this suite with few samples).
+//! `trace/synth_1M` tracks per-access cost where regressions are
+//! cheap to bisect.
+
+use dwm_bench::markov_fixture;
+use dwm_foundation::bench::{black_box, Harness};
+use dwm_trace::profile::{ProfileBuilder, TraceProfile};
+use dwm_trace::synth::ProfiledGen;
+
+/// Drains a stream, returning a checksum the optimizer cannot elide.
+fn drain(gen: &ProfiledGen, len: u64) -> u64 {
+    let mut acc = 0u64;
+    for access in gen.stream(len) {
+        acc ^= u64::from(access.item.0);
+    }
+    acc
+}
+
+fn main() {
+    let mut h = Harness::from_env("trace");
+
+    let (trace, _) = markov_fixture(128);
+    let profile = TraceProfile::from_trace(&trace);
+    let gen = ProfiledGen::new(profile.clone(), 1);
+
+    // Single-pass profiling throughput over a streamed 1M-access
+    // replay: the builder is the only O(items) state.
+    h.bench("trace/profile_1M", || {
+        let mut builder = ProfileBuilder::new("bench", 4096);
+        for access in gen.stream(1_000_000) {
+            builder.push(access);
+        }
+        black_box(builder.finish().items)
+    });
+
+    h.bench("trace/synth_1M", || black_box(drain(&gen, 1_000_000)));
+
+    // The headline: 10⁸ accesses streamed from a few-KB profile.
+    h.bench("trace/synth_100M", || black_box(drain(&gen, 100_000_000)));
+
+    h.finish();
+}

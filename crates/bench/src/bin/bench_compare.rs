@@ -4,6 +4,8 @@
 //! ```text
 //! bench_compare [--threshold F] [--write-baseline]
 //!               [--pair NUM DEN]... [--pair-threshold F]
+//!               [--min-speedup NUM DEN RATIO]...
+//!               [--summary-json DIR]
 //!               <baseline.json> <report>...
 //! ```
 //!
@@ -23,6 +25,17 @@
 //! swings medians — this holds a much tighter bound than the baseline
 //! gate; it is how CI proves observability costs < 5%. Pairs are
 //! checked in both normal and `--write-baseline` mode.
+//!
+//! `--min-speedup NUM DEN RATIO` is the same same-run minima ratio
+//! pointed the other way: it *fails unless* `NUM / DEN ≥ RATIO`. CI
+//! uses it to enforce that an optimized kernel actually keeps its
+//! speedup over the scalar reference it is benched against (e.g. the
+//! batched local-search path must stay ≥ 2× its scalar twin).
+//!
+//! `--summary-json DIR` additionally writes this run's entries as a
+//! perf-trajectory snapshot `DIR/BENCH_<n>.json` (`n` = one past the
+//! highest existing snapshot; same schema as the baseline file), so a
+//! CI history of runs accumulates into a diffable performance record.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -32,7 +45,9 @@ use dwm_bench::gate::{self, Entry};
 fn usage() -> ! {
     eprintln!(
         "usage: bench_compare [--threshold F] [--write-baseline] \
-         [--pair NUM DEN]... [--pair-threshold F] <baseline.json> <report>..."
+         [--pair NUM DEN]... [--pair-threshold F] \
+         [--min-speedup NUM DEN RATIO]... [--summary-json DIR] \
+         <baseline.json> <report>..."
     );
     std::process::exit(2);
 }
@@ -64,6 +79,44 @@ fn collect_reports(paths: &[String]) -> Result<Vec<Entry>, String> {
     Ok(entries)
 }
 
+/// Checks every `--min-speedup` floor against the current run;
+/// returns whether all held.
+fn check_speedups(current: &[Entry], floors: &[(String, String, f64)]) -> Result<bool, String> {
+    let mut ok = true;
+    for (num, den, floor) in floors {
+        let ratio = gate::pair_ratio(current, num, den)?;
+        let failed = ratio < *floor;
+        println!(
+            "speedup {num} / {den} = {ratio:.2}x (floor {floor:.2}x){}",
+            if failed { "  BELOW FLOOR" } else { "" }
+        );
+        ok &= !failed;
+    }
+    Ok(ok)
+}
+
+/// Writes this run's entries as `DIR/BENCH_<n>.json`, `n` one past
+/// the highest existing snapshot index.
+fn write_summary(dir: &str, current: &[Entry]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let next = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(1, |n| n + 1);
+    let path = format!("{dir}/BENCH_{next}.json");
+    std::fs::write(&path, gate::baseline_json(current)).map_err(|e| format!("{path}: {e}"))?;
+    println!("summary snapshot: {path} ({} entries)", current.len());
+    Ok(())
+}
+
 /// Checks every `--pair` bound against the current run; returns
 /// whether all held.
 fn check_pairs(
@@ -89,6 +142,8 @@ fn run() -> Result<bool, String> {
     let mut threshold = 0.25f64;
     let mut pair_threshold = 0.05f64;
     let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut speedups: Vec<(String, String, f64)> = Vec::new();
+    let mut summary_dir: Option<String> = None;
     let mut write_baseline = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -102,6 +157,18 @@ fn run() -> Result<bool, String> {
                 let num = args.next().unwrap_or_else(|| usage());
                 let den = args.next().unwrap_or_else(|| usage());
                 pairs.push((num, den));
+            }
+            "--min-speedup" => {
+                let num = args.next().unwrap_or_else(|| usage());
+                let den = args.next().unwrap_or_else(|| usage());
+                let v = args.next().unwrap_or_else(|| usage());
+                let floor = v
+                    .parse()
+                    .map_err(|_| format!("invalid speedup floor '{v}'"))?;
+                speedups.push((num, den, floor));
+            }
+            "--summary-json" => {
+                summary_dir = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--pair-threshold" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -120,6 +187,9 @@ fn run() -> Result<bool, String> {
     }
     let baseline_path = positional.remove(0);
     let current = collect_reports(&positional)?;
+    if let Some(dir) = &summary_dir {
+        write_summary(dir, &current)?;
+    }
 
     if write_baseline {
         std::fs::write(&baseline_path, gate::baseline_json(&current))
@@ -129,7 +199,9 @@ fn run() -> Result<bool, String> {
             current.len(),
             if current.len() == 1 { "y" } else { "ies" }
         );
-        return check_pairs(&current, &pairs, pair_threshold);
+        let pairs_ok = check_pairs(&current, &pairs, pair_threshold)?;
+        let speedups_ok = check_speedups(&current, &speedups)?;
+        return Ok(pairs_ok && speedups_ok);
     }
 
     let text = std::fs::read_to_string(&baseline_path)
@@ -162,8 +234,9 @@ fn run() -> Result<bool, String> {
         eprintln!("warning: new benchmark '{id}' not in baseline (re-baseline to track)");
     }
     let pairs_ok = check_pairs(&current, &pairs, pair_threshold)?;
+    let speedups_ok = check_speedups(&current, &speedups)?;
     let regressions = report.regressions(threshold);
-    if regressions.is_empty() && pairs_ok {
+    if regressions.is_empty() && pairs_ok && speedups_ok {
         println!(
             "gate OK: {} benchmark(s) within {:.0}% of baseline",
             report.comparisons.len(),
@@ -183,6 +256,9 @@ fn run() -> Result<bool, String> {
                 "gate FAILED: pair ratio(s) exceeded {:.0}% bound",
                 pair_threshold * 100.0
             );
+        }
+        if !speedups_ok {
+            eprintln!("gate FAILED: speedup floor(s) not met");
         }
         Ok(false)
     }

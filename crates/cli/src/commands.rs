@@ -26,8 +26,10 @@ use dwm_device::PortLayout;
 use dwm_graph::AccessGraph;
 use dwm_trace::analysis::ReuseProfile;
 use dwm_trace::kernels::Kernel;
-use dwm_trace::synth::{MarkovGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen};
-use dwm_trace::{io as trace_io, Trace};
+use dwm_trace::synth::{
+    MarkovGen, ProfiledGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen,
+};
+use dwm_trace::{io as trace_io, Trace, TraceProfile};
 
 use crate::args::{ParseArgsError, ParsedArgs};
 
@@ -134,6 +136,16 @@ COMMANDS:
       [--items N] [--len N] [--seed N] [--out FILE]
                      generate a trace (text format to stdout or FILE)
   stats <trace>      trace statistics and reuse profile
+  trace profile <trace> [--out FILE]
+                     emit a compact versioned JSON workload profile
+                     (kernel mix, reuse-distance histogram, phase
+                     structure, Zipf skew)
+  trace synth --profile FILE|- [--scale K] [--len N] [--seed N]
+        [--out FILE]
+                     stream a statistically matched synthetic trace
+                     from a profile ('-' reads the profile from stdin;
+                     generation is streaming, so 10^8-access instances
+                     need --out, not a shell pipe buffer)
   hash <trace>       canonical 128-bit workload fingerprint (the
                      solve-cache key used by `serve`)
   place <trace> [--algorithm NAME] [--out FILE]
@@ -184,6 +196,7 @@ pub fn dispatch(args: &ParsedArgs) -> CommandResult {
     match args.command.as_str() {
         "gen" => cmd_gen(args),
         "stats" => cmd_stats(args),
+        "trace" => cmd_trace(args),
         "hash" => cmd_hash(args),
         "place" => cmd_place(args),
         "sweep" => cmd_sweep(args),
@@ -283,6 +296,86 @@ fn cmd_stats(args: &ParsedArgs) -> CommandResult {
         reuse.mean_distance(),
         reuse.cold_accesses,
     ))
+}
+
+fn cmd_trace(args: &ParsedArgs) -> CommandResult {
+    match args.positional(0, "trace subcommand ('profile' or 'synth')")? {
+        "profile" => cmd_trace_profile(args),
+        "synth" => cmd_trace_synth(args),
+        other => Err(CliError::usage(format!(
+            "unknown trace subcommand {other:?} (expected 'profile' or 'synth')"
+        ))),
+    }
+}
+
+fn cmd_trace_profile(args: &ParsedArgs) -> CommandResult {
+    let trace = load_trace(args, 1)?.normalize();
+    let profile = TraceProfile::from_trace(&trace);
+    let json = profile.to_json_pretty();
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::io(format!("cannot write {path:?}: {e}")))?;
+            Ok(format!(
+                "profiled {} accesses over {} items ({} phase(s)) to {path}",
+                profile.length, profile.items, profile.phases
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+fn cmd_trace_synth(args: &ParsedArgs) -> CommandResult {
+    let src = args
+        .opt("profile")
+        .ok_or_else(|| CliError::usage("--profile FILE is required ('-' reads stdin)"))?;
+    let text = if src == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+            .map_err(|e| CliError::io(format!("cannot read profile from stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(src)
+            .map_err(|e| CliError::io(format!("cannot read profile file {src:?}: {e}")))?
+    };
+    let profile = TraceProfile::parse(&text)
+        .map_err(|e| CliError::malformed(format!("profile {src:?}: {e}")))?;
+    let scale: f64 = args.opt_num("scale", 1.0)?;
+    if scale <= 0.0 || scale.is_nan() {
+        return Err(CliError::usage("--scale must be positive"));
+    }
+    let len: u64 = match args.opt_num("len", 0u64)? {
+        0 => (profile.length as f64 * scale).round() as u64,
+        n => n,
+    };
+    let seed: u64 = args.opt_num("seed", 1)?;
+    let generator = ProfiledGen::new(profile, seed);
+    let items = generator.profile().items;
+    // Stream access-by-access: the trace is never materialized, so
+    // --scale can take the profile to 10^8+ accesses in O(items) memory.
+    let write_stream = |w: &mut dyn std::io::Write| -> std::io::Result<()> {
+        writeln!(w, "# label: {}", generator.name())?;
+        for a in generator.stream(len) {
+            let k = if a.kind.is_write() { 'w' } else { 'r' };
+            writeln!(w, "{k} {}", a.item.0)?;
+        }
+        w.flush()
+    };
+    match args.opt("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::io(format!("cannot write {path:?}: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            write_stream(&mut w)
+                .map_err(|e| CliError::io(format!("cannot write {path:?}: {e}")))?;
+            Ok(format!("wrote {len} accesses over {items} items to {path}"))
+        }
+        None => {
+            let mut buf = Vec::new();
+            write_stream(&mut buf).map_err(|e| CliError::io(e.to_string()))?;
+            Ok(String::from_utf8(buf).expect("trace text is ASCII"))
+        }
+    }
 }
 
 fn cmd_hash(args: &ParsedArgs) -> CommandResult {
@@ -608,11 +701,118 @@ mod tests {
 
     #[test]
     fn missing_trace_file_is_an_io_error() {
-        for cmd in ["stats", "hash", "place", "sweep", "online", "spm", "cache"] {
+        for cmd in [
+            "stats",
+            "hash",
+            "place",
+            "sweep",
+            "online",
+            "spm",
+            "cache",
+            "trace profile",
+        ] {
             let err = run(&format!("{cmd} /no/such/file.trace")).unwrap_err();
             assert_eq!(err.code, CliError::IO, "{cmd}: {err}");
             assert!(err.message.contains("/no/such/file.trace"), "{cmd}: {err}");
         }
+    }
+
+    #[test]
+    fn trace_profile_then_synth_round_trips() {
+        let path = temp_trace();
+        let profile_path =
+            std::env::temp_dir().join(format!("dwmplace_test_{}.profile.json", std::process::id()));
+        let out = run(&format!(
+            "trace profile {} --out {}",
+            path.display(),
+            profile_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("profiled 2000 accesses"), "{out}");
+        let profile =
+            TraceProfile::parse(&std::fs::read_to_string(&profile_path).unwrap()).unwrap();
+        assert_eq!(profile.length, 2000);
+        assert_eq!(profile.items, 32);
+
+        // synth --scale 2 doubles the length and stays in-universe.
+        let synth = run(&format!(
+            "trace synth --profile {} --scale 2 --seed 7",
+            profile_path.display()
+        ))
+        .unwrap();
+        let trace = trace_io::from_text(&synth).unwrap();
+        assert_eq!(trace.len(), 4000);
+        assert!(trace.num_items() <= 32);
+        assert!(trace.label().starts_with("profiled-32"));
+
+        // --out streams to a file and reports instead of dumping.
+        let out_path =
+            std::env::temp_dir().join(format!("dwmplace_test_{}.synth.trace", std::process::id()));
+        let msg = run(&format!(
+            "trace synth --profile {} --len 500 --out {}",
+            profile_path.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote 500 accesses"), "{msg}");
+        assert_eq!(trace_io::load_text(&out_path).unwrap().len(), 500);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(profile_path).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn trace_profile_without_out_prints_versioned_json() {
+        let path = temp_trace();
+        let out = run(&format!("trace profile {}", path.display())).unwrap();
+        assert!(out.contains("\"version\": 1"), "{out}");
+        let profile = TraceProfile::parse(&out).unwrap();
+        assert_eq!(profile.length, 2000);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_misuse_is_a_usage_error() {
+        assert_eq!(run("trace").unwrap_err().code, CliError::USAGE);
+        assert_eq!(run("trace frobnicate").unwrap_err().code, CliError::USAGE);
+        assert_eq!(run("trace synth").unwrap_err().code, CliError::USAGE);
+        let path = temp_trace();
+        let profile_path = std::env::temp_dir().join(format!(
+            "dwmplace_usage_{}.profile.json",
+            std::process::id()
+        ));
+        run(&format!(
+            "trace profile {} --out {}",
+            path.display(),
+            profile_path.display()
+        ))
+        .unwrap();
+        let err = run(&format!(
+            "trace synth --profile {} --scale 0",
+            profile_path.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(profile_path).ok();
+    }
+
+    #[test]
+    fn trace_synth_rejects_bad_profiles() {
+        assert_eq!(
+            run("trace synth --profile /no/such/p.json")
+                .unwrap_err()
+                .code,
+            CliError::IO
+        );
+        let path = std::env::temp_dir().join(format!("dwmplace_badp_{}.json", std::process::id()));
+        std::fs::write(&path, "{ nope").unwrap();
+        let err = run(&format!("trace synth --profile {}", path.display())).unwrap_err();
+        assert_eq!(err.code, CliError::MALFORMED);
+        std::fs::write(&path, "{\"version\": 99}").unwrap();
+        let err = run(&format!("trace synth --profile {}", path.display())).unwrap_err();
+        assert_eq!(err.code, CliError::MALFORMED);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   KL-partition-guided ordering, and exact branch and bound on small
 //!   graphs, racing in parallel with the winner picked by
 //!   `(cost, roster position)`.
+//! * **Tier 3 ([`Tier::Exact`])** — the provably optimal subset DP
+//!   ([`crate::exact::optimal_placement`]) for graphs with at most
+//!   [`EXACT_PLAN_LIMIT`] items. Callers that need the optimality
+//!   guarantee must enforce the limit themselves (`dwm-serve` answers
+//!   400); past it this tier degrades to the tier-2 portfolio.
 //!
 //! # Deadlines without clocks
 //!
@@ -41,6 +46,7 @@ use dwm_graph::{AccessGraph, CsrGraph};
 use crate::algorithms::{
     GroupedChainGrowth, Hybrid, LocalSearch, PlacementAlgorithm, SimulatedAnnealing,
 };
+use crate::exact::optimal_placement;
 use crate::exact_bb::branch_and_bound_placement;
 use crate::partition::Partitioner;
 use crate::placement::Placement;
@@ -63,6 +69,13 @@ pub const TIER1_WINDOW: usize = 12;
 /// so its worst-case exponential tail must stay in the micro range.
 pub const BB_PORTFOLIO_LIMIT: usize = 12;
 
+/// Largest graph [`plan`] routes through the exact subset DP
+/// ([`Tier::Exact`]). Deliberately below
+/// [`crate::exact::MAX_EXACT_ITEMS`]: the serving path promises the DP
+/// answers interactively, so the `O(2ⁿ·n)` table must stay in the
+/// low-millisecond range.
+pub const EXACT_PLAN_LIMIT: usize = 12;
+
 /// One rung of the anytime ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
@@ -74,11 +87,14 @@ pub enum Tier {
     /// Tier 2: the annealing / KL-partition / branch-and-bound
     /// portfolio.
     Thorough = 2,
+    /// Tier 3: the provably optimal subset DP (graphs with at most
+    /// [`EXACT_PLAN_LIMIT`] items; larger graphs degrade to tier 2).
+    Exact = 3,
 }
 
 impl Tier {
     /// All tiers, cheapest first.
-    pub const ALL: [Tier; 3] = [Tier::Fast, Tier::Refined, Tier::Thorough];
+    pub const ALL: [Tier; 4] = [Tier::Fast, Tier::Refined, Tier::Thorough, Tier::Exact];
 
     /// The tier's numeric index (0, 1, 2) — the wire and metrics-label
     /// representation.
@@ -92,16 +108,19 @@ impl Tier {
             0 => Some(Tier::Fast),
             1 => Some(Tier::Refined),
             2 => Some(Tier::Thorough),
+            3 => Some(Tier::Exact),
             _ => None,
         }
     }
 
-    /// Stable human-readable label (`tier0` / `tier1` / `tier2`).
+    /// Stable human-readable label (`tier0` / `tier1` / `tier2` /
+    /// `tier3`).
     pub fn label(self) -> &'static str {
         match self {
             Tier::Fast => "tier0",
             Tier::Refined => "tier1",
             Tier::Thorough => "tier2",
+            Tier::Exact => "tier3",
         }
     }
 }
@@ -118,6 +137,9 @@ pub enum Quality {
     /// Like `balanced` in the foreground, plus a background tier-2
     /// upgrade of the cached entry.
     Best,
+    /// The provable optimum via the subset DP; only admissible on
+    /// graphs with at most [`EXACT_PLAN_LIMIT`] items.
+    Exact,
 }
 
 impl Quality {
@@ -127,6 +149,7 @@ impl Quality {
             "fast" => Some(Quality::Fast),
             "balanced" => Some(Quality::Balanced),
             "best" => Some(Quality::Best),
+            "exact" => Some(Quality::Exact),
             _ => None,
         }
     }
@@ -137,6 +160,7 @@ impl Quality {
             Quality::Fast => "fast",
             Quality::Balanced => "balanced",
             Quality::Best => "best",
+            Quality::Exact => "exact",
         }
     }
 }
@@ -189,6 +213,7 @@ impl AnytimeSolver {
             Tier::Fast => self.tier0(graph, csr),
             Tier::Refined => self.tier1(graph, csr, passes),
             Tier::Thorough => self.tier2(graph, csr),
+            Tier::Exact => self.tier_exact(graph, csr),
         }
     }
 
@@ -287,6 +312,28 @@ impl AnytimeSolver {
             solver,
         }
     }
+
+    /// The subset DP, provably optimal up to [`EXACT_PLAN_LIMIT`]
+    /// items. Larger graphs degrade to the tier-2 portfolio (still
+    /// labeled tier 3, with the winning member's solver name) — a
+    /// defensive total fallback; callers that promise optimality
+    /// enforce the limit up front.
+    fn tier_exact(&self, graph: &AccessGraph, csr: &CsrGraph) -> AnytimeOutcome {
+        if graph.num_items() <= EXACT_PLAN_LIMIT {
+            let (placement, _) = optimal_placement(graph)
+                .expect("EXACT_PLAN_LIMIT is below the subset-DP item limit");
+            let cost = csr.arrangement_cost(placement.offsets());
+            return AnytimeOutcome {
+                placement,
+                cost,
+                tier: Tier::Exact,
+                solver: "subset-dp",
+            };
+        }
+        let mut out = self.tier2(graph, csr);
+        out.tier = Tier::Exact;
+        out
+    }
 }
 
 /// Kernighan–Lin-guided ordering: partition into capacity-8 clusters
@@ -324,6 +371,16 @@ pub fn estimate_us(tier: Tier, items: usize, edges: usize) -> u64 {
             .saturating_add(pass_cost_us(items, edges).saturating_mul(MAX_PASSES as u64))
             .saturating_add(3_000)
             .saturating_add(n.saturating_mul(n) / 8),
+        // The subset DP fills 2ⁿ states with an O(n) transition each;
+        // the shift saturates past 63 bits, so oversized graphs model
+        // as "never fits any deadline".
+        Tier::Exact => {
+            let states = match u32::try_from(n) {
+                Ok(bits) if bits < 64 => 1u64 << bits,
+                _ => u64::MAX,
+            };
+            fast.saturating_add(states.saturating_mul(n.max(1)) / 16)
+        }
     }
 }
 
@@ -355,6 +412,10 @@ pub struct TierPlan {
 /// Rules:
 ///
 /// * `fast` → tier 0, no upgrade, regardless of deadline.
+/// * `exact` → tier 3, no upgrade, regardless of deadline — exactness
+///   cannot be traded away, so an unmeetable deadline is the caller's
+///   admission-control problem (`dwm-serve` answers 503), not a reason
+///   to degrade.
 /// * `balanced` / `best` → tier 1 when [`estimate_us`] says it fits the
 ///   deadline (always, when no deadline is given), tier 0 otherwise.
 ///   The tier-1 pass budget is the modeled remaining budget divided by
@@ -368,6 +429,13 @@ pub fn plan(quality: Quality, deadline_us: Option<u64>, items: usize, edges: usi
     if quality == Quality::Fast {
         return TierPlan {
             tier: Tier::Fast,
+            passes: 0,
+            upgrade: false,
+        };
+    }
+    if quality == Quality::Exact {
+        return TierPlan {
+            tier: Tier::Exact,
             passes: 0,
             upgrade: false,
         };
@@ -581,7 +649,12 @@ mod tests {
 
     #[test]
     fn quality_and_tier_wire_forms_round_trip() {
-        for q in [Quality::Fast, Quality::Balanced, Quality::Best] {
+        for q in [
+            Quality::Fast,
+            Quality::Balanced,
+            Quality::Best,
+            Quality::Exact,
+        ] {
             assert_eq!(Quality::parse(q.name()), Some(q));
         }
         assert_eq!(Quality::parse("turbo"), None);
@@ -589,7 +662,57 @@ mod tests {
         for t in Tier::ALL {
             assert_eq!(Tier::from_index(u64::from(t.index())), Some(t));
         }
-        assert_eq!(Tier::from_index(3), None);
+        assert_eq!(Tier::from_index(4), None);
+    }
+
+    #[test]
+    fn exact_tier_is_optimal_within_the_plan_limit() {
+        let solver = AnytimeSolver::new(7);
+        for g in graphs() {
+            if g.num_items() > EXACT_PLAN_LIMIT {
+                continue;
+            }
+            let out = solver.solve(&g, Tier::Exact, 0);
+            assert_eq!(out.solver, "subset-dp");
+            assert_eq!(out.tier, Tier::Exact);
+            let (_, opt) = crate::exact::optimal_placement(&g).unwrap();
+            assert_eq!(out.cost, opt, "exact tier must hit the DP optimum");
+            // Never above any heuristic tier, by definition.
+            assert!(out.cost <= solver.solve(&g, Tier::Thorough, 0).cost);
+        }
+    }
+
+    #[test]
+    fn exact_tier_degrades_to_the_portfolio_past_the_limit() {
+        let g = random_graph(24, 0.3, 6, 1);
+        let solver = AnytimeSolver::new(7);
+        let exact = solver.solve(&g, Tier::Exact, 0);
+        let thorough = solver.solve(&g, Tier::Thorough, 0);
+        assert_eq!(exact.tier, Tier::Exact);
+        assert_eq!(exact.cost, thorough.cost);
+        assert_ne!(exact.solver, "subset-dp");
+    }
+
+    #[test]
+    fn plan_exact_ignores_deadlines() {
+        for deadline in [None, Some(0), Some(u64::MAX)] {
+            let p = plan(Quality::Exact, deadline, 10, 30);
+            assert_eq!(p.tier, Tier::Exact);
+            assert_eq!(p.passes, 0);
+            assert!(!p.upgrade);
+        }
+    }
+
+    #[test]
+    fn exact_estimate_blows_past_every_deadline_on_big_graphs() {
+        // Monotone in size and astronomically large past the limit, so
+        // admission control can rely on it.
+        assert!(
+            estimate_us(Tier::Exact, EXACT_PLAN_LIMIT, 40)
+                <= estimate_us(Tier::Exact, EXACT_PLAN_LIMIT + 1, 40)
+        );
+        assert!(estimate_us(Tier::Exact, 64, 100) > 1_000_000_000);
+        let _ = estimate_us(Tier::Exact, usize::MAX, usize::MAX);
     }
 
     #[test]

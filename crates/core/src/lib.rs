@@ -95,7 +95,7 @@ pub mod prelude {
     pub use crate::exact::optimal_placement;
     pub use crate::exact_bb::branch_and_bound_placement;
     pub use crate::online::{
-        window_profiles, Decision, OnlineConfig, OnlinePlacer, OnlineReport, WindowProfile,
+        window_profiles, Decision, OnlineConfig, OnlinePlacer, OnlineReport, WindowProfiles,
     };
     pub use crate::partition::Partitioner;
     pub use crate::spm::{SpmAllocator, SpmLayout};

@@ -59,54 +59,92 @@ impl Default for OnlineConfig {
     }
 }
 
-/// One window's precomputed view of the trace: the window as a trace
-/// of its own (for replay costing) plus its access graph over the full
-/// item space (for candidate placement and cost comparison).
+/// Precomputed per-window views of a trace, in structure-of-arrays
+/// form: window `i`'s accesses (for replay costing) live in one array,
+/// its access graph over the full item space (for candidate placement
+/// and cost comparison) in a parallel one. The replay loop streams the
+/// trace array while the decision step reads only the graph array, so
+/// each consumer touches one contiguous allocation instead of
+/// interleaved trace/graph pairs — and configuration sweeps that only
+/// re-run the decision rule ([`WindowProfiles::graphs`]) never pull
+/// window traces through the cache at all.
 ///
 /// Profiles depend only on the trace and the window length — not on
 /// any placer configuration — so one precomputation can be shared
 /// across a sweep of [`OnlinePlacer`] settings
 /// (see [`window_profiles`] and [`OnlinePlacer::run_profiles`]),
 /// instead of re-deriving the same graphs per configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WindowProfile {
-    /// The window's accesses as a standalone trace.
-    pub trace: Trace,
-    /// The window's access graph over all `n` items of the full trace.
-    pub graph: AccessGraph,
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowProfiles {
+    /// Each window's accesses as a standalone trace.
+    traces: Vec<Trace>,
+    /// Each window's access graph over all `n` items, parallel to
+    /// `traces`.
+    graphs: Vec<AccessGraph>,
 }
 
-/// Precomputes the per-window profiles of `trace`: one
-/// [`WindowProfile`] per `window`-access chunk (the last may be
-/// shorter), each with its graph built over `n` items — the exact
-/// structures [`OnlinePlacer::run`] derives internally.
+impl WindowProfiles {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the source trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Window `i`'s accesses as a standalone trace.
+    pub fn trace(&self, i: usize) -> &Trace {
+        &self.traces[i]
+    }
+
+    /// Window `i`'s access graph over the full item space.
+    pub fn graph(&self, i: usize) -> &AccessGraph {
+        &self.graphs[i]
+    }
+
+    /// The per-window graphs alone — the decision-rule array, for
+    /// sweeps that never replay accesses.
+    pub fn graphs(&self) -> &[AccessGraph] {
+        &self.graphs
+    }
+
+    /// Paired `(trace, graph)` views in window order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Trace, &AccessGraph)> {
+        self.traces.iter().zip(&self.graphs)
+    }
+}
+
+/// Precomputes the per-window profiles of `trace`: one trace/graph
+/// pair per `window`-access chunk (the last may be shorter), each
+/// graph built over `n` items — the exact structures
+/// [`OnlinePlacer::run`] derives internally, stored SoA.
 ///
 /// # Panics
 ///
 /// Panics if `window` is zero.
-pub fn window_profiles(trace: &Trace, window: usize, n: usize) -> Vec<WindowProfile> {
+pub fn window_profiles(trace: &Trace, window: usize, n: usize) -> WindowProfiles {
     assert!(window > 0, "window must be nonzero");
-    trace
-        .accesses()
-        .chunks(window)
-        .map(|chunk| {
-            let mut graph = AccessGraph::with_items(n);
-            for pair in chunk.windows(2) {
-                let (u, v) = (pair[0].item.index(), pair[1].item.index());
-                if u != v {
-                    graph.add_weight(u, v, 1);
-                }
+    let mut profiles = WindowProfiles::default();
+    for chunk in trace.accesses().chunks(window) {
+        let mut graph = AccessGraph::with_items(n);
+        for pair in chunk.windows(2) {
+            let (u, v) = (pair[0].item.index(), pair[1].item.index());
+            if u != v {
+                graph.add_weight(u, v, 1);
             }
-            for a in chunk {
-                let i = a.item.index();
-                graph.set_frequency(i, graph.frequency(i) + 1);
-            }
-            WindowProfile {
-                trace: Trace::from_accesses(chunk.iter().copied()),
-                graph,
-            }
-        })
-        .collect()
+        }
+        for a in chunk {
+            let i = a.item.index();
+            graph.set_frequency(i, graph.frequency(i) + 1);
+        }
+        profiles
+            .traces
+            .push(Trace::from_accesses(chunk.iter().copied()));
+        profiles.graphs.push(graph);
+    }
+    profiles
 }
 
 /// The adaptation decision for one observed window.
@@ -202,12 +240,12 @@ impl OnlinePlacer {
         self.run_profiles(n, &window_profiles(trace, self.config.window, n))
     }
 
-    /// Runs the window loop over precomputed [`WindowProfile`]s —
+    /// Runs the window loop over precomputed [`WindowProfiles`] —
     /// byte-identical to [`run`](Self::run) on the trace the profiles
     /// came from, but shareable across a sweep of configurations with
     /// the same window length (the profile precomputation dominates
     /// replays over many settings).
-    pub fn run_profiles(&self, n: usize, profiles: &[WindowProfile]) -> OnlineReport {
+    pub fn run_profiles(&self, n: usize, profiles: &WindowProfiles) -> OnlineReport {
         let mut placement = Placement::identity(n);
         let model = SinglePortCost::new();
 
@@ -216,14 +254,14 @@ impl OnlinePlacer {
         let mut migrations = 0u64;
         let mut items_moved = 0u64;
 
-        for profile in profiles {
+        for (trace, graph) in profiles.iter() {
             // Serve the window under the current placement. Item ids in
             // the window are global, placement covers all n items.
-            access_shifts += model.trace_cost(&placement, &profile.trace).stats.shifts;
+            access_shifts += model.trace_cost(&placement, trace).stats.shifts;
 
             // Decide whether to re-place for the (assumed similar)
             // next window.
-            let decision = self.decide(&placement, &profile.graph);
+            let decision = self.decide(&placement, graph);
             if decision.adapt {
                 migration_shifts += decision.bill;
                 migrations += 1;

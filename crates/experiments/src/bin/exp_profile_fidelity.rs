@@ -1,0 +1,133 @@
+//! Experiment V2: profile→synthesis fidelity across replay scale.
+//!
+//! `dwm trace profile` distills a workload into a compact fingerprint
+//! and `ProfiledGen` replays it at arbitrary scale (DESIGN.md §S21).
+//! This sweep quantifies how faithful those replays are: for every
+//! corpus family it re-profiles synthetic replays at 1×, 10×, and
+//! 100× the source length — streamed through `ProfileBuilder`, never
+//! materialized — and reports each fidelity gap next to its default
+//! tolerance:
+//!
+//! * `mix`  — |write-ratio Δ|              (tolerance 0.05)
+//! * `self` — |self-transition-rate Δ|     (tolerance 0.05)
+//! * `tail` — cold/tail mass Δ             (tolerance 0.10)
+//! * `reuse`— max log₂ reuse-quantile Δ    (tolerance 2 buckets)
+//!
+//! The binary asserts `within_default_tolerance` on every cell, so it
+//! doubles as a slow-path validation of the contract that
+//! `tests/trace_profiles.rs` pins in CI at 1× and 10×. Pass `--scale`
+//! to push the largest point further (e.g. `--scale 10000` takes a
+//! 10⁴-access profile to 10⁸ accesses in `O(items)` memory).
+
+use dwm_experiments::Table;
+use dwm_trace::prelude::*;
+use dwm_trace::synth::TraceGenerator;
+
+fn corpus() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("fft", Kernel::Fft { n: 256, block: 4 }.trace().normalize()),
+        (
+            "bfs",
+            Kernel::Bfs {
+                nodes: 512,
+                degree: 8,
+                seed: 7,
+            }
+            .trace()
+            .normalize(),
+        ),
+        (
+            "zipf",
+            ZipfGen::new(256, 0xA11CE).generate(40_000).normalize(),
+        ),
+        (
+            "markov",
+            MarkovGen::new(64, 4, 0xBEEC).generate(40_000).normalize(),
+        ),
+        (
+            "phased",
+            PhasedGen::new(128, 4, 11).generate(40_000).normalize(),
+        ),
+        (
+            "uniform-rw",
+            UniformGen {
+                items: 128,
+                write_ratio: 0.3,
+                seed: 4,
+            }
+            .generate(40_000)
+            .normalize(),
+        ),
+    ]
+}
+
+fn extra_scale() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+fn main() {
+    println!(
+        "Experiment V2: profile->synth fidelity per corpus family \
+         (gaps vs default tolerances mix<=0.05 self<=0.05 tail<=0.10 reuse<=2)\n"
+    );
+    let mut scales: Vec<u64> = vec![1, 10, 100];
+    if let Some(s) = extra_scale() {
+        scales.push(s);
+    }
+    let mut t = Table::new([
+        "family", "scale", "accesses", "mix", "self", "tail", "reuse", "ok",
+    ]);
+    let mut worst = Fidelity {
+        kernel_mix_gap: 0.0,
+        self_transition_gap: 0.0,
+        tail_mass_gap: 0.0,
+        reuse_quantile_gap: 0,
+    };
+    for (name, trace) in corpus() {
+        let profile = TraceProfile::from_trace(&trace);
+        for &scale in &scales {
+            let len = trace.len() as u64 * scale;
+            let gen = ProfiledGen::new(profile.clone(), 0x5EED ^ scale);
+            let mut builder = ProfileBuilder::new(name, 4096);
+            for access in gen.stream(len) {
+                builder.push(access);
+            }
+            let f = profile.fidelity(&builder.finish());
+            assert!(
+                f.within_default_tolerance(),
+                "{name} at {scale}x drifted: {f:?}"
+            );
+            worst = Fidelity {
+                kernel_mix_gap: worst.kernel_mix_gap.max(f.kernel_mix_gap),
+                self_transition_gap: worst.self_transition_gap.max(f.self_transition_gap),
+                tail_mass_gap: worst.tail_mass_gap.max(f.tail_mass_gap),
+                reuse_quantile_gap: worst.reuse_quantile_gap.max(f.reuse_quantile_gap),
+            };
+            t.row([
+                name.to_string(),
+                format!("{scale}x"),
+                len.to_string(),
+                format!("{:.4}", f.kernel_mix_gap),
+                format!("{:.4}", f.self_transition_gap),
+                format!("{:.4}", f.tail_mass_gap),
+                f.reuse_quantile_gap.to_string(),
+                "yes".to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nevery cell within tolerance; worst gaps: mix {:.4}, self {:.4}, \
+         tail {:.4}, reuse {}",
+        worst.kernel_mix_gap,
+        worst.self_transition_gap,
+        worst.tail_mass_gap,
+        worst.reuse_quantile_gap
+    );
+}

@@ -52,7 +52,10 @@ fn main() {
 
         let mut outcomes = Vec::new();
         let mut measured = Vec::new();
-        for tier in Tier::ALL {
+        // The heuristic ladder only: tier 3 (exact) is size-bounded
+        // and falls back to the tier-2 portfolio past 12 items, so it
+        // adds nothing on these benchmarks.
+        for tier in [Tier::Fast, Tier::Refined, Tier::Thorough] {
             let started = Instant::now();
             let outcome = solver.solve_frozen(&graph, &csr, tier, anytime::MAX_PASSES);
             measured.push(started.elapsed().as_micros());

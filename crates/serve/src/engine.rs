@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dwm_core::algorithms::standard_suite;
-use dwm_core::anytime::{self, AnytimeOutcome, AnytimeSolver, Tier, TierPlan};
+use dwm_core::anytime::{self, AnytimeOutcome, AnytimeSolver, Quality, Tier, TierPlan};
 use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePortCost};
 use dwm_device::DeviceConfig;
 use dwm_foundation::json::{Number, Object, ToJson, Value};
@@ -128,10 +128,11 @@ pub struct Engine {
     session_reads: Arc<obs::Counter>,
     session_closes: Arc<obs::Counter>,
     errors: Arc<obs::Counter>,
-    tier_solves: [Arc<obs::Counter>; 3],
+    tier_solves: [Arc<obs::Counter>; 4],
     upgrades_enqueued: Arc<obs::Counter>,
     deadline_met: Arc<obs::Counter>,
     deadline_missed: Arc<obs::Counter>,
+    deadline_infeasible: Arc<obs::Counter>,
     latency_ns: Arc<obs::Histogram>,
     ingest_latency_ns: Arc<obs::Histogram>,
 }
@@ -193,7 +194,12 @@ impl Engine {
                 "dwm_serve_errors_total",
                 "Requests answered with an error status",
             ),
-            tier_solves: [tier_counter("0"), tier_counter("1"), tier_counter("2")],
+            tier_solves: [
+                tier_counter("0"),
+                tier_counter("1"),
+                tier_counter("2"),
+                tier_counter("3"),
+            ],
             upgrades_enqueued: registry.counter(
                 "dwm_serve_upgrades_enqueued_total",
                 "Background tier-2 upgrades submitted to the idle lane",
@@ -205,6 +211,10 @@ impl Engine {
             deadline_missed: registry.counter(
                 "dwm_serve_deadline_missed_total",
                 "Tiered solves whose wall-clock exceeded the caller's deadline_us",
+            ),
+            deadline_infeasible: registry.counter(
+                "dwm_serve_deadline_infeasible_total",
+                "Tiered solves rejected with 503 because no admissible tier fits deadline_us",
             ),
             latency_ns: registry.histogram(
                 "dwm_serve_request_latency_ns",
@@ -523,6 +533,7 @@ impl Engine {
         let mut d = Object::new();
         d.insert("met", count(&self.deadline_met));
         d.insert("missed", count(&self.deadline_missed));
+        d.insert("infeasible", count(&self.deadline_infeasible));
         obj.insert("deadline", Value::Obj(d));
         obj.insert("sessions", Value::Obj(s));
         Response::json(200, Value::Obj(obj).to_compact())
@@ -627,18 +638,46 @@ impl Engine {
         for (i, ids) in workloads.iter().enumerate() {
             let trace = Trace::from_ids(ids.iter().copied()).normalize();
             let graph = AccessGraph::from_trace(&trace);
-            let plan = anytime::plan(
-                knobs.quality,
-                knobs.deadline_us,
-                graph.num_items(),
-                graph.num_edges(),
-            );
+            let (n, m) = (graph.num_items(), graph.num_edges());
+            if knobs.quality == Quality::Exact && n > anytime::EXACT_PLAN_LIMIT {
+                return Err(ProtocolError::bad_request(format!(
+                    "quality \"exact\" is limited to {} items; workload {i} touches {n}",
+                    anytime::EXACT_PLAN_LIMIT
+                )));
+            }
+            let plan = anytime::plan(knobs.quality, knobs.deadline_us, n, m);
+            // Admission control: `plan` already picked the cheapest
+            // admissible tier, so if even that tier's modeled latency
+            // exceeds the deadline, no tier fits — refuse up front
+            // (before any cache consult or solve) instead of knowingly
+            // answering late.
+            if let Some(deadline) = knobs.deadline_us {
+                let need = anytime::estimate_us(plan.tier, n, m);
+                if need > deadline {
+                    self.deadline_infeasible.inc_always();
+                    return Err(ProtocolError {
+                        status: 503,
+                        message: format!(
+                            "deadline_us {deadline} is infeasible for workload {i}: the \
+                             cheapest admissible tier ({}) needs an estimated {need} us",
+                            plan.tier.label()
+                        ),
+                    });
+                }
+            }
             let key = CacheKey {
                 fingerprint: fingerprint(&graph),
                 algorithm: ANYTIME_ALGORITHM.to_owned(),
                 seed,
             };
-            match self.cache.get(&key) {
+            // An exact request only accepts a resident record that is
+            // itself exact — a heuristic tier cached under the same key
+            // must not masquerade as the optimum, so it re-solves (and
+            // the exact record then overwrites it for everyone).
+            let resident = self.cache.get(&key).filter(|record| {
+                knobs.quality != Quality::Exact || record.tier == Tier::Exact.index()
+            });
+            match resident {
                 Some(record) => {
                     // A hit serves whatever tier is resident — the
                     // label reports the truth, and `best` still queues
@@ -1417,14 +1456,96 @@ mod tests {
             let resp = e.handle(&Request::post("/solve", body));
             assert_eq!(resp.status, 400, "{body} → {:?}", resp.body_str());
         }
-        // deadline_us alone is valid (implies balanced) — including 0.
-        for body in [
-            r#"{"deadline_us":0,"ids":[0,1,0,2]}"#,
+        // deadline_us alone is valid (implies balanced) — but 0 can
+        // never be met, so admission control answers 503.
+        let resp = e.handle(&Request::post(
+            "/solve",
             r#"{"deadline_us":18446744073709551615,"ids":[0,1,0,2]}"#,
-        ] {
-            let resp = e.handle(&Request::post("/solve", body));
-            assert_eq!(resp.status, 200, "{body} → {:?}", resp.body_str());
-        }
+        ));
+        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+        let resp = e.handle(&Request::post(
+            "/solve",
+            r#"{"deadline_us":0,"ids":[0,1,0,2]}"#,
+        ));
+        assert_eq!(resp.status, 503, "{:?}", resp.body_str());
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_refused_up_front() {
+        let e = engine();
+        let req = Request::post(
+            "/solve",
+            r#"{"quality":"fast","deadline_us":1,"ids":[0,1,0,1,2,0,3,2,1]}"#,
+        );
+        let resp = e.handle(&req);
+        assert_eq!(resp.status, 503, "{:?}", resp.body_str());
+        assert!(resp.body_str().unwrap().contains("infeasible"));
+        // Nothing was solved or cached, and the rejection is counted.
+        assert_eq!(e.cache().stats().entries, 0);
+        let s = body_obj(&e.handle(&Request::new("GET", "/stats")));
+        let deadline = s.get("deadline").unwrap().as_object().unwrap();
+        assert_eq!(label_field(deadline, "infeasible"), 1);
+        assert_eq!(
+            label_field(deadline, "met") + label_field(deadline, "missed"),
+            0
+        );
+        // Even a cached workload is refused: the contract is about the
+        // request's deadline, not about what happens to be resident.
+        let warm = e.handle(&Request::post(
+            "/solve",
+            r#"{"quality":"fast","ids":[0,1,0,1,2,0,3,2,1]}"#,
+        ));
+        assert_eq!(warm.status, 200);
+        assert_eq!(e.handle(&req).status, 503);
+    }
+
+    #[test]
+    fn exact_quality_answers_the_optimum_and_bounds_size() {
+        let e = engine();
+        let req = Request::post("/solve", r#"{"quality":"exact","ids":[0,1,0,1,2,0,3,2,1]}"#);
+        let first = e.handle(&req);
+        assert_eq!(first.status, 200, "{:?}", first.body_str());
+        let b1 = body_obj(&first);
+        let l1 = label_at(&b1, 0);
+        assert_eq!(l1.get("status").unwrap().as_str(), Some("miss"));
+        assert_eq!(label_field(&l1, "tier"), 3);
+        assert_eq!(l1.get("solver").unwrap().as_str(), Some("subset-dp"));
+        // No upgrade ever: the record is already optimal.
+        assert_eq!(e.upgrade_queue_depth(), 0);
+        let second = e.handle(&req);
+        let l2 = label_at(&body_obj(&second), 0);
+        assert_eq!(l2.get("status").unwrap().as_str(), Some("hit"));
+        assert_eq!(label_field(&l2, "tier"), 3);
+        // 13 distinct items exceeds the exact plan limit.
+        let ids: Vec<String> = (0..13u32).map(|i| i.to_string()).collect();
+        let big = format!(r#"{{"quality":"exact","ids":[{}]}}"#, ids.join(","));
+        let resp = e.handle(&Request::post("/solve", big.as_str()));
+        assert_eq!(resp.status, 400, "{:?}", resp.body_str());
+        assert!(resp.body_str().unwrap().contains("exact"));
+    }
+
+    #[test]
+    fn exact_requests_never_accept_heuristic_cache_records() {
+        let e = engine();
+        let ids = r#"[0,1,0,1,2,0,3,2,1]"#;
+        let fast = format!(r#"{{"quality":"fast","ids":{ids}}}"#);
+        let exact = format!(r#"{{"quality":"exact","ids":{ids}}}"#);
+        assert_eq!(
+            e.handle(&Request::post("/solve", fast.as_str())).status,
+            200
+        );
+        // Same workload, same cache key — but the tier-0 record must
+        // not satisfy an exact request.
+        let resp = e.handle(&Request::post("/solve", exact.as_str()));
+        let label = label_at(&body_obj(&resp), 0);
+        assert_eq!(label.get("status").unwrap().as_str(), Some("miss"));
+        assert_eq!(label_field(&label, "tier"), 3);
+        // The exact record overwrote the heuristic one; a later
+        // fast-quality request now serves the optimum from cache.
+        let warm = e.handle(&Request::post("/solve", fast.as_str()));
+        let label = label_at(&body_obj(&warm), 0);
+        assert_eq!(label.get("status").unwrap().as_str(), Some("hit"));
+        assert_eq!(label_field(&label, "tier"), 3);
     }
 
     #[test]
@@ -1520,6 +1641,7 @@ mod tests {
             "dwm_serve_upgrade_queue_depth",
             "dwm_serve_deadline_met_total",
             "dwm_serve_deadline_missed_total",
+            "dwm_serve_deadline_infeasible_total",
         ] {
             assert!(text.contains(family), "missing {family} in /metrics");
         }

@@ -274,7 +274,10 @@ pub fn parse_tier_knobs(obj: &Object) -> Result<Option<TierKnobs>, ProtocolError
 ///
 /// # Errors
 ///
-/// 400 on an unknown quality string or malformed deadline.
+/// 400 on an unknown quality string, a malformed deadline, or
+/// `quality:"exact"` — a session's item set grows past
+/// [`EXACT_PLAN_LIMIT`](dwm_core::anytime::EXACT_PLAN_LIMIT) at any
+/// ingest, so exactness is not a promise a long-lived session can keep.
 pub fn parse_session_knobs(obj: &Object) -> Result<(Option<Quality>, Option<u64>), ProtocolError> {
     let quality_raw = quality_field(obj)?;
     let deadline = deadline_field(obj, "replace_deadline_us")?;
@@ -283,6 +286,12 @@ pub fn parse_session_knobs(obj: &Object) -> Result<(Option<Quality>, Option<u64>
         None => None,
         Some(s) => Some(parse_quality(s)?),
     };
+    if quality == Some(Quality::Exact) {
+        return Err(ProtocolError::bad_request(
+            "sessions do not support quality \"exact\" (the item set can outgrow \
+             the exact solver at any ingest); use \"best\"",
+        ));
+    }
     Ok((quality, deadline))
 }
 
@@ -400,6 +409,18 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(k.deadline_us, Some(u64::MAX));
+    }
+
+    #[test]
+    fn session_knobs_reject_exact_quality() {
+        let err = parse_session_knobs(&obj(r#"{"quality":"exact"}"#)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("exact"), "{err:?}");
+        // /solve still accepts it — only sessions refuse.
+        let k = parse_tier_knobs(&obj(r#"{"quality":"exact","ids":[1]}"#))
+            .unwrap()
+            .unwrap();
+        assert_eq!(k.quality, Quality::Exact);
     }
 
     #[test]

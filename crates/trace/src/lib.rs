@@ -31,18 +31,22 @@ mod access;
 pub mod analysis;
 pub mod io;
 pub mod kernels;
+pub mod profile;
 mod stats;
 pub mod synth;
 
 pub use access::{Access, AccessKind, ItemId, Trace};
+pub use profile::{Fidelity, ProfileBuilder, TraceProfile, PROFILE_VERSION};
 pub use stats::TraceStats;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::analysis::{detect_phases, working_set_curve, PhaseDetector, ReuseProfile};
     pub use crate::kernels::Kernel;
+    pub use crate::profile::{Fidelity, ProfileBuilder, TraceProfile};
     pub use crate::synth::{
-        MarkovGen, PhasedGen, SequentialGen, StridedGen, TraceGenerator, UniformGen, ZipfGen,
+        MarkovGen, PhasedGen, ProfiledGen, SequentialGen, StridedGen, TraceGenerator, UniformGen,
+        ZipfGen,
     };
     pub use crate::{Access, AccessKind, ItemId, Trace, TraceStats};
 }

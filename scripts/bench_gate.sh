@@ -30,16 +30,18 @@ reports="$(mktemp -d)"
 trap 'rm -rf "$reports"' EXIT
 
 # Only the suites with parallel (bench_threads) coverage are gated,
-# plus the serve request-latency suite — fast enough to run on every
-# CI push.
-for suite in bench_sweep bench_exact bench_graph bench_serve; do
+# plus the serve request-latency suite and the trace-synthesis suite —
+# fast enough to run on every CI push.
+for suite in bench_sweep bench_exact bench_graph bench_serve bench_trace; do
   echo "== $suite"
   # The serve suite carries the tight 5% pair bound, so it gets more
   # samples: the pair compares per-side minima, and a longer sampling
   # window makes a transient load spike unable to inflate every sample
-  # of one side.
+  # of one side. The trace suite's headline point streams 10^8
+  # accesses per iteration (~10 s), so it gets few.
   samples="$DWM_BENCH_SAMPLES"
   [[ "$suite" == bench_serve ]] && samples="${DWM_BENCH_SERVE_SAMPLES:-30}"
+  [[ "$suite" == bench_trace ]] && samples="${DWM_BENCH_TRACE_SAMPLES:-3}"
   DWM_BENCH_JSON="$reports" DWM_BENCH_SAMPLES="$samples" \
     cargo bench -q -p dwm-bench --bench "$suite"
 done
@@ -56,11 +58,25 @@ PAIR=(--pair serve/serve/solve_hit serve/serve/solve_hit_obs_off
       --pair serve/serve/solve_hit_idle_load serve/serve/solve_hit_lane_quiet
       --pair-threshold "${DWM_BENCH_OBS_THRESHOLD:-0.05}")
 
+# Same-run speedup floor: the batched profile-cached local-search
+# kernel must stay >= 2x its byte-identical scalar reference at the
+# n=4096 scale the 10^8-access profile-driven workloads land on.
+SPEEDUP=(--min-speedup graph/algo/local_search_scalar/4096
+                       graph/algo/local_search/4096
+                       "${DWM_BENCH_LS_SPEEDUP:-2.0}")
+
+# Every gate run appends a perf-trajectory snapshot
+# (results/bench_history/BENCH_<n>.json) so performance over time is
+# diffable, not just pass/fail.
+SUMMARY=(--summary-json "${DWM_BENCH_SUMMARY_DIR:-results/bench_history}")
+
 mkdir -p results
 if [[ "${1:-}" == "--rebaseline" ]]; then
   cargo run --release -q -p dwm-bench --bin bench_compare -- \
-    --write-baseline "${PAIR[@]}" "$BASELINE" "$reports"
+    --write-baseline "${PAIR[@]}" "${SPEEDUP[@]}" "${SUMMARY[@]}" \
+    "$BASELINE" "$reports"
 else
   cargo run --release -q -p dwm-bench --bin bench_compare -- \
-    --threshold "$THRESHOLD" "${PAIR[@]}" "$BASELINE" "$reports"
+    --threshold "$THRESHOLD" "${PAIR[@]}" "${SPEEDUP[@]}" "${SUMMARY[@]}" \
+    "$BASELINE" "$reports"
 fi

@@ -21,7 +21,8 @@ bins=(
   exp_f4_tape_length exp_f5_ports exp_f6_latency_energy
   exp_f7_runtime exp_f8_typed_ports exp_f9_reliability
   exp_f10_online exp_f11_wear exp_f11_session_drift
-  exp_tier_tradeoff exp_a1_ablation exp_v1_crosscheck
+  exp_tier_tradeoff exp_a1_ablation exp_profile_fidelity
+  exp_v1_crosscheck
 )
 failed=()
 for b in "${bins[@]}"; do

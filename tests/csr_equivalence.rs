@@ -77,6 +77,15 @@ fn artifacts() -> Vec<(&'static str, String)> {
         let saved = LocalSearch::default().refine(&mg, &mut p);
         format!("{} saved={saved}", json(&p))
     }));
+    // The scalar reference kernel must stay byte-identical to the
+    // profile-cached path above (same golden hash): kernel choice is a
+    // performance decision, never a behavioral one.
+    out.push(("local-search/scalar", {
+        let csr = CsrGraph::freeze(&mg);
+        let mut p = RandomPlacement::new(3).place(&mg);
+        let saved = LocalSearch::default().refine_frozen_scalar(&csr, &mut p);
+        format!("{} saved={saved}", json(&p))
+    }));
     out.push(("window-dp", {
         let mut p = RandomPlacement::new(5).place(&rg);
         let saved = WindowedDp::default().refine(&rg, &mut p);
@@ -143,6 +152,7 @@ const GOLDEN: &[(&str, u64)] = &[
     ("insertion/random", 0x215c842e03a9c1db),
     ("annealing", 0x9dd3eefbf441267b),
     ("local-search", 0xd19e48e414ca72e8),
+    ("local-search/scalar", 0xd19e48e414ca72e8),
     ("window-dp", 0xa5227ffb3dfc8772),
     ("hybrid", 0xe8c1d4aaee982cbd),
     ("multi-start", 0x3a2b9f3e2c421b0b),

@@ -557,19 +557,21 @@ fn tiered_protocol_edges_over_the_socket() {
     let handle = ephemeral_server(2, 64);
     let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
 
-    // Degenerate deadlines are valid requests, not errors: 0 can never
-    // be met (the planner answers from tier 0 and the audit records a
-    // miss), u64::MAX always can. Distinct workloads so the second
-    // request is not a cache hit.
+    // A zero deadline can never be met — admission control refuses up
+    // front with 503 instead of knowingly answering late, and the
+    // connection stays usable. u64::MAX always fits.
     let zero = conn
         .post_json(
             "/solve",
             r#"{"quality":"fast","deadline_us":0,"ids":[0,1,0,2,1,3]}"#,
         )
         .unwrap();
-    assert_eq!(zero.status, 200, "{:?}", zero.body_str());
-    let (label, _) = tiered_label_and_cost(zero.body_str().unwrap());
-    assert_eq!(label_u64(&label, "tier"), 0, "deadline 0 must stay tier 0");
+    assert_eq!(zero.status, 503, "{:?}", zero.body_str());
+    assert!(
+        zero.body_str().unwrap().contains("infeasible"),
+        "{:?}",
+        zero.body_str()
+    );
 
     // A structurally different workload — ids normalize to a dense
     // trace, so a mere relabeling of the first would be a cache hit.
@@ -600,6 +602,53 @@ fn tiered_protocol_edges_over_the_socket() {
         assert_eq!(resp.status, 400, "{body}");
         assert!(resp.body_str().unwrap().contains("error"), "{body}");
     }
+    assert!(conn.get("/health").unwrap().is_success());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn exact_quality_over_the_socket_is_optimal_bounded_and_session_free() {
+    let handle = ephemeral_server(2, 64);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // A 6-item workload is well within the exact plan limit: the solve
+    // answers with the subset-DP optimum, labeled tier 3 / subset-dp.
+    let req = format!(r#"{{"quality":"exact","ids":[{}]}}"#, interleaved_ids());
+    let first = conn.post_json("/solve", req.as_str()).unwrap();
+    assert_eq!(first.status, 200, "{:?}", first.body_str());
+    let (label, exact_cost) = tiered_label_and_cost(first.body_str().unwrap());
+    assert_eq!(label.get("status").unwrap().as_str(), Some("miss"));
+    assert_eq!(label_u64(&label, "tier"), 3);
+    assert_eq!(label.get("solver").unwrap().as_str(), Some("subset-dp"));
+
+    // The optimum is a floor for every heuristic tier: a best-quality
+    // read of the same workload hits the exact record and can never
+    // improve on it, so no upgrade is enqueued.
+    let best = format!(r#"{{"quality":"best","ids":[{}]}}"#, interleaved_ids());
+    let warm = conn.post_json("/solve", best.as_str()).unwrap();
+    let (label, warm_cost) = tiered_label_and_cost(warm.body_str().unwrap());
+    assert_eq!(label.get("status").unwrap().as_str(), Some("hit"));
+    assert_eq!(label_u64(&label, "tier"), 3);
+    assert_eq!(warm_cost, exact_cost);
+    assert_eq!(handle.engine().upgrade_queue_depth(), 0);
+
+    // Thirteen distinct items exceeds the exact plan limit: 400, and
+    // the connection stays usable.
+    let ids: Vec<String> = (0..13u32).map(|i| i.to_string()).collect();
+    let big = format!(r#"{{"quality":"exact","ids":[{}]}}"#, ids.join(","));
+    let resp = conn.post_json("/solve", big.as_str()).unwrap();
+    assert_eq!(resp.status, 400, "{:?}", resp.body_str());
+    assert!(resp.body_str().unwrap().contains("exact"));
+
+    // Sessions refuse the knob outright — their item set can outgrow
+    // the exact solver at any ingest.
+    let sess = conn
+        .post_json("/session", r#"{"quality":"exact"}"#)
+        .unwrap();
+    assert_eq!(sess.status, 400, "{:?}", sess.body_str());
+    assert!(sess.body_str().unwrap().contains("exact"));
     assert!(conn.get("/health").unwrap().is_success());
 
     handle.shutdown();
@@ -773,6 +822,10 @@ fn stats_and_metrics_agree_on_tier_upgrade_and_deadline_families() {
             r#"dwm_serve_tier_solves_total{tier="2"}"#,
         ),
         (
+            section("tiers", "tier3"),
+            r#"dwm_serve_tier_solves_total{tier="3"}"#,
+        ),
+        (
             section("upgrades", "enqueued"),
             "dwm_serve_upgrades_enqueued_total",
         ),
@@ -793,6 +846,10 @@ fn stats_and_metrics_agree_on_tier_upgrade_and_deadline_families() {
             section("deadline", "missed"),
             "dwm_serve_deadline_missed_total",
         ),
+        (
+            section("deadline", "infeasible"),
+            "dwm_serve_deadline_infeasible_total",
+        ),
     ] {
         assert_eq!(
             stats_value,
@@ -807,6 +864,8 @@ fn stats_and_metrics_agree_on_tier_upgrade_and_deadline_families() {
     assert_eq!(section("tiers", "tier0"), 2);
     assert_eq!(section("tiers", "tier1"), 0);
     assert_eq!(section("tiers", "tier2"), 0);
+    assert_eq!(section("tiers", "tier3"), 0);
+    assert_eq!(section("deadline", "infeasible"), 0);
     assert_eq!(section("upgrades", "enqueued"), 1);
     assert_eq!(section("upgrades", "applied"), 1);
     assert_eq!(section("upgrades", "queue_depth"), 0);
