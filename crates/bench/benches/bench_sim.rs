@@ -1,17 +1,18 @@
 //! F6/V1: bit-level simulator replay throughput vs. the analytic model.
 
 use dwm_bench::matmul_fixture;
-use dwm_core::cost::{CostModel, SinglePortCost};
+use dwm_core::cost::{CostModel, SinglePortCost, TopologyCost};
 use dwm_core::{Hybrid, PlacementAlgorithm};
-use dwm_device::DeviceConfig;
+use dwm_device::{DeviceConfig, Topology};
 use dwm_foundation::bench::{black_box, Harness};
 use dwm_sim::SpmSimulator;
 
 fn main() {
     let (trace, graph) = matmul_fixture();
+    let n = graph.num_items();
     let placement = Hybrid::default().place(&graph);
     let config = DeviceConfig::builder()
-        .domains_per_track(graph.num_items())
+        .domains_per_track(n)
         .tracks_per_dbc(32)
         .build()
         .expect("valid");
@@ -24,6 +25,22 @@ fn main() {
     h.bench("replay/bit_level_sim", || {
         let mut sim = SpmSimulator::new(&config, &placement).expect("fits");
         sim.run(black_box(&trace)).expect("replay")
+    });
+
+    // Non-linear topology replay: the min-of-two-directions ring and
+    // the two-axis grid exercise the per-access TopologyPlan path that
+    // the linear fast path never takes.
+    let ring = TopologyCost::single_port(Topology::parse("ring").expect("valid"), n);
+    h.bench("shift_ring", || {
+        ring.trace_cost(black_box(&placement), &trace)
+    });
+    let cols = n.div_ceil(8).max(1);
+    let grid = TopologyCost::single_port(
+        Topology::parse(&format!("grid2d:8x{cols}")).expect("valid"),
+        n,
+    );
+    h.bench("shift_grid2d", || {
+        grid.trace_cost(black_box(&placement), &trace)
     });
     h.finish();
 }

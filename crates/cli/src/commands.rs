@@ -18,11 +18,11 @@
 use std::fmt;
 
 use dwm_core::algorithms::{standard_suite, PlacementAlgorithm};
-use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost};
+use dwm_core::cost::{CostModel, MultiPortCost, SinglePortCost, TopologyCost};
 use dwm_core::online::{OnlineConfig, OnlinePlacer};
 use dwm_core::spm::SpmAllocator;
 use dwm_core::{GroupedChainGrowth, Hybrid, Placement};
-use dwm_device::PortLayout;
+use dwm_device::{DeviceConfig, PortLayout, Topology, TrackTopology};
 use dwm_graph::AccessGraph;
 use dwm_trace::analysis::ReuseProfile;
 use dwm_trace::kernels::Kernel;
@@ -148,11 +148,18 @@ COMMANDS:
                      need --out, not a shell pipe buffer)
   hash <trace>       canonical 128-bit workload fingerprint (the
                      solve-cache key used by `serve`)
-  place <trace> [--algorithm NAME] [--out FILE]
+  place <trace> [--algorithm NAME] [--topology T] [--out FILE]
                      compute a placement; report shifts vs naive
   sweep <trace>      compare the full algorithm suite
   eval <trace> <placement.json> [--ports N] [--tape-length L]
+       [--topology T]
                      evaluate a saved placement under a port layout
+  device info [--topology T] [--domains N] [--tracks N] [--ports N]
+       [--dbcs N]
+                     resolved track topology, port layout, and cost
+                     parameters as JSON. Topology grammar (everywhere
+                     --topology is accepted): linear | ring |
+                     grid2d:<rows>x<cols> | pirm[:<window>]
   spm <trace> [--dbcs K] [--words L]
                      multi-DBC scratchpad allocation comparison
   online <trace> [--window N] [--migration-cost N]
@@ -201,6 +208,7 @@ pub fn dispatch(args: &ParsedArgs) -> CommandResult {
         "place" => cmd_place(args),
         "sweep" => cmd_sweep(args),
         "eval" => cmd_eval(args),
+        "device" => cmd_device(args),
         "spm" => cmd_spm(args),
         "online" => cmd_online(args),
         "cache" => cmd_cache(args),
@@ -408,17 +416,27 @@ fn algorithm_by_name(name: &str) -> Result<Box<dyn PlacementAlgorithm>, CliError
 fn cmd_place(args: &ParsedArgs) -> CommandResult {
     let trace = load_trace(args, 0)?.normalize();
     let algorithm = algorithm_by_name(&args.opt_str("algorithm", "hybrid"))?;
+    let topology = topology_flag(args)?;
     let graph = AccessGraph::from_trace(&trace);
+    topology
+        .validate_for(graph.num_items())
+        .map_err(CliError::usage)?;
     let placement = algorithm.place(&graph);
-    let model = SinglePortCost::new();
+    // The linear single-port TopologyCost replays byte-identically to
+    // the legacy SinglePortCost, so default invocations are unchanged.
+    let model = TopologyCost::single_port(topology, graph.num_items());
     let naive = model
         .trace_cost(&Placement::identity(graph.num_items()), &trace)
         .stats
         .shifts;
     let tuned = model.trace_cost(&placement, &trace).stats.shifts;
+    let label = if topology.is_linear() {
+        algorithm.name()
+    } else {
+        format!("{} on {topology}", algorithm.name())
+    };
     let mut out = format!(
-        "{}: {naive} -> {tuned} shifts ({:.1}% reduction)\ntape order: {:?}",
-        algorithm.name(),
+        "{label}: {naive} -> {tuned} shifts ({:.1}% reduction)\ntape order: {:?}",
         100.0 * (naive as f64 - tuned as f64) / naive.max(1) as f64,
         placement.order(),
     );
@@ -485,14 +503,110 @@ fn cmd_eval(args: &ParsedArgs) -> CommandResult {
             trace.num_items()
         )));
     }
-    let model = MultiPortCost::evenly_spaced(ports, tape_length);
-    let report = model.trace_cost(&placement, &trace);
+    let topology = topology_flag(args)?;
+    topology
+        .validate_for(tape_length)
+        .map_err(CliError::usage)?;
+    // Linear keeps the legacy MultiPortCost (byte-identical report);
+    // other geometries route through the topology cost model.
+    let (name, report) = if topology.is_linear() {
+        let model = MultiPortCost::evenly_spaced(ports, tape_length);
+        (model.name(), model.trace_cost(&placement, &trace))
+    } else {
+        let model = TopologyCost::new(
+            topology,
+            PortLayout::evenly_spaced(ports, tape_length),
+            tape_length,
+        );
+        (model.name(), model.trace_cost(&placement, &trace))
+    };
     Ok(format!(
         "{} under {}: {}",
         trace.label(),
-        model.name(),
+        name,
         report.stats
     ))
+}
+
+/// Parses the `--topology` flag (`linear` when absent); the grammar is
+/// `linear | ring | grid2d:<rows>x<cols> | pirm[:<window>]`.
+fn topology_flag(args: &ParsedArgs) -> Result<Topology, CliError> {
+    Topology::parse(&args.opt_str("topology", "linear"))
+        .map_err(|e| CliError::usage(format!("--topology: {e}")))
+}
+
+fn cmd_device(args: &ParsedArgs) -> CommandResult {
+    match args.positional(0, "device subcommand ('info')")? {
+        "info" => cmd_device_info(args),
+        other => Err(CliError::usage(format!(
+            "unknown device subcommand {other:?} (expected 'info')"
+        ))),
+    }
+}
+
+/// `device info`: the resolved track topology, port layout, and cost
+/// parameters as one JSON object, so scripts and experiments can read
+/// the exact model a `--topology`/geometry flag combination denotes.
+fn cmd_device_info(args: &ParsedArgs) -> CommandResult {
+    use dwm_foundation::json::{Number, Object, Value};
+    let topology = topology_flag(args)?;
+    let config = DeviceConfig::builder()
+        .domains_per_track(args.opt_num("domains", 64)?)
+        .tracks_per_dbc(args.opt_num("tracks", 32)?)
+        .ports(args.opt_num("ports", 1)?)
+        .dbcs(args.opt_num("dbcs", 1)?)
+        .build()
+        .map_err(|e| CliError::usage(format!("invalid device config: {e}")))?;
+    topology
+        .validate_for(config.words_per_dbc())
+        .map_err(CliError::usage)?;
+
+    let num = |f: f64| Value::Num(Number::F(f));
+    let uint = |u: u64| Value::Num(Number::U(u));
+    let mut topo = Object::new();
+    topo.insert("kind", Value::Str(topology.kind().label().into()));
+    topo.insert("canonical", Value::Str(topology.canonical()));
+    topo.insert("shift_energy_weight", num(topology.shift_energy_weight()));
+    topo.insert("wear_weight", num(topology.wear_weight()));
+    let mut geometry = Object::new();
+    geometry.insert("domains_per_track", uint(config.domains_per_track() as u64));
+    geometry.insert("tracks_per_dbc", uint(config.tracks_per_dbc() as u64));
+    geometry.insert("words_per_dbc", uint(config.words_per_dbc() as u64));
+    geometry.insert("dbcs", uint(config.dbcs() as u64));
+    geometry.insert("capacity_words", uint(config.capacity_words() as u64));
+    geometry.insert("storage_efficiency", num(config.storage_efficiency()));
+    let mut ports = Object::new();
+    ports.insert("count", uint(config.port_layout().len() as u64));
+    ports.insert(
+        "positions",
+        Value::Arr(
+            config
+                .port_layout()
+                .positions()
+                .iter()
+                .map(|&p| uint(p as u64))
+                .collect(),
+        ),
+    );
+    let timing = config.timing();
+    let mut t = Object::new();
+    t.insert("shift_cycles", uint(timing.shift_cycles));
+    t.insert("read_cycles", uint(timing.read_cycles));
+    t.insert("write_cycles", uint(timing.write_cycles));
+    t.insert("clock_ns", num(timing.clock_ns));
+    let energy = config.energy();
+    let mut e = Object::new();
+    e.insert("shift_pj_per_track", num(energy.shift_pj_per_track));
+    e.insert("read_pj", num(energy.read_pj));
+    e.insert("write_pj", num(energy.write_pj));
+    e.insert("leakage_mw", num(energy.leakage_mw));
+    let mut body = Object::new();
+    body.insert("topology", Value::Obj(topo));
+    body.insert("geometry", Value::Obj(geometry));
+    body.insert("ports", Value::Obj(ports));
+    body.insert("timing", Value::Obj(t));
+    body.insert("energy", Value::Obj(e));
+    Ok(Value::Obj(body).to_pretty())
 }
 
 fn cmd_spm(args: &ParsedArgs) -> CommandResult {
@@ -922,6 +1036,79 @@ mod tests {
         assert!(out.starts_with("algorithm,shifts,reduction_percent"));
         assert!(out.lines().count() >= 9);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn place_accepts_a_topology_and_rejects_garbage() {
+        let path = temp_trace();
+        let default = run(&format!("place {}", path.display())).unwrap();
+        let linear = run(&format!("place {} --topology linear", path.display())).unwrap();
+        assert_eq!(default, linear, "explicit linear must change nothing");
+        let ring = run(&format!("place {} --topology ring", path.display())).unwrap();
+        assert!(ring.contains("hybrid on ring:"), "{ring}");
+        let bad = run(&format!("place {} --topology mobius", path.display())).unwrap_err();
+        assert_eq!(bad.code, CliError::USAGE);
+        // A grid too small for the item set is a usage error too.
+        let small = run(&format!("place {} --topology grid2d:2x2", path.display())).unwrap_err();
+        assert_eq!(small.code, CliError::USAGE);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eval_accepts_a_topology() {
+        let path = temp_trace();
+        let out_path = std::env::temp_dir().join(format!(
+            "dwmplace_topo_{}.placement.json",
+            std::process::id()
+        ));
+        run(&format!(
+            "place {} --out {}",
+            path.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        let ring = run(&format!(
+            "eval {} {} --ports 2 --tape-length 32 --topology ring",
+            path.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        assert!(ring.contains("ring@2-port"), "{ring}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn device_info_prints_the_resolved_model_as_json() {
+        let out = run("device info --topology grid2d:8x8 --ports 2").unwrap();
+        let value = dwm_foundation::json::parse(&out).unwrap();
+        let obj = value.as_object().unwrap();
+        let topo = obj.get("topology").unwrap().as_object().unwrap();
+        assert_eq!(topo.get("kind").unwrap().as_str(), Some("grid2d"));
+        assert_eq!(topo.get("canonical").unwrap().as_str(), Some("grid2d:8x8"));
+        let ports = obj.get("ports").unwrap().as_object().unwrap();
+        assert_eq!(
+            ports.get("count").unwrap().as_number().unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(ports.get("positions").unwrap().as_array().unwrap().len(), 2);
+        assert!(obj.get("energy").is_some());
+        assert!(obj.get("timing").is_some());
+        // pirm carries its 1.5x transverse energy weight.
+        let pirm = run("device info --topology pirm:4").unwrap();
+        assert!(pirm.contains("1.5"), "{pirm}");
+        // Misuse maps to the usage exit code.
+        assert_eq!(run("device").unwrap_err().code, CliError::USAGE);
+        assert_eq!(run("device frobnicate").unwrap_err().code, CliError::USAGE);
+        assert_eq!(
+            run("device info --topology mobius").unwrap_err().code,
+            CliError::USAGE
+        );
+        // A grid smaller than the track is refused up front.
+        assert_eq!(
+            run("device info --topology grid2d:2x2").unwrap_err().code,
+            CliError::USAGE
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! (cross-validation experiment V1).
 
 use dwm_device::shift::{nearest_port_plan, single_port_distance};
-use dwm_device::{PortLayout, ShiftStats, TypedPortLayout};
+use dwm_device::{
+    PortLayout, ShiftStats, Topology, TopologyReplayer, TrackTopology, TypedPortLayout,
+};
 use dwm_graph::AccessGraph;
 use dwm_trace::Trace;
 
@@ -197,6 +199,86 @@ impl CostModel for TypedPortCost {
     }
 }
 
+/// Topology-parametric cost model: replays a trace under any
+/// [`Topology`] (linear / ring / 2-D grid / PIRM) and port layout,
+/// using [`TopologyReplayer`] as the single source of truth for shift
+/// arithmetic.
+///
+/// With [`Topology::linear`] and [`PortLayout::single`] this reduces
+/// exactly to [`SinglePortCost`]; with a linear topology and any port
+/// layout it matches [`MultiPortCost`] (both verified by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyCost {
+    topology: Topology,
+    layout: PortLayout,
+    len: usize,
+}
+
+impl TopologyCost {
+    /// Model for the given topology, port layout, and track length
+    /// (`len` is the word count of the tape — ring and grid geometries
+    /// need it; linear ignores it).
+    pub fn new(topology: Topology, layout: PortLayout, len: usize) -> Self {
+        TopologyCost {
+            topology,
+            layout,
+            len,
+        }
+    }
+
+    /// Single-port convenience over `len` words.
+    pub fn single_port(topology: Topology, len: usize) -> Self {
+        TopologyCost::new(topology, PortLayout::single(), len)
+    }
+
+    /// The topology this model replays against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The port layout this model replays against.
+    pub fn layout(&self) -> &PortLayout {
+        &self.layout
+    }
+
+    /// Steady-state graph cost: sum over access-graph edges of
+    /// `weight × shift_distance(pos(u), pos(v))` under this topology.
+    ///
+    /// For a linear single-port tape this equals
+    /// [`AccessGraph::arrangement_cost`] — the minimum-linear-arrangement
+    /// objective; other topologies substitute their own distance metric
+    /// (circular for ring, Manhattan-weighted for grids, windowed for
+    /// PIRM).
+    pub fn graph_cost(&self, placement: &Placement, graph: &AccessGraph) -> u64 {
+        let pos = placement.offsets();
+        graph
+            .edges()
+            .map(|e| {
+                e.weight
+                    * self
+                        .topology
+                        .shift_distance(&self.layout, self.len, pos[e.u], pos[e.v])
+            })
+            .sum()
+    }
+}
+
+impl CostModel for TopologyCost {
+    fn name(&self) -> String {
+        format!("{}@{}-port", self.topology.canonical(), self.layout.len())
+    }
+
+    fn trace_cost(&self, placement: &Placement, trace: &Trace) -> CostReport {
+        let mut stats = ShiftStats::new();
+        let mut replayer = TopologyReplayer::new(&self.topology, &self.layout, self.len);
+        for a in trace.iter() {
+            let offset = placement.offset_of_id(a.item);
+            stats.record(replayer.access(offset), a.kind.is_write());
+        }
+        CostReport { stats }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,11 +402,80 @@ mod tests {
     }
 
     #[test]
+    fn topology_linear_single_port_matches_single_port_cost() {
+        let t = trace();
+        let g = AccessGraph::from_trace(&t);
+        for p in [Placement::identity(4), Placement::from_order([3, 1, 0, 2])] {
+            let legacy = SinglePortCost::new();
+            let topo = TopologyCost::single_port(Topology::linear(), 4);
+            assert_eq!(
+                legacy.trace_cost(&p, &t).stats,
+                topo.trace_cost(&p, &t).stats
+            );
+            assert_eq!(legacy.graph_cost(&p, &g), topo.graph_cost(&p, &g));
+            assert_eq!(topo.graph_cost(&p, &g), g.arrangement_cost(p.offsets()));
+        }
+    }
+
+    #[test]
+    fn topology_linear_multi_port_matches_multi_port_cost() {
+        let ids: Vec<u32> = (0..16).flat_map(|_| [0u32, 63, 17, 40]).collect();
+        let t = Trace::from_ids(ids);
+        let p = Placement::identity(64);
+        let layout = PortLayout::evenly_spaced(4, 64);
+        let legacy = MultiPortCost::new(layout.clone());
+        let topo = TopologyCost::new(Topology::linear(), layout, 64);
+        assert_eq!(
+            legacy.trace_cost(&p, &t).stats,
+            topo.trace_cost(&p, &t).stats
+        );
+    }
+
+    #[test]
+    fn ring_never_costs_more_than_linear() {
+        let ids: Vec<u32> = (0..32).flat_map(|_| [0u32, 63]).collect();
+        let t = Trace::from_ids(ids);
+        let p = Placement::identity(64);
+        let linear = TopologyCost::single_port(Topology::linear(), 64);
+        let ring = TopologyCost::single_port(Topology::parse("ring").unwrap(), 64);
+        let (ls, rs) = (
+            linear.trace_cost(&p, &t).stats.shifts,
+            ring.trace_cost(&p, &t).stats.shifts,
+        );
+        // End-to-end ping-pong: the ring wraps in 1 step, linear pays 63.
+        assert!(rs < ls, "ring {rs} vs linear {ls}");
+    }
+
+    #[test]
+    fn topologies_produce_distinct_graph_costs() {
+        let ids: Vec<u32> = (0..8)
+            .flat_map(|k| [k as u32, ((k * 7) % 64) as u32])
+            .collect();
+        let t = Trace::from_ids(ids);
+        let g = AccessGraph::from_trace(&t);
+        let p = Placement::identity(64);
+        let costs: Vec<u64> = ["linear", "ring", "grid2d:8x8", "pirm:4"]
+            .iter()
+            .map(|s| TopologyCost::single_port(Topology::parse(s).unwrap(), 64).graph_cost(&p, &g))
+            .collect();
+        // All four geometries price the same placement differently.
+        for i in 0..costs.len() {
+            for j in (i + 1)..costs.len() {
+                assert_ne!(costs[i], costs[j], "{i} vs {j}: {costs:?}");
+            }
+        }
+    }
+
+    #[test]
     fn models_are_object_safe() {
         let models: Vec<Box<dyn CostModel>> = vec![
             Box::new(SinglePortCost::new()),
             Box::new(MultiPortCost::evenly_spaced(2, 8)),
             Box::new(TypedPortCost::new(TypedPortLayout::evenly_spaced(2, 1, 8))),
+            Box::new(TopologyCost::single_port(
+                Topology::parse("ring").unwrap(),
+                8,
+            )),
         ];
         let t = Trace::from_ids([0u32, 1, 2]);
         let p = Placement::identity(3);

@@ -63,7 +63,7 @@ pub use algorithms::{
     Spectral, TraceRefiner, WindowedDp,
 };
 pub use anytime::{AnytimeOutcome, AnytimePlacement, AnytimeSolver, Quality, Tier, TierPlan};
-pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
+pub use cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TopologyCost, TypedPortCost};
 pub use error::PlacementError;
 pub use placement::Placement;
 
@@ -91,7 +91,9 @@ pub mod prelude {
     pub use crate::anytime::{
         plan as plan_tier, AnytimeOutcome, AnytimePlacement, AnytimeSolver, Quality, Tier, TierPlan,
     };
-    pub use crate::cost::{CostModel, CostReport, MultiPortCost, SinglePortCost, TypedPortCost};
+    pub use crate::cost::{
+        CostModel, CostReport, MultiPortCost, SinglePortCost, TopologyCost, TypedPortCost,
+    };
     pub use crate::exact::optimal_placement;
     pub use crate::exact_bb::branch_and_bound_placement;
     pub use crate::online::{

@@ -24,11 +24,12 @@
 //! (phases lasting many windows), and the integration tests pin down
 //! both behaviours.
 
+use dwm_device::Topology;
 use dwm_graph::AccessGraph;
 use dwm_trace::Trace;
 
 use crate::algorithms::{Hybrid, PlacementAlgorithm};
-use crate::cost::{CostModel, SinglePortCost};
+use crate::cost::{CostModel, TopologyCost};
 use crate::placement::Placement;
 
 /// Tuning and cost parameters for online placement.
@@ -46,6 +47,10 @@ pub struct OnlineConfig {
     pub hysteresis: f64,
     /// Number of future windows the saving is assumed to persist for.
     pub horizon_windows: u64,
+    /// Track topology the tape is replayed (and the decision rule
+    /// costed) under. The default [`Topology::linear`] reproduces the
+    /// legacy behaviour byte for byte.
+    pub topology: Topology,
 }
 
 impl Default for OnlineConfig {
@@ -55,6 +60,7 @@ impl Default for OnlineConfig {
             migration_shifts_per_item: 64,
             hysteresis: 1.0,
             horizon_windows: 4,
+            topology: Topology::linear(),
         }
     }
 }
@@ -247,7 +253,10 @@ impl OnlinePlacer {
     /// replays over many settings).
     pub fn run_profiles(&self, n: usize, profiles: &WindowProfiles) -> OnlineReport {
         let mut placement = Placement::identity(n);
-        let model = SinglePortCost::new();
+        // Linear single-port TopologyCost replays byte-identically to
+        // the legacy SinglePortCost (a pinned cost-model invariant), so
+        // one model serves every topology.
+        let model = TopologyCost::single_port(self.config.topology, n);
 
         let mut access_shifts = 0u64;
         let mut migration_shifts = 0u64;
@@ -304,8 +313,18 @@ impl OnlinePlacer {
     ) -> Decision {
         let n = window_graph.num_items();
         let candidate = solver.place(window_graph);
-        let current_cost = window_graph.arrangement_cost(placement.offsets());
-        let candidate_cost = window_graph.arrangement_cost(candidate.offsets());
+        let (current_cost, candidate_cost) = if self.config.topology.is_linear() {
+            (
+                window_graph.arrangement_cost(placement.offsets()),
+                window_graph.arrangement_cost(candidate.offsets()),
+            )
+        } else {
+            let model = TopologyCost::single_port(self.config.topology, n);
+            (
+                model.graph_cost(placement, window_graph),
+                model.graph_cost(&candidate, window_graph),
+            )
+        };
         let items_moved: u64 = (0..n)
             .filter(|&i| placement.offset_of(i) != candidate.offset_of(i))
             .count() as u64;
@@ -329,6 +348,7 @@ impl OnlinePlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::SinglePortCost;
     use dwm_trace::synth::{MarkovGen, TraceGenerator, UniformGen};
 
     /// Two-phase workload: hot pairs move between phases. Ids are kept
@@ -458,6 +478,7 @@ mod tests {
                 migration_shifts_per_item,
                 hysteresis: 1.0,
                 horizon_windows: moved,
+                ..OnlineConfig::default()
             })
             .run(&trace)
         };
@@ -570,6 +591,33 @@ mod tests {
             });
             assert_eq!(placer.run_profiles(n, &profiles), placer.run(&trace));
         }
+    }
+
+    /// A ring topology wraps end-to-end ping-pong in one step, so the
+    /// same workload costs far fewer access shifts than under the
+    /// default linear tape; the default config stays byte-identical to
+    /// the legacy (linear) behaviour.
+    #[test]
+    fn ring_topology_cheapens_wraparound_workloads() {
+        let ids: Vec<u32> = (0..2000).map(|i| [0u32, 30][i % 2]).collect();
+        let trace = Trace::from_ids(ids);
+        let base = OnlineConfig {
+            window: 500,
+            migration_shifts_per_item: 8,
+            ..OnlineConfig::default()
+        };
+        let linear = OnlinePlacer::new(base).run(&trace);
+        let ring = OnlinePlacer::new(OnlineConfig {
+            topology: Topology::parse("ring").unwrap(),
+            ..base
+        })
+        .run(&trace);
+        assert!(
+            ring.total_shifts() < linear.total_shifts(),
+            "ring {} vs linear {}",
+            ring.total_shifts(),
+            linear.total_shifts()
+        );
     }
 
     /// On a workload whose hot pair churns every single window, the

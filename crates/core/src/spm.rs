@@ -6,8 +6,7 @@
 //! [`PlacementAlgorithm`], and the resulting [`SpmLayout`] is evaluated
 //! by replaying the trace with one displacement state per DBC.
 
-use dwm_device::shift::nearest_port_plan;
-use dwm_device::{PortLayout, ShiftStats};
+use dwm_device::{PortLayout, ShiftStats, Topology, TopologyReplayer};
 use dwm_graph::AccessGraph;
 use dwm_trace::Trace;
 
@@ -69,16 +68,34 @@ impl SpmLayout {
     ///
     /// Panics if the trace references an item not in the layout.
     pub fn trace_cost(&self, trace: &Trace, ports: &PortLayout) -> (ShiftStats, Vec<ShiftStats>) {
-        let mut displacement = vec![0i64; self.dbcs];
+        self.trace_cost_with(trace, ports, &Topology::linear())
+    }
+
+    /// Like [`trace_cost`](Self::trace_cost) but replaying each DBC's
+    /// tape under an arbitrary [`Topology`] (the track length seen by
+    /// the topology is [`words_per_dbc`](Self::words_per_dbc)). With
+    /// [`Topology::linear`] this is byte-identical to `trace_cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references an item not in the layout.
+    pub fn trace_cost_with(
+        &self,
+        trace: &Trace,
+        ports: &PortLayout,
+        topology: &Topology,
+    ) -> (ShiftStats, Vec<ShiftStats>) {
+        let mut tapes: Vec<TopologyReplayer<'_>> = (0..self.dbcs)
+            .map(|_| TopologyReplayer::new(topology, ports, self.words_per_dbc))
+            .collect();
         let mut per_dbc = vec![ShiftStats::new(); self.dbcs];
         let mut total = ShiftStats::new();
         for a in trace.iter() {
             let item = a.item.index();
             let dbc = self.dbc_of[item];
-            let plan = nearest_port_plan(ports, displacement[dbc], self.offset_of[item]);
-            displacement[dbc] = plan.displacement;
-            per_dbc[dbc].record(plan.distance, a.kind.is_write());
-            total.record(plan.distance, a.kind.is_write());
+            let distance = tapes[dbc].access(self.offset_of[item]);
+            per_dbc[dbc].record(distance, a.kind.is_write());
+            total.record(distance, a.kind.is_write());
         }
         (total, per_dbc)
     }
@@ -315,6 +332,23 @@ mod tests {
         assert_eq!(total.shifts, sum);
         let accesses: u64 = per_dbc.iter().map(|s| s.accesses()).sum();
         assert_eq!(total.accesses(), accesses);
+    }
+
+    #[test]
+    fn trace_cost_with_linear_matches_legacy_and_ring_differs() {
+        let (t, _g) = setup();
+        let layout = SpmAllocator::new(4, 16)
+            .allocate(&t, &GroupedChainGrowth)
+            .unwrap();
+        let ports = PortLayout::single();
+        let (legacy, legacy_per) = layout.trace_cost(&t, &ports);
+        let (linear, linear_per) = layout.trace_cost_with(&t, &ports, &Topology::linear());
+        assert_eq!(legacy, linear);
+        assert_eq!(legacy_per, linear_per);
+        let ring = Topology::parse("ring").unwrap();
+        let (ring_stats, _) = layout.trace_cost_with(&t, &ports, &ring);
+        assert!(ring_stats.shifts <= legacy.shifts);
+        assert_eq!(ring_stats.accesses(), legacy.accesses());
     }
 
     #[test]

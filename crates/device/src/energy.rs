@@ -1,5 +1,6 @@
 use crate::config::DeviceConfig;
 use crate::stats::ShiftStats;
+use crate::topology::{Topology, TrackTopology};
 
 /// Energy breakdown of a replayed workload, in picojoules.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -87,13 +88,27 @@ impl AccessLatency {
 #[derive(Debug, Clone)]
 pub struct CostProjection {
     config: DeviceConfig,
+    /// Energy premium per shift step from the track topology (1.0 for
+    /// linear — the legacy projection, byte-identical).
+    shift_energy_weight: f64,
 }
 
 impl CostProjection {
-    /// Creates a projection for the given device.
+    /// Creates a projection for the given device (linear topology).
     pub fn new(config: &DeviceConfig) -> Self {
         CostProjection {
             config: config.clone(),
+            shift_energy_weight: 1.0,
+        }
+    }
+
+    /// Creates a projection whose shift energy carries the topology's
+    /// per-step weight (see [`TrackTopology::shift_energy_weight`]).
+    /// With [`Topology::linear`] this is identical to [`new`](Self::new).
+    pub fn with_topology(config: &DeviceConfig, topology: &Topology) -> Self {
+        CostProjection {
+            config: config.clone(),
+            shift_energy_weight: topology.shift_energy_weight(),
         }
     }
 
@@ -120,7 +135,7 @@ impl CostProjection {
         let w = self.config.tracks_per_dbc() as f64;
         let latency_ns = self.latency(stats).total_ns(self.config.timing().clock_ns);
         AccessEnergy {
-            shift_pj: stats.shifts as f64 * w * e.shift_pj_per_track,
+            shift_pj: stats.shifts as f64 * w * e.shift_pj_per_track * self.shift_energy_weight,
             read_pj: stats.reads as f64 * e.read_pj,
             write_pj: stats.writes as f64 * e.write_pj,
             // mW × ns = pJ.
@@ -167,6 +182,22 @@ mod tests {
         let high = p.energy(&stats(1000, 50, 50)).total_pj();
         let low = p.energy(&stats(100, 50, 50)).total_pj();
         assert!(low < high);
+    }
+
+    #[test]
+    fn topology_weight_scales_shift_energy_only() {
+        let config = DeviceConfig::default();
+        let mut s = stats(100, 10, 5);
+        s.max_shift = 9;
+        let linear = CostProjection::with_topology(&config, &Topology::linear());
+        let pirm = CostProjection::with_topology(&config, &Topology::parse("pirm:4").unwrap());
+        // Linear topology is byte-identical to the legacy projection.
+        assert_eq!(linear.energy(&s), CostProjection::new(&config).energy(&s));
+        let (le, pe) = (linear.energy(&s), pirm.energy(&s));
+        assert!((pe.shift_pj - le.shift_pj * 1.5).abs() < 1e-9);
+        assert_eq!(pe.read_pj, le.read_pj);
+        assert_eq!(pe.write_pj, le.write_pj);
+        assert_eq!(pirm.latency(&s), linear.latency(&s));
     }
 
     #[test]

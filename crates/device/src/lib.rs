@@ -56,6 +56,7 @@ pub mod fault;
 mod port;
 pub mod shift;
 mod stats;
+pub mod topology;
 mod track;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder, EnergyConfig, TimingConfig};
@@ -65,12 +66,16 @@ pub use error::DeviceError;
 pub use fault::{FaultInjector, ShiftFaultModel};
 pub use port::{PortCapability, PortId, PortLayout, TypedPortLayout};
 pub use stats::ShiftStats;
+pub use topology::{
+    TapeState, Topology, TopologyKind, TopologyPlan, TopologyReplayer, TrackTopology,
+};
 pub use track::Track;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
         AccessEnergy, AccessLatency, CostProjection, Dbc, DeviceConfig, DeviceError, FaultInjector,
-        PortCapability, PortId, PortLayout, ShiftFaultModel, ShiftStats, Track, TypedPortLayout,
+        PortCapability, PortId, PortLayout, ShiftFaultModel, ShiftStats, TapeState, Topology,
+        TopologyKind, TopologyPlan, TopologyReplayer, Track, TrackTopology, TypedPortLayout,
     };
 }

@@ -1,13 +1,16 @@
 //! Pure shift-distance arithmetic shared by the analytic cost models
 //! and the functional simulator.
 //!
-//! These functions are the single source of truth for "how many shifts
-//! does moving the tape from state A to serve access B take". Keeping
-//! them here (with no state of their own) lets `dwm-core`'s evaluators
-//! and `dwm-sim`'s replay agree exactly — an invariant checked by the
-//! cross-validation integration test.
+//! Since the topology subsystem landed, the single source of truth for
+//! "how many shifts does moving the tape from state A to serve access B
+//! take" is [`crate::topology`]; these functions are the *linear* fast
+//! path and delegate to [`topology::Linear`](crate::topology::Linear).
+//! Keeping the thin wrappers (with no state of their own) lets
+//! `dwm-core`'s evaluators and `dwm-sim`'s replay agree exactly — an
+//! invariant checked by the cross-validation integration test.
 
 use crate::port::{PortId, PortLayout};
+use crate::topology::{Linear, TapeState, TrackTopology};
 
 /// Shift distance between two word offsets on a single-port tape whose
 /// state is "offset currently under the port".
@@ -58,11 +61,19 @@ pub struct ShiftPlan {
 /// assert_eq!(plan.distance, 2);
 /// ```
 pub fn nearest_port_plan(ports: &PortLayout, displacement: i64, offset: usize) -> ShiftPlan {
-    let (port, distance) = ports.nearest_port(offset, displacement);
+    let plan = Linear.plan(
+        ports,
+        0, // the linear plan never reads the track length
+        TapeState {
+            longitudinal: displacement,
+            transverse: 0,
+        },
+        offset,
+    );
     ShiftPlan {
-        port,
-        distance,
-        displacement: ports.required_displacement(offset, port),
+        port: plan.port,
+        distance: plan.distance,
+        displacement: plan.state.longitudinal,
     }
 }
 

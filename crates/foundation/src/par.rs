@@ -46,7 +46,6 @@
 //! arrived.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -180,13 +179,38 @@ struct LaneShared {
     executed: AtomicU64,
 }
 
+struct LaneJob {
+    /// Scheduling priority: highest weight runs first.
+    weight: u64,
+    /// Submission sequence number: FIFO tie-break within a weight.
+    seq: u64,
+    job: Box<dyn FnOnce() + Send>,
+}
+
 struct LaneQueue {
-    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    jobs: Vec<LaneJob>,
+    next_seq: u64,
     running: bool,
 }
 
+impl LaneQueue {
+    /// Removes and returns the highest-priority job: maximum weight,
+    /// ties broken by submission order (lowest sequence first), so an
+    /// all-equal-weight queue drains exactly FIFO.
+    fn pop_best(&mut self) -> Option<Box<dyn FnOnce() + Send>> {
+        let best = self
+            .jobs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, j)| (j.weight, std::cmp::Reverse(j.seq)))
+            .map(|(i, _)| i)?;
+        Some(self.jobs.remove(best).job)
+    }
+}
+
 /// An idle-priority background lane: one dedicated worker draining a
-/// FIFO of jobs, each run **sequentially** (thread-local override
+/// weighted queue of jobs (highest weight first, FIFO within a
+/// weight), each run **sequentially** (thread-local override
 /// pinned to 1) and only started while no [`enter_foreground`] section
 /// is in flight.
 ///
@@ -222,7 +246,8 @@ impl IdleLane {
     pub fn new() -> Self {
         let shared = Arc::new(LaneShared {
             queue: Mutex::new(LaneQueue {
-                jobs: VecDeque::new(),
+                jobs: Vec::new(),
+                next_seq: 0,
                 running: false,
             }),
             cv: Condvar::new(),
@@ -248,7 +273,7 @@ impl IdleLane {
                     if shared.closed.load(Ordering::SeqCst) {
                         return;
                     }
-                    if let Some(job) = q.jobs.pop_front() {
+                    if let Some(job) = q.pop_best() {
                         q.running = true;
                         break job;
                     }
@@ -281,14 +306,31 @@ impl IdleLane {
         }
     }
 
-    /// Enqueues a job. Jobs run in submission order, one at a time.
-    /// Jobs submitted after shutdown began are dropped.
+    /// Enqueues a job at the baseline priority (weight 0). Equal-weight
+    /// jobs run in submission order, one at a time. Jobs submitted
+    /// after shutdown began are dropped.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.submit_weighted(0, job);
+    }
+
+    /// Enqueues a job with an explicit scheduling weight: the queued
+    /// job with the **highest** weight runs next, ties broken FIFO.
+    /// The weight orders only *queued* jobs — a running job is never
+    /// preempted. `dwm-serve` passes the solve-cache hit count here so
+    /// the hottest fingerprints upgrade first. Jobs submitted after
+    /// shutdown began are dropped.
+    pub fn submit_weighted<F: FnOnce() + Send + 'static>(&self, weight: u64, job: F) {
         if self.shared.closed.load(Ordering::SeqCst) {
             return;
         }
         let mut q = self.shared.queue.lock().expect("lane queue poisoned");
-        q.jobs.push_back(Box::new(job));
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.jobs.push(LaneJob {
+            weight,
+            seq,
+            job: Box::new(job),
+        });
         drop(q);
         self.shared.cv.notify_all();
     }
@@ -815,6 +857,27 @@ mod tests {
         drop(fg);
         assert!(lane.wait_idle(Duration::from_secs(10)));
         assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn idle_lane_drains_hotter_jobs_before_colder_ones() {
+        // Weight ordering applies to *queued* jobs, so hold the lane
+        // with a foreground section while everything is submitted.
+        let _l = LOCK.lock().unwrap();
+        let lane = IdleLane::new();
+        let fg = enter_foreground();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (weight, name) in [(1, "cold"), (5, "hot"), (5, "hot-later"), (0, "coldest")] {
+            let log = Arc::clone(&log);
+            lane.submit_weighted(weight, move || log.lock().unwrap().push(name));
+        }
+        drop(fg);
+        assert!(lane.wait_idle(Duration::from_secs(10)));
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["hot", "hot-later", "cold", "coldest"],
+            "highest weight first, FIFO within a weight"
+        );
     }
 
     #[test]

@@ -132,6 +132,42 @@ pub fn fingerprint(graph: &AccessGraph) -> Fingerprint {
     fingerprint_csr(&CsrGraph::freeze(graph), graph.frequencies())
 }
 
+/// Fingerprints a graph *under a track topology*: the same adjacency
+/// structure solved for different geometries is a different placement
+/// problem, so cache keys must not alias across topologies.
+///
+/// `topology` is the canonical parameter string (`"linear"`,
+/// `"ring"`, `"grid2d:4x16"`, `"pirm:4"` — see the topology subsystem
+/// in `dwm-device`; this crate takes the string so it stays
+/// device-agnostic). The linear topology is the identity: its
+/// fingerprint equals [`fingerprint`], preserving every persisted cache
+/// key and pinned hash from before topologies existed. Any other
+/// canonical string remixes the base fingerprint with the string's
+/// bytes, so distinct topologies (and distinct parameters of the same
+/// topology) get distinct identities.
+pub fn fingerprint_topology(graph: &AccessGraph, topology: &str) -> Fingerprint {
+    fingerprint_retag(fingerprint(graph), topology)
+}
+
+/// The remix step of [`fingerprint_topology`], for callers that already
+/// hold a base fingerprint (e.g. the incrementally maintained graphs in
+/// `dwm-serve` sessions). `"linear"` is the identity.
+pub fn fingerprint_retag(base: Fingerprint, topology: &str) -> Fingerprint {
+    if topology == "linear" {
+        return base;
+    }
+    let mut lanes = Lanes::new();
+    lanes.feed(base.hi);
+    lanes.feed(base.lo);
+    lanes.feed(0x544F_504F_4C4F_4759); // section separator ("TOPOLOGY")
+    for chunk in topology.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        lanes.feed(u64::from_le_bytes(word));
+    }
+    lanes.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +235,38 @@ mod tests {
         let trace = ZipfGen::new(16, 7).generate(500).normalize();
         let fp = fingerprint(&AccessGraph::from_trace(&trace));
         assert_eq!(fp.to_hex(), "d711d2669b304ba39425ee4d803d5b8c");
+    }
+
+    #[test]
+    fn linear_topology_fingerprint_is_the_identity() {
+        let g = graph_of(&[0, 1, 0, 2, 1, 2]);
+        assert_eq!(fingerprint_topology(&g, "linear"), fingerprint(&g));
+    }
+
+    #[test]
+    fn topologies_never_alias_each_other_or_the_base() {
+        let g = graph_of(&[0, 1, 0, 2, 1, 2]);
+        let tags = ["ring", "grid2d:4x16", "grid2d:8x8", "pirm:4", "pirm:8"];
+        let mut fps: Vec<Fingerprint> = vec![fingerprint(&g)];
+        for t in tags {
+            fps.push(fingerprint_topology(&g, t));
+        }
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "alias between entry {i} and {j}");
+            }
+        }
+        // Deterministic: same graph + tag, same identity.
+        assert_eq!(
+            fingerprint_topology(&g, "ring"),
+            fingerprint_topology(&g, "ring")
+        );
+        // Still sensitive to the graph.
+        let other = graph_of(&[0, 1, 0, 2, 1, 2, 1]);
+        assert_ne!(
+            fingerprint_topology(&g, "ring"),
+            fingerprint_topology(&other, "ring")
+        );
     }
 
     #[test]

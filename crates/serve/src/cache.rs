@@ -82,6 +82,9 @@ impl CacheRecord {
 struct Entry {
     record: CacheRecord,
     last_used: u64,
+    /// Lookups that found this entry, since it was (re)inserted. Feeds
+    /// the upgrade lane's priority: hot fingerprints upgrade first.
+    hits: u64,
 }
 
 #[derive(Default)]
@@ -164,6 +167,7 @@ impl SolveCache {
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
+                entry.hits += 1;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.record.clone())
             }
@@ -172,6 +176,18 @@ impl SolveCache {
                 None
             }
         }
+    }
+
+    /// Lookups that have hit `key` since it was (re)inserted — the
+    /// demand signal the background upgrade lane orders its queue by.
+    /// Does not touch the LRU position or the hit/miss counters; 0 for
+    /// absent keys.
+    pub fn hit_count(&self, key: &CacheKey) -> u64 {
+        if self.per_shard_capacity == 0 {
+            return 0;
+        }
+        let shard = self.shard_of(key).lock().unwrap();
+        shard.map.get(key).map_or(0, |e| e.hits)
     }
 
     /// Memoizes a solve record, evicting the least-recently-used entry
@@ -199,6 +215,7 @@ impl SolveCache {
             Entry {
                 record,
                 last_used: tick,
+                hits: 0,
             },
         );
     }
@@ -374,6 +391,27 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.upgrades_applied, 1);
         assert_eq!(stats.upgrades_discarded, 2);
+    }
+
+    #[test]
+    fn hit_count_tracks_lookups_without_spending_them() {
+        let cache = SolveCache::new(64);
+        let k = key(4, "hybrid", 0);
+        assert_eq!(cache.hit_count(&k), 0); // absent key
+        cache.insert(k.clone(), rec(1, 10));
+        assert_eq!(cache.hit_count(&k), 0); // fresh entry
+        cache.get(&k);
+        cache.get(&k);
+        cache.get(&k);
+        assert_eq!(cache.hit_count(&k), 3);
+        // Reading the count is not itself a hit.
+        assert_eq!(cache.hit_count(&k), 3);
+        assert_eq!(cache.stats().hits, 3);
+        // Re-insertion resets the demand signal.
+        cache.insert(k.clone(), rec(2, 10));
+        assert_eq!(cache.hit_count(&k), 0);
+        // Disabled cache always answers 0.
+        assert_eq!(SolveCache::new(0).hit_count(&k), 0);
     }
 
     #[test]

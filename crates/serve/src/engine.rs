@@ -10,7 +10,9 @@
 //! 1. Each workload's id sequence is canonicalized
 //!    (`Trace::normalize`) and condensed to its access graph — the
 //!    exact structure every placement algorithm consumes.
-//! 2. The graph is hashed with [`fn@dwm_graph::fingerprint`]; the
+//! 2. The graph is hashed with [`fn@dwm_graph::fingerprint`], with the
+//!    request's track topology folded in (the identity for linear —
+//!    see [`fn@dwm_graph::fingerprint_topology`]); the
 //!    `(fingerprint, algorithm, seed)` triple keys the
 //!    [`SolveCache`].
 //! 3. Cache misses within one request are batched onto the
@@ -55,20 +57,20 @@ use std::time::{Duration, Instant};
 
 use dwm_core::algorithms::standard_suite;
 use dwm_core::anytime::{self, AnytimeOutcome, AnytimeSolver, Quality, Tier, TierPlan};
-use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, SinglePortCost};
-use dwm_device::DeviceConfig;
+use dwm_core::{CostModel, MultiPortCost, Placement, PlacementAlgorithm, TopologyCost};
+use dwm_device::{DeviceConfig, Topology, TopologyKind, TrackTopology};
 use dwm_foundation::json::{Number, Object, ToJson, Value};
 use dwm_foundation::net::{Request, Response};
 use dwm_foundation::obs::{self, FnKind};
 use dwm_foundation::par;
-use dwm_graph::{fingerprint, AccessGraph};
+use dwm_graph::{fingerprint, fingerprint_topology, AccessGraph};
 use dwm_sim::SpmSimulator;
 use dwm_trace::Trace;
 
 use crate::cache::{CacheKey, CacheRecord, SolveCache};
 use crate::protocol::{
     error_body, opt_f64, opt_str, opt_u64, parse_body, parse_ids, parse_session_knobs,
-    parse_tier_knobs, parse_usize_array, parse_workloads, ProtocolError, TierKnobs,
+    parse_tier_knobs, parse_topology, parse_usize_array, parse_workloads, ProtocolError, TierKnobs,
 };
 use crate::session::{SessionConfig, SessionState, SessionTable};
 
@@ -129,6 +131,7 @@ pub struct Engine {
     session_closes: Arc<obs::Counter>,
     errors: Arc<obs::Counter>,
     tier_solves: [Arc<obs::Counter>; 4],
+    topology_solves: [Arc<obs::Counter>; 4],
     upgrades_enqueued: Arc<obs::Counter>,
     deadline_met: Arc<obs::Counter>,
     deadline_missed: Arc<obs::Counter>,
@@ -178,6 +181,13 @@ impl Engine {
                 "Foreground tiered solves per tier (cache misses only)",
             )
         };
+        let topology_counter = |kind: TopologyKind| {
+            registry.counter_with(
+                "dwm_serve_topology_solves_total",
+                &[("topology", kind.label())],
+                "Workloads solved per track topology (hits and misses)",
+            )
+        };
         let engine = Engine {
             requests: registry.counter(
                 "dwm_serve_requests_total",
@@ -200,6 +210,8 @@ impl Engine {
                 tier_counter("2"),
                 tier_counter("3"),
             ],
+            // Indexed by `TopologyKind::index()` (stable label order).
+            topology_solves: TopologyKind::ALL.map(topology_counter),
             upgrades_enqueued: registry.counter(
                 "dwm_serve_upgrades_enqueued_total",
                 "Background tier-2 upgrades submitted to the idle lane",
@@ -521,6 +533,11 @@ impl Engine {
             tiers.insert(format!("tier{i}"), count(counter));
         }
         obj.insert("tiers", Value::Obj(tiers));
+        let mut topo = Object::new();
+        for (kind, counter) in TopologyKind::ALL.iter().zip(&self.topology_solves) {
+            topo.insert(kind.label(), count(counter));
+        }
+        obj.insert("topologies", Value::Obj(topo));
         let mut u = Object::new();
         u.insert("enqueued", count(&self.upgrades_enqueued));
         u.insert("applied", Value::Num(Number::U(cache.upgrades_applied)));
@@ -555,6 +572,7 @@ impl Engine {
         }
         let algorithm = opt_str(&obj, "algorithm", "hybrid")?;
         let seed = opt_u64(&obj, "seed", 1)?;
+        let topology = parse_topology(&obj)?;
         if resolve_algorithm(&algorithm, seed).is_none() {
             return Err(ProtocolError::bad_request(format!(
                 "unknown algorithm {algorithm:?}; expected one of {}",
@@ -563,15 +581,22 @@ impl Engine {
         }
         let workloads = parse_workloads(&obj)?;
 
-        // Canonicalize every workload and consult the cache.
+        // Canonicalize every workload and consult the cache. The
+        // topology is folded into the fingerprint (the identity for
+        // linear), so the same adjacency structure solved for two
+        // geometries never shares a cache record.
         let mut labels = Vec::with_capacity(workloads.len());
         let mut results: Vec<Option<Arc<Value>>> = Vec::with_capacity(workloads.len());
         let mut misses: Vec<(usize, CacheKey, AccessGraph)> = Vec::new();
         for (i, ids) in workloads.iter().enumerate() {
             let trace = Trace::from_ids(ids.iter().copied()).normalize();
             let graph = AccessGraph::from_trace(&trace);
+            topology
+                .validate_for(graph.num_items())
+                .map_err(|e| ProtocolError::bad_request(format!("workload {i}: {e}")))?;
+            self.topology_solves[topology.kind().index()].inc_always();
             let key = CacheKey {
-                fingerprint: fingerprint(&graph),
+                fingerprint: fingerprint_topology(&graph, &topology.canonical()),
                 algorithm: algorithm.clone(),
                 seed,
             };
@@ -594,7 +619,7 @@ impl Engine {
         let solved = par::par_map(&misses, |(_, key, graph)| {
             let algo =
                 resolve_algorithm(&key.algorithm, key.seed).expect("algorithm validated above");
-            let (value, cost) = solve_result(graph, key, algo.as_ref());
+            let (value, cost) = solve_result(graph, key, algo.as_ref(), &topology);
             (Arc::new(value), cost)
         });
         for ((slot, key, _), (value, cost)) in misses.into_iter().zip(solved) {
@@ -630,6 +655,7 @@ impl Engine {
     fn solve_tiered(&self, obj: &Object, knobs: TierKnobs) -> Result<Response, ProtocolError> {
         let started = Instant::now();
         let seed = opt_u64(obj, "seed", 1)?;
+        let topology = parse_topology(obj)?;
         let workloads = parse_workloads(obj)?;
 
         let mut labels: Vec<Option<Value>> = Vec::with_capacity(workloads.len());
@@ -638,6 +664,10 @@ impl Engine {
         for (i, ids) in workloads.iter().enumerate() {
             let trace = Trace::from_ids(ids.iter().copied()).normalize();
             let graph = AccessGraph::from_trace(&trace);
+            topology
+                .validate_for(graph.num_items())
+                .map_err(|e| ProtocolError::bad_request(format!("workload {i}: {e}")))?;
+            self.topology_solves[topology.kind().index()].inc_always();
             let (n, m) = (graph.num_items(), graph.num_edges());
             if knobs.quality == Quality::Exact && n > anytime::EXACT_PLAN_LIMIT {
                 return Err(ProtocolError::bad_request(format!(
@@ -666,7 +696,7 @@ impl Engine {
                 }
             }
             let key = CacheKey {
-                fingerprint: fingerprint(&graph),
+                fingerprint: fingerprint_topology(&graph, &topology.canonical()),
                 algorithm: ANYTIME_ALGORITHM.to_owned(),
                 seed,
             };
@@ -683,7 +713,7 @@ impl Engine {
                     // label reports the truth, and `best` still queues
                     // an upgrade if the record isn't tier 2 yet.
                     if plan.upgrade && record.tier < Tier::Thorough.index() {
-                        self.schedule_upgrade(key, graph, seed);
+                        self.schedule_upgrade(key, graph, seed, topology);
                     }
                     labels.push(Some(cache_label("hit", &record)));
                     results.push(Some(record.value));
@@ -700,7 +730,7 @@ impl Engine {
         // solves at its planned tier.
         let solved = par::par_map(&misses, |(_, key, graph, plan)| {
             let outcome = AnytimeSolver::new(seed).solve(graph, plan.tier, plan.passes);
-            let (value, cost) = anytime_result(graph, key, &outcome);
+            let (value, cost) = anytime_result(graph, key, &outcome, &topology);
             (Arc::new(value), cost, outcome)
         });
         for ((slot, key, graph, plan), (value, cost, outcome)) in misses.into_iter().zip(solved) {
@@ -714,7 +744,7 @@ impl Engine {
             labels[slot] = Some(cache_label("miss", &record));
             if plan.upgrade && outcome.tier != Tier::Thorough {
                 self.cache.insert(key.clone(), record);
-                self.schedule_upgrade(key, graph, seed);
+                self.schedule_upgrade(key, graph, seed, topology);
             } else {
                 self.cache.insert(key, record);
             }
@@ -754,7 +784,9 @@ impl Engine {
     /// Enqueues a background tier-2 solve for `key` on the idle lane.
     /// At most one upgrade per key is ever in flight; results land via
     /// [`SolveCache::upgrade`], which only applies strict improvements.
-    fn schedule_upgrade(&self, key: CacheKey, graph: AccessGraph, seed: u64) {
+    /// The lane is weighted by the record's cache-hit count, so when
+    /// upgrades queue up, the hottest fingerprints upgrade first.
+    fn schedule_upgrade(&self, key: CacheKey, graph: AccessGraph, seed: u64, topology: Topology) {
         let Some(lane) = &self.lane else { return };
         {
             let mut inflight = self
@@ -768,10 +800,11 @@ impl Engine {
         self.upgrades_enqueued.inc_always();
         let cache = Arc::clone(&self.cache);
         let inflight = Arc::clone(&self.inflight_upgrades);
-        lane.submit(move || {
+        let weight = self.cache.hit_count(&key);
+        lane.submit_weighted(weight, move || {
             let outcome =
                 AnytimeSolver::new(seed).solve(&graph, Tier::Thorough, anytime::MAX_PASSES);
-            let (value, cost) = anytime_result(&graph, &key, &outcome);
+            let (value, cost) = anytime_result(&graph, &key, &outcome, &topology);
             cache.upgrade(
                 &key,
                 Arc::new(value),
@@ -933,6 +966,7 @@ impl Engine {
             SessionConfig {
                 quality,
                 replace_deadline_us,
+                topology: parse_topology(&obj)?,
                 window: opt_u64(&obj, "window", defaults.window as u64)? as usize,
                 phase_threshold: opt_f64(&obj, "phase_threshold", defaults.phase_threshold)?,
                 confirm_windows: opt_u64(&obj, "confirm_windows", defaults.confirm_windows as u64)?
@@ -981,6 +1015,11 @@ impl Engine {
         }
         if let Some(d) = config.replace_deadline_us {
             body.insert("replace_deadline_us", Value::Num(Number::U(d)));
+        }
+        // Like the tier knobs: echoed only when non-linear, keeping
+        // legacy session-create responses byte-identical.
+        if !config.topology.is_linear() {
+            body.insert("topology", Value::Str(config.topology.canonical()));
         }
         Ok(Response::json(200, Value::Obj(body).to_compact()))
     }
@@ -1142,25 +1181,40 @@ fn solve_result(
     graph: &AccessGraph,
     key: &CacheKey,
     algo: &dyn PlacementAlgorithm,
+    topology: &Topology,
 ) -> (Value, u64) {
     let placement = algo.place(graph);
-    result_object(graph, key, &placement)
+    result_object(graph, key, &placement, topology)
 }
 
 /// Builds the result object for one anytime-tier outcome. Same field
 /// set as the legacy form — tier and solver provenance live in the
 /// response's `cache` labels, not the body, so a background upgrade is
 /// observable only through the versioned `cache` field. The returned
-/// cost is the body's `cost` field, recomputed under [`SinglePortCost`]
-/// so record costs and response bodies can never disagree.
-fn anytime_result(graph: &AccessGraph, key: &CacheKey, outcome: &AnytimeOutcome) -> (Value, u64) {
-    result_object(graph, key, &outcome.placement)
+/// cost is the body's `cost` field, recomputed under the topology cost
+/// model so record costs and response bodies can never disagree.
+fn anytime_result(
+    graph: &AccessGraph,
+    key: &CacheKey,
+    outcome: &AnytimeOutcome,
+    topology: &Topology,
+) -> (Value, u64) {
+    result_object(graph, key, &outcome.placement, topology)
 }
 
 /// The per-workload result body shared by legacy and tiered solves.
-fn result_object(graph: &AccessGraph, key: &CacheKey, placement: &Placement) -> (Value, u64) {
-    let cost_model = SinglePortCost::new();
+/// Costs come from a single-port [`TopologyCost`], whose linear case is
+/// pinned byte-identical to the pre-topology `SinglePortCost`; the
+/// `topology` field appears only for non-linear requests, so legacy
+/// bodies (and explicit `"topology":"linear"` ones) are unchanged.
+fn result_object(
+    graph: &AccessGraph,
+    key: &CacheKey,
+    placement: &Placement,
+    topology: &Topology,
+) -> (Value, u64) {
     let n = graph.num_items();
+    let cost_model = TopologyCost::single_port(*topology, n);
     let naive = cost_model.graph_cost(&Placement::identity(n), graph);
     let cost = cost_model.graph_cost(placement, graph);
     let reduction = if naive > 0 {
@@ -1172,6 +1226,9 @@ fn result_object(graph: &AccessGraph, key: &CacheKey, placement: &Placement) -> 
     obj.insert("fingerprint", Value::Str(key.fingerprint.to_hex()));
     obj.insert("algorithm", Value::Str(key.algorithm.clone()));
     obj.insert("seed", Value::Num(Number::U(key.seed)));
+    if !topology.is_linear() {
+        obj.insert("topology", Value::Str(topology.canonical()));
+    }
     obj.insert("items", Value::Num(Number::U(n as u64)));
     obj.insert("edges", Value::Num(Number::U(graph.num_edges() as u64)));
     obj.insert("naive_cost", Value::Num(Number::U(naive)));
@@ -1672,6 +1729,129 @@ mod tests {
             implied.body_str()
         );
         let bad = e.handle(&Request::post("/session", r#"{"quality":"turbo"}"#));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn topology_requests_never_alias_the_linear_cache() {
+        let e = engine();
+        let linear = e.handle(&Request::post("/solve", r#"{"ids":[0,7,0,7,3,0,7]}"#));
+        let ring = e.handle(&Request::post(
+            "/solve",
+            r#"{"ids":[0,7,0,7,3,0,7],"topology":"ring"}"#,
+        ));
+        assert_eq!(linear.status, 200, "{:?}", linear.body_str());
+        assert_eq!(ring.status, 200, "{:?}", ring.body_str());
+        let bl = body_obj(&linear);
+        let br = body_obj(&ring);
+        // Same ids, but the ring request is a miss under its own key.
+        assert_eq!(
+            br.get("cache").unwrap().as_array().unwrap()[0].as_str(),
+            Some("miss")
+        );
+        let rl = bl.get("results").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap()
+            .clone();
+        let rr = br.get("results").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap()
+            .clone();
+        assert_ne!(rl.get("fingerprint"), rr.get("fingerprint"));
+        // The topology field appears only on the non-linear body, and
+        // ring costs never exceed linear on the same placement problem.
+        assert!(rl.get("topology").is_none());
+        assert_eq!(rr.get("topology").unwrap().as_str(), Some("ring"));
+        let cost = |r: &Object, f: &str| r.get(f).unwrap().as_number().unwrap().as_u64().unwrap();
+        assert!(cost(&rr, "naive_cost") <= cost(&rl, "naive_cost"));
+        // An explicit linear topology is byte-identical to the default
+        // (and hits the same cache record).
+        let explicit = e.handle(&Request::post(
+            "/solve",
+            r#"{"ids":[0,7,0,7,3,0,7],"topology":"linear"}"#,
+        ));
+        let be = body_obj(&explicit);
+        assert_eq!(
+            be.get("cache").unwrap().as_array().unwrap()[0].as_str(),
+            Some("hit")
+        );
+        assert_eq!(bl.get("results"), be.get("results"));
+    }
+
+    #[test]
+    fn malformed_and_undersized_topologies_answer_400() {
+        let e = engine();
+        let bad = e.handle(&Request::post(
+            "/solve",
+            r#"{"ids":[0,1],"topology":"mobius"}"#,
+        ));
+        assert_eq!(bad.status, 400, "{:?}", bad.body_str());
+        assert!(bad.body_str().unwrap().contains("topology"));
+        // A grid that cannot hold the workload's items is refused.
+        let small = e.handle(&Request::post(
+            "/solve",
+            r#"{"ids":[0,1,2,3,4],"topology":"grid2d:2x2"}"#,
+        ));
+        assert_eq!(small.status, 400, "{:?}", small.body_str());
+        // Tiered solves run the same validation.
+        let tiered = e.handle(&Request::post(
+            "/solve",
+            r#"{"quality":"fast","ids":[0,1],"topology":"mobius"}"#,
+        ));
+        assert_eq!(tiered.status, 400);
+    }
+
+    #[test]
+    fn tiered_topology_solves_cache_under_their_own_key() {
+        let e = engine();
+        let linear = Request::post("/solve", r#"{"quality":"fast","ids":[0,1,0,1,2,0,3,2,1]}"#);
+        let ring = Request::post(
+            "/solve",
+            r#"{"quality":"fast","ids":[0,1,0,1,2,0,3,2,1],"topology":"ring"}"#,
+        );
+        assert_eq!(e.handle(&linear).status, 200);
+        let first_ring = e.handle(&ring);
+        let l1 = label_at(&body_obj(&first_ring), 0);
+        assert_eq!(l1.get("status").unwrap().as_str(), Some("miss"));
+        let second_ring = e.handle(&ring);
+        let l2 = label_at(&body_obj(&second_ring), 0);
+        assert_eq!(l2.get("status").unwrap().as_str(), Some("hit"));
+        // The per-topology counter saw one linear and two ring solves.
+        let s = body_obj(&e.handle(&Request::new("GET", "/stats")));
+        let topo = s.get("topologies").unwrap().as_object().unwrap();
+        assert_eq!(label_field(topo, "linear"), 1);
+        assert_eq!(label_field(topo, "ring"), 2);
+        // /metrics renders the labeled family.
+        let m = e.handle(&Request::new("GET", "/metrics"));
+        let text = m.body_str().unwrap();
+        assert!(text.contains("dwm_serve_topology_solves_total"), "{text}");
+        assert!(text.contains(r#"topology="ring""#), "{text}");
+    }
+
+    #[test]
+    fn session_create_parses_and_echoes_topology() {
+        let e = engine();
+        let legacy = e.handle(&Request::post("/session", r#"{"window":100}"#));
+        assert!(!legacy.body_str().unwrap().contains("topology"));
+        let explicit = e.handle(&Request::post(
+            "/session",
+            r#"{"window":100,"topology":"linear"}"#,
+        ));
+        assert_eq!(legacy.status, 200);
+        assert_eq!(explicit.status, 200);
+        // Explicit linear stays byte-identical to the default (modulo
+        // the session id, which differs by construction).
+        assert_eq!(
+            legacy.body_str().unwrap().replace("s-1", "s-2"),
+            explicit.body_str().unwrap()
+        );
+        let ring = e.handle(&Request::post(
+            "/session",
+            r#"{"window":100,"topology":"ring"}"#,
+        ));
+        assert_eq!(ring.status, 200, "{:?}", ring.body_str());
+        assert!(ring.body_str().unwrap().contains(r#""topology":"ring""#));
+        let bad = e.handle(&Request::post("/session", r#"{"topology":"mobius"}"#));
         assert_eq!(bad.status, 400);
     }
 

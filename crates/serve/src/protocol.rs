@@ -7,7 +7,7 @@
 //!
 //! | Method | Path        | Body                                              |
 //! |--------|-------------|---------------------------------------------------|
-//! | POST   | `/solve`    | `{"algorithm"?, "seed"?, "workloads": [{"ids": […]}…]}` or `{"ids": […]}`; tiered form replaces `algorithm` with `"quality"` (`fast`/`balanced`/`best`) and/or `"deadline_us"` |
+//! | POST   | `/solve`    | `{"algorithm"?, "seed"?, "topology"?, "workloads": [{"ids": […]}…]}` or `{"ids": […]}`; tiered form replaces `algorithm` with `"quality"` (`fast`/`balanced`/`best`) and/or `"deadline_us"` |
 //! | POST   | `/evaluate` | `{"ids": […], "placement": […], "ports"?, "tape_length"?}` |
 //! | POST   | `/simulate` | `{"ids": […], "domains_per_track"?, "tracks"?, "dbcs"?, "ports"?}` |
 //! | GET    | `/stats`    | —                                                 |
@@ -17,7 +17,7 @@
 //!
 //! | Method | Path                      | Body                                   |
 //! |--------|---------------------------|----------------------------------------|
-//! | POST   | `/session`                | `{"window"?, "phase_threshold"?, "confirm_windows"?, "hysteresis"?, "migration_shifts_per_item"?, "horizon_windows"?, "refreeze_edges"?}` (or empty for defaults) |
+//! | POST   | `/session`                | `{"window"?, "phase_threshold"?, "confirm_windows"?, "hysteresis"?, "migration_shifts_per_item"?, "horizon_windows"?, "refreeze_edges"?, "topology"?}` (or empty for defaults) |
 //! | POST   | `/session/{id}/accesses`  | `{"ids": […]}`                         |
 //! | GET    | `/session/{id}/placement` | —                                      |
 //! | GET    | `/session/{id}/stats`     | —                                      |
@@ -32,6 +32,7 @@
 //! canonical access graph share a cache entry.
 
 use dwm_core::anytime::Quality;
+use dwm_device::Topology;
 use dwm_foundation::json::{Object, Value};
 
 /// A protocol-level failure: HTTP status plus a one-line message.
@@ -295,6 +296,27 @@ pub fn parse_session_knobs(obj: &Object) -> Result<(Option<Quality>, Option<u64>
     Ok((quality, deadline))
 }
 
+/// Parses the optional `topology` field of a solve or session-create
+/// body. Absent (or `null`) means [`Topology::linear`] — the legacy
+/// geometry, whose responses and cache keys stay byte-identical to
+/// before the field existed.
+///
+/// # Errors
+///
+/// 400 on a non-string value or a spec outside the
+/// `linear | ring | grid2d:<rows>x<cols> | pirm[:<window>]` grammar.
+pub fn parse_topology(obj: &Object) -> Result<Topology, ProtocolError> {
+    match obj.get("topology") {
+        None | Some(Value::Null) => Ok(Topology::linear()),
+        Some(Value::Str(s)) => Topology::parse(s)
+            .map_err(|e| ProtocolError::bad_request(format!("field \"topology\": {e}"))),
+        Some(other) => Err(ProtocolError::bad_request(format!(
+            "field \"topology\" must be a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
 fn quality_field(obj: &Object) -> Result<Option<&str>, ProtocolError> {
     match obj.get("quality") {
         None | Some(Value::Null) => Ok(None),
@@ -337,6 +359,7 @@ pub fn error_body(message: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dwm_device::TrackTopology;
 
     fn obj(s: &str) -> Object {
         parse_body(s.as_bytes()).unwrap()
@@ -421,6 +444,31 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(k.quality, Quality::Exact);
+    }
+
+    #[test]
+    fn topology_field_defaults_to_linear_and_rejects_garbage() {
+        assert!(parse_topology(&obj(r#"{"ids":[1]}"#)).unwrap().is_linear());
+        assert!(parse_topology(&obj(r#"{"topology":null}"#))
+            .unwrap()
+            .is_linear());
+        assert!(parse_topology(&obj(r#"{"topology":"linear"}"#))
+            .unwrap()
+            .is_linear());
+        let ring = parse_topology(&obj(r#"{"topology":"ring"}"#)).unwrap();
+        assert_eq!(ring.canonical(), "ring");
+        let grid = parse_topology(&obj(r#"{"topology":"grid2d:4x16"}"#)).unwrap();
+        assert_eq!(grid.canonical(), "grid2d:4x16");
+        for body in [
+            r#"{"topology":"mobius"}"#,
+            r#"{"topology":"grid2d:4"}"#,
+            r#"{"topology":"grid2d:0x4"}"#,
+            r#"{"topology":"pirm:0"}"#,
+            r#"{"topology":7}"#,
+        ] {
+            let err = parse_topology(&obj(body)).unwrap_err();
+            assert_eq!(err.status, 400, "{body} must 400, got {err:?}");
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ use std::time::{Duration, Instant};
 use dwm_core::anytime::{self, AnytimePlacement, Quality};
 use dwm_core::online::{OnlineConfig, OnlinePlacer};
 use dwm_core::Placement;
+use dwm_device::{PortLayout, Topology, TrackTopology};
 use dwm_graph::{AccessGraph, DeltaGraph, Fingerprint};
 use dwm_trace::analysis::PhaseDetector;
 
@@ -95,6 +96,10 @@ pub struct SessionConfig {
     /// suppressed. `None` = no deadline (tier 1 at full passes for
     /// `balanced`/`best`).
     pub replace_deadline_us: Option<u64>,
+    /// Track topology the session's tape is accounted (and its
+    /// re-placement rule costed) under. The default
+    /// [`Topology::linear`] is byte-identical to pre-topology sessions.
+    pub topology: Topology,
 }
 
 impl Default for SessionConfig {
@@ -109,6 +114,7 @@ impl Default for SessionConfig {
             refreeze_edges: 1024,
             quality: None,
             replace_deadline_us: None,
+            topology: Topology::linear(),
         }
     }
 }
@@ -142,6 +148,7 @@ impl SessionConfig {
             migration_shifts_per_item: self.migration_shifts_per_item,
             hysteresis: self.hysteresis,
             horizon_windows: self.horizon_windows,
+            topology: self.topology,
         }
     }
 }
@@ -234,6 +241,9 @@ impl SessionTotals {
 /// ```
 pub struct SessionState {
     config: SessionConfig,
+    /// Single access port at offset 0 — the tape model every session
+    /// accounts against (the topology supplies the distance metric).
+    ports: PortLayout,
     placer: OnlinePlacer,
     graph: DeltaGraph,
     detector: PhaseDetector,
@@ -267,6 +277,7 @@ impl SessionState {
             panic!("invalid session config: {e}");
         }
         SessionState {
+            ports: PortLayout::single(),
             placer: OnlinePlacer::new(config.online_config()),
             graph: DeltaGraph::new(0),
             detector: PhaseDetector::new(config.window, config.phase_threshold)
@@ -334,9 +345,11 @@ impl SessionState {
         self.graph.arrangement_cost(&identity)
     }
 
-    /// Canonical fingerprint of the session's access graph.
+    /// Canonical fingerprint of the session's access graph, folded with
+    /// the session topology (the identity for linear) so the same
+    /// stream solved for different geometries never shares an identity.
     pub fn fingerprint(&self) -> Fingerprint {
-        self.graph.fingerprint()
+        dwm_graph::fingerprint_retag(self.graph.fingerprint(), &self.config.topology.canonical())
     }
 
     /// `naive − (access + migration)` shifts: what adapting has saved
@@ -356,8 +369,27 @@ impl SessionState {
             let dense = self.dense_id(raw, &mut report);
             self.graph.record_access(dense);
             if let Some(prev) = self.last_item {
-                report.access_shifts += self.placement[dense].abs_diff(self.placement[prev]) as u64;
-                report.naive_shifts += dense.abs_diff(prev) as u64;
+                if self.config.topology.is_linear() {
+                    // Fast path, byte-identical to pre-topology sessions.
+                    report.access_shifts +=
+                        self.placement[dense].abs_diff(self.placement[prev]) as u64;
+                    report.naive_shifts += dense.abs_diff(prev) as u64;
+                } else {
+                    // The track length a session's topology sees is the
+                    // item count so far — a pure function of the stream,
+                    // so chunk invariance is preserved.
+                    let len = self.placement.len();
+                    report.access_shifts += self.config.topology.shift_distance(
+                        &self.ports,
+                        len,
+                        self.placement[prev],
+                        self.placement[dense],
+                    );
+                    report.naive_shifts +=
+                        self.config
+                            .topology
+                            .shift_distance(&self.ports, len, prev, dense);
+                }
                 if prev != dense {
                     self.graph.add_weight(prev, dense, 1);
                 }
@@ -899,6 +931,35 @@ mod tests {
         assert!(SessionState::new(small_config())
             .replacement_solver(16, 40)
             .is_none());
+    }
+
+    #[test]
+    fn ring_sessions_stay_chunk_invariant_and_account_circularly() {
+        let config = SessionConfig {
+            topology: Topology::parse("ring").unwrap(),
+            ..small_config()
+        };
+        let ids = phased_ids(1000);
+        let run = |chunk: usize| {
+            let mut s = SessionState::new(config);
+            for c in ids.chunks(chunk) {
+                s.ingest(c);
+            }
+            (s.placement().to_vec(), *s.totals(), s.fingerprint())
+        };
+        let whole = run(usize::MAX);
+        for chunk in [1, 7, 333] {
+            assert_eq!(run(chunk), whole, "chunk size {chunk} diverged");
+        }
+        // Same stream under the linear default: more access shifts (the
+        // ring wraps the 0↔15 ping-pong) and a different fingerprint
+        // (the topology is folded into the identity).
+        let mut linear = SessionState::new(small_config());
+        for c in ids.chunks(333) {
+            linear.ingest(c);
+        }
+        assert!(linear.totals().naive_shifts > whole.1.naive_shifts);
+        assert_ne!(linear.fingerprint(), whole.2);
     }
 
     #[test]

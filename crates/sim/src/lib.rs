@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod replay;
 mod report;
 mod scratchpad;
 mod simulator;
 
+pub use replay::{topology_layout_report, topology_report};
 pub use report::SimReport;
 pub use scratchpad::Scratchpad;
 pub use simulator::{SimError, SpmSimulator};
@@ -54,5 +56,7 @@ pub fn register_obs_metrics() {
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::{Scratchpad, SimError, SimReport, SpmSimulator};
+    pub use crate::{
+        topology_layout_report, topology_report, Scratchpad, SimError, SimReport, SpmSimulator,
+    };
 }

@@ -1,0 +1,231 @@
+//! Analytic topology replay: a [`SimReport`] without the bit-level
+//! device.
+//!
+//! The bit-level [`SpmSimulator`](crate::SpmSimulator) physically moves
+//! domains and is inherently *linear* — a [`Dbc`](dwm_device::Dbc)'s
+//! shift register models a finite 1D tape. Non-linear track geometries
+//! (ring, 2D grid, PIRM) are replayed analytically instead: one
+//! [`TopologyReplayer`] per DBC walks the trace and counts weighted
+//! shift steps, and the report is projected through
+//! [`CostProjection::with_topology`] so energy carries the topology's
+//! per-step weight.
+//!
+//! For [`Topology::linear`] this replay reproduces the bit-level
+//! simulator's counters and projections exactly (pinned by tests) — the
+//! same cross-validation contract the analytic cost models in
+//! `dwm-core` honour.
+
+use dwm_core::spm::SpmLayout;
+use dwm_core::Placement;
+use dwm_device::{CostProjection, DeviceConfig, ShiftStats, Topology, TopologyReplayer};
+use dwm_trace::Trace;
+
+use crate::report::SimReport;
+use crate::simulator::SimError;
+
+/// Analytically replays `trace` on a single-DBC device under
+/// `topology`, returning the same report shape as a bit-level run
+/// (integrity checking does not apply: no data is moved, so
+/// `integrity_errors` and `slip_events` are zero).
+///
+/// # Errors
+///
+/// Returns [`SimError::GeometryMismatch`] if the config has more than
+/// one DBC or the placement does not fit, and [`SimError::UnknownItem`]
+/// if the trace references an item outside the placement.
+pub fn topology_report(
+    config: &DeviceConfig,
+    topology: &Topology,
+    placement: &Placement,
+    trace: &Trace,
+) -> Result<SimReport, SimError> {
+    if config.dbcs() != 1 {
+        return Err(SimError::GeometryMismatch {
+            reason: format!(
+                "config has {} DBCs; single-tape replay needs exactly 1",
+                config.dbcs()
+            ),
+        });
+    }
+    if placement.num_items() > config.words_per_dbc() {
+        return Err(SimError::GeometryMismatch {
+            reason: format!(
+                "{} items exceed the {}-word DBC",
+                placement.num_items(),
+                config.words_per_dbc()
+            ),
+        });
+    }
+    let slot_of: Vec<(usize, usize)> = (0..placement.num_items())
+        .map(|i| (0usize, placement.offset_of(i)))
+        .collect();
+    replay(config, topology, &slot_of, trace)
+}
+
+/// Analytically replays `trace` on a multi-DBC layout under `topology`;
+/// each DBC keeps its own tape state.
+///
+/// # Errors
+///
+/// Returns [`SimError::GeometryMismatch`] if the layout's geometry
+/// disagrees with the device configuration, and
+/// [`SimError::UnknownItem`] if the trace references an item outside
+/// the layout.
+pub fn topology_layout_report(
+    config: &DeviceConfig,
+    topology: &Topology,
+    layout: &SpmLayout,
+    trace: &Trace,
+) -> Result<SimReport, SimError> {
+    if layout.dbcs() != config.dbcs() || layout.words_per_dbc() != config.words_per_dbc() {
+        return Err(SimError::GeometryMismatch {
+            reason: format!(
+                "layout is {}×{} but device is {}×{}",
+                layout.dbcs(),
+                layout.words_per_dbc(),
+                config.dbcs(),
+                config.words_per_dbc()
+            ),
+        });
+    }
+    let slot_of: Vec<(usize, usize)> = (0..layout.num_items())
+        .map(|i| (layout.dbc_of(i), layout.offset_of(i)))
+        .collect();
+    replay(config, topology, &slot_of, trace)
+}
+
+fn replay(
+    config: &DeviceConfig,
+    topology: &Topology,
+    slot_of: &[(usize, usize)],
+    trace: &Trace,
+) -> Result<SimReport, SimError> {
+    let ports = config.port_layout();
+    let len = config.words_per_dbc();
+    let mut tapes: Vec<TopologyReplayer<'_>> = (0..config.dbcs())
+        .map(|_| TopologyReplayer::new(topology, ports, len))
+        .collect();
+    let mut per_dbc = vec![ShiftStats::new(); config.dbcs()];
+    let mut total = ShiftStats::new();
+    for a in trace.iter() {
+        let item = a.item.index();
+        let &(dbc, offset) = slot_of.get(item).ok_or(SimError::UnknownItem {
+            item,
+            items: slot_of.len(),
+        })?;
+        let distance = tapes[dbc].access(offset);
+        per_dbc[dbc].record(distance, a.kind.is_write());
+        total.record(distance, a.kind.is_write());
+    }
+    let projection = CostProjection::with_topology(config, topology);
+    Ok(SimReport {
+        stats: total,
+        per_dbc,
+        latency: projection.latency(&total),
+        energy: projection.energy(&total),
+        integrity_errors: 0,
+        slip_events: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpmSimulator;
+    use dwm_core::spm::SpmAllocator;
+    use dwm_core::{GroupedChainGrowth, PlacementAlgorithm};
+    use dwm_graph::AccessGraph;
+    use dwm_trace::kernels::Kernel;
+
+    fn config(l: usize) -> DeviceConfig {
+        DeviceConfig::builder()
+            .domains_per_track(l)
+            .tracks_per_dbc(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn linear_analytic_replay_equals_bit_level_sim_report() {
+        for kernel in Kernel::suite() {
+            let trace = kernel.trace();
+            let n = trace.num_items().max(1);
+            let graph = AccessGraph::from_trace(&trace);
+            let placement = GroupedChainGrowth.place(&graph);
+            let cfg = config(n);
+            let bit_level = SpmSimulator::new(&cfg, &placement)
+                .unwrap()
+                .run(&trace)
+                .unwrap();
+            let analytic = topology_report(&cfg, &Topology::linear(), &placement, &trace).unwrap();
+            assert_eq!(analytic, bit_level, "diverged on {}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn linear_layout_replay_equals_bit_level_sim_report() {
+        let trace = Kernel::MatMul { n: 8, block: 2 }.trace();
+        let layout = SpmAllocator::new(4, 16)
+            .allocate(&trace, &GroupedChainGrowth)
+            .unwrap();
+        let cfg = DeviceConfig::builder()
+            .dbcs(4)
+            .domains_per_track(16)
+            .tracks_per_dbc(32)
+            .build()
+            .unwrap();
+        let bit_level = SpmSimulator::with_layout(&cfg, &layout)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        let analytic = topology_layout_report(&cfg, &Topology::linear(), &layout, &trace).unwrap();
+        assert_eq!(analytic, bit_level);
+    }
+
+    #[test]
+    fn ring_replay_shifts_less_and_pirm_costs_more_energy() {
+        let ids: Vec<u32> = (0..64).flat_map(|_| [0u32, 31]).collect();
+        let trace = Trace::from_ids(ids);
+        let placement = Placement::identity(32);
+        let cfg = config(32);
+        let linear = topology_report(&cfg, &Topology::linear(), &placement, &trace).unwrap();
+        let ring =
+            topology_report(&cfg, &Topology::parse("ring").unwrap(), &placement, &trace).unwrap();
+        assert!(ring.stats.shifts < linear.stats.shifts);
+        let pirm = topology_report(
+            &cfg,
+            &Topology::parse("pirm:4").unwrap(),
+            &placement,
+            &trace,
+        )
+        .unwrap();
+        // PIRM quantizes to windows (fewer counted steps) but each step
+        // carries a 1.5× energy premium relative to its own shift count.
+        let base = CostProjection::new(&cfg).energy(&pirm.stats).shift_pj;
+        assert!((pirm.energy.shift_pj - base * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometry_and_item_errors_match_simulator_contract() {
+        let cfg = config(8);
+        let p = Placement::identity(4);
+        assert!(matches!(
+            topology_report(
+                &cfg,
+                &Topology::linear(),
+                &Placement::identity(100),
+                &Trace::new()
+            ),
+            Err(SimError::GeometryMismatch { .. })
+        ));
+        assert!(matches!(
+            topology_report(&cfg, &Topology::linear(), &p, &Trace::from_ids([9u32])),
+            Err(SimError::UnknownItem { item: 9, items: 4 })
+        ));
+        let multi = DeviceConfig::builder().dbcs(2).build().unwrap();
+        assert!(matches!(
+            topology_report(&multi, &Topology::linear(), &p, &Trace::new()),
+            Err(SimError::GeometryMismatch { .. })
+        ));
+    }
+}

@@ -30,9 +30,10 @@ reports="$(mktemp -d)"
 trap 'rm -rf "$reports"' EXIT
 
 # Only the suites with parallel (bench_threads) coverage are gated,
-# plus the serve request-latency suite and the trace-synthesis suite —
-# fast enough to run on every CI push.
-for suite in bench_sweep bench_exact bench_graph bench_serve bench_trace; do
+# plus the serve request-latency suite, the trace-synthesis suite, and
+# the simulator/topology replay suite — fast enough to run on every CI
+# push.
+for suite in bench_sweep bench_exact bench_graph bench_serve bench_trace bench_sim; do
   echo "== $suite"
   # The serve suite carries the tight 5% pair bound, so it gets more
   # samples: the pair compares per-side minima, and a longer sampling

@@ -50,6 +50,9 @@ fi
 echo "== README quickstart smoke"
 bash scripts/doc_smoke.sh
 
+echo "== topology sweep smoke (small corpus)"
+cargo run --release -q -p dwm-experiments --bin exp_topology -- --small >/dev/null
+
 echo "== bench regression gate"
 bash scripts/bench_gate.sh
 

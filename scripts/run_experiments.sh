@@ -22,7 +22,7 @@ bins=(
   exp_f7_runtime exp_f8_typed_ports exp_f9_reliability
   exp_f10_online exp_f11_wear exp_f11_session_drift
   exp_tier_tradeoff exp_a1_ablation exp_profile_fidelity
-  exp_v1_crosscheck
+  exp_v1_crosscheck exp_topology
 )
 failed=()
 for b in "${bins[@]}"; do
