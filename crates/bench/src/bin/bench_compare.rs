@@ -5,6 +5,7 @@
 //! bench_compare [--threshold F] [--write-baseline]
 //!               [--pair NUM DEN]... [--pair-threshold F]
 //!               [--min-speedup NUM DEN RATIO]...
+//!               [--p99-tail PREFIX FACTOR]...
 //!               [--summary-json DIR]
 //!               <baseline.json> <report>...
 //! ```
@@ -32,6 +33,17 @@
 //! speedup over the scalar reference it is benched against (e.g. the
 //! batched local-search path must stay ≥ 2× its scalar twin).
 //!
+//! `--p99-tail PREFIX FACTOR` bounds *tail latency* for every
+//! benchmark id under `PREFIX` in the current run: each one's
+//! `p99_ns` must stay within `FACTOR` times its own median. Like the
+//! pair bounds this is a same-run statistic — machine drift scales
+//! p99 and median together, so the ratio is stable across boxes,
+//! while an event-loop pathology (a lost wakeup, a convoy behind the
+//! accept path) inflates the p99 by orders of magnitude over the
+//! median. CI points this at `serve/` so the request-latency tail is
+//! gated, not just the best case. It is an error if no id matches the
+//! prefix. Checked in both normal and `--write-baseline` mode.
+//!
 //! `--summary-json DIR` additionally writes this run's entries as a
 //! perf-trajectory snapshot `DIR/BENCH_<n>.json` (`n` = one past the
 //! highest existing snapshot; same schema as the baseline file), so a
@@ -46,8 +58,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_compare [--threshold F] [--write-baseline] \
          [--pair NUM DEN]... [--pair-threshold F] \
-         [--min-speedup NUM DEN RATIO]... [--summary-json DIR] \
-         <baseline.json> <report>..."
+         [--min-speedup NUM DEN RATIO]... [--p99-tail PREFIX FACTOR]... \
+         [--summary-json DIR] <baseline.json> <report>..."
     );
     std::process::exit(2);
 }
@@ -117,6 +129,28 @@ fn write_summary(dir: &str, current: &[Entry]) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks every `--p99-tail` bound against the current run; returns
+/// whether all held.
+fn check_tails(current: &[Entry], tails: &[(String, f64)]) -> Result<bool, String> {
+    let mut ok = true;
+    for (prefix, factor) in tails {
+        for check in gate::p99_tail_checks(current, prefix)? {
+            let failed = check.exceeded(*factor);
+            println!(
+                "p99 tail {:<44} {:>11.0} ns over median {:>11.0} ns = {:>6.2}x \
+                 (bound {factor:.0}x){}",
+                check.id,
+                check.p99_ns,
+                check.median_ns,
+                check.ratio(),
+                if failed { "  EXCEEDED" } else { "" }
+            );
+            ok &= !failed;
+        }
+    }
+    Ok(ok)
+}
+
 /// Checks every `--pair` bound against the current run; returns
 /// whether all held.
 fn check_pairs(
@@ -143,6 +177,7 @@ fn run() -> Result<bool, String> {
     let mut pair_threshold = 0.05f64;
     let mut pairs: Vec<(String, String)> = Vec::new();
     let mut speedups: Vec<(String, String, f64)> = Vec::new();
+    let mut tails: Vec<(String, f64)> = Vec::new();
     let mut summary_dir: Option<String> = None;
     let mut write_baseline = false;
     let mut positional: Vec<String> = Vec::new();
@@ -166,6 +201,14 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|_| format!("invalid speedup floor '{v}'"))?;
                 speedups.push((num, den, floor));
+            }
+            "--p99-tail" => {
+                let prefix = args.next().unwrap_or_else(|| usage());
+                let v = args.next().unwrap_or_else(|| usage());
+                let factor = v
+                    .parse()
+                    .map_err(|_| format!("invalid p99 tail factor '{v}'"))?;
+                tails.push((prefix, factor));
             }
             "--summary-json" => {
                 summary_dir = Some(args.next().unwrap_or_else(|| usage()));
@@ -201,7 +244,8 @@ fn run() -> Result<bool, String> {
         );
         let pairs_ok = check_pairs(&current, &pairs, pair_threshold)?;
         let speedups_ok = check_speedups(&current, &speedups)?;
-        return Ok(pairs_ok && speedups_ok);
+        let tails_ok = check_tails(&current, &tails)?;
+        return Ok(pairs_ok && speedups_ok && tails_ok);
     }
 
     let text = std::fs::read_to_string(&baseline_path)
@@ -235,8 +279,9 @@ fn run() -> Result<bool, String> {
     }
     let pairs_ok = check_pairs(&current, &pairs, pair_threshold)?;
     let speedups_ok = check_speedups(&current, &speedups)?;
+    let tails_ok = check_tails(&current, &tails)?;
     let regressions = report.regressions(threshold);
-    if regressions.is_empty() && pairs_ok && speedups_ok {
+    if regressions.is_empty() && pairs_ok && speedups_ok && tails_ok {
         println!(
             "gate OK: {} benchmark(s) within {:.0}% of baseline",
             report.comparisons.len(),
@@ -259,6 +304,9 @@ fn run() -> Result<bool, String> {
         }
         if !speedups_ok {
             eprintln!("gate FAILED: speedup floor(s) not met");
+        }
+        if !tails_ok {
+            eprintln!("gate FAILED: p99 tail bound(s) exceeded");
         }
         Ok(false)
     }

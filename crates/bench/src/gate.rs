@@ -17,10 +17,20 @@
 //! `scripts/bench_gate.sh` is then a thin wrapper.
 //!
 //! Baseline format: `{"entries": [{"id": "...", "median_ns": ...,
-//! "min_ns": ...}]}` with ids of the form `<suite>/<bench id>` (the
-//! median rides along for human diffing; `min_ns` falls back to it in
-//! old files). Re-baseline with `scripts/bench_gate.sh --rebaseline`
-//! after intentional performance changes (and commit the result).
+//! "min_ns": ..., "p99_ns": ...}]}` with ids of the form
+//! `<suite>/<bench id>` (the median and p99 ride along for human
+//! diffing; `min_ns` falls back to the median in old files, `p99_ns`
+//! to the p95 and then the median). Re-baseline with
+//! `scripts/bench_gate.sh --rebaseline` after intentional performance
+//! changes (and commit the result).
+//!
+//! Tail latency is gated differently from throughput: instead of
+//! comparing p99 against a baseline (machine drift swings tails far
+//! more than minima), [`p99_tail_checks`] bounds the *same-run* ratio
+//! `p99 / median` for every benchmark under a prefix. A lost wakeup,
+//! a lock convoy, or an accept storm in the serve path shows up as a
+//! p99 several orders of magnitude over the median; honest scheduler
+//! noise does not.
 
 use dwm_foundation::json::{parse, Number, Object, Value};
 
@@ -36,6 +46,11 @@ pub struct Entry {
     /// minima: they filter scheduler noise that swings medians by
     /// ±10%, while real per-iteration overhead still shows up.
     pub min_ns: f64,
+    /// 99th-percentile nanoseconds per iteration (falls back to the
+    /// p95, then the median, when the report predates the field).
+    /// Gated by the same-run tail bound ([`p99_tail_checks`]), never
+    /// against the baseline — tails drift with the machine.
+    pub p99_ns: f64,
 }
 
 /// A baseline/current pair for one benchmark id.
@@ -115,10 +130,17 @@ fn entry_list(value: &Value, key: &str, id_prefix: &str) -> Result<Vec<Entry>, S
                 .and_then(Value::as_number)
                 .map(Number::as_f64)
                 .unwrap_or(median_ns);
+            let p99_ns = o
+                .get("p99_ns")
+                .or_else(|| o.get("p95_ns"))
+                .and_then(Value::as_number)
+                .map(Number::as_f64)
+                .unwrap_or(median_ns);
             Ok(Entry {
                 id: format!("{id_prefix}{id}"),
                 median_ns,
                 min_ns,
+                p99_ns,
             })
         })
         .collect::<Result<Vec<_>, &str>>()
@@ -155,9 +177,10 @@ pub fn parse_baseline(text: &str) -> Result<Vec<Entry>, String> {
 }
 
 /// Serializes entries as a baseline file (pretty JSON, trailing
-/// newline, ids sorted so diffs are stable). Both statistics are
-/// written: the gate compares `min_ns`; `median_ns` rides along so a
-/// human diffing a re-baseline sees the typical cost too.
+/// newline, ids sorted so diffs are stable). All three statistics are
+/// written: the gate compares `min_ns`; `median_ns` and `p99_ns` ride
+/// along so a human diffing a re-baseline sees the typical cost and
+/// the tail too.
 pub fn baseline_json(entries: &[Entry]) -> String {
     let mut sorted: Vec<&Entry> = entries.iter().collect();
     sorted.sort_by(|a, b| a.id.cmp(&b.id));
@@ -168,6 +191,7 @@ pub fn baseline_json(entries: &[Entry]) -> String {
             o.insert("id", Value::Str(e.id.clone()));
             o.insert("median_ns", Value::Num(Number::F(e.median_ns)));
             o.insert("min_ns", Value::Num(Number::F(e.min_ns)));
+            o.insert("p99_ns", Value::Num(Number::F(e.p99_ns)));
             Value::Obj(o)
         })
         .collect();
@@ -209,6 +233,67 @@ pub fn pair_ratio(current: &[Entry], num_id: &str, den_id: &str) -> Result<f64, 
     Ok(num / den)
 }
 
+/// One same-run tail-amplification measurement: how far a benchmark's
+/// 99th-percentile iteration time sits above its own median.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailCheck {
+    /// Suite-qualified benchmark id.
+    pub id: String,
+    /// Median iteration time in the current run.
+    pub median_ns: f64,
+    /// 99th-percentile iteration time in the current run.
+    pub p99_ns: f64,
+}
+
+impl TailCheck {
+    /// `p99 / median` — 1.0 is a perfectly flat distribution. A
+    /// non-positive median reads as 1.0 (mirroring
+    /// [`Comparison::ratio`]'s zero policy).
+    pub fn ratio(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            1.0
+        } else {
+            self.p99_ns / self.median_ns
+        }
+    }
+
+    /// Whether the tail exceeds `factor` times the median (strictly —
+    /// exactly at the bound passes, matching the baseline gate).
+    pub fn exceeded(&self, factor: f64) -> bool {
+        self.ratio() > factor
+    }
+}
+
+/// Collects the same-run `p99 / median` tail checks for every
+/// benchmark whose id starts with `prefix` (e.g. `"serve/"`). Tails
+/// are bounded within one run rather than against the baseline
+/// because machine drift swings a p99 by integer factors while the
+/// p99/median *shape* of a healthy benchmark stays put; an event-loop
+/// pathology (lost wakeup, convoy) inflates the ratio by orders of
+/// magnitude.
+///
+/// # Errors
+///
+/// Returns an error when no current id matches `prefix` — a tail gate
+/// that silently matches nothing would pass forever.
+pub fn p99_tail_checks(current: &[Entry], prefix: &str) -> Result<Vec<TailCheck>, String> {
+    let checks: Vec<TailCheck> = current
+        .iter()
+        .filter(|e| e.id.starts_with(prefix))
+        .map(|e| TailCheck {
+            id: e.id.clone(),
+            median_ns: e.median_ns,
+            p99_ns: e.p99_ns,
+        })
+        .collect();
+    if checks.is_empty() {
+        return Err(format!(
+            "no benchmark id under prefix '{prefix}' in the current run"
+        ));
+    }
+    Ok(checks)
+}
+
 /// Matches `current` against `baseline` by id, comparing minimum
 /// iteration times (see the module docs for why not medians).
 pub fn compare(baseline: &[Entry], current: &[Entry]) -> GateReport {
@@ -242,6 +327,7 @@ mod tests {
                 id: id.into(),
                 median_ns,
                 min_ns: median_ns,
+                p99_ns: median_ns,
             })
             .collect()
     }
@@ -253,7 +339,9 @@ mod tests {
             "suite": "sweep",
             "results": [
                 {"id": "replay/16", "iters_per_sample": 4, "samples": 3,
-                 "min_ns": 9.0, "median_ns": 10.0, "p95_ns": 12.0, "mean_ns": 10.5},
+                 "min_ns": 9.0, "median_ns": 10.0, "p95_ns": 12.0,
+                 "p99_ns": 14.0, "mean_ns": 10.5},
+                {"id": "replay/32", "median_ns": 20.0, "p95_ns": 25.0},
                 {"id": "replay/64", "median_ns": 40.0}
             ]
         }"#;
@@ -264,13 +352,23 @@ mod tests {
                 Entry {
                     id: "sweep/replay/16".into(),
                     median_ns: 10.0,
-                    min_ns: 9.0
+                    min_ns: 9.0,
+                    p99_ns: 14.0
+                },
+                Entry {
+                    id: "sweep/replay/32".into(),
+                    median_ns: 20.0,
+                    // No p99_ns (pre-field report): falls back to p95.
+                    min_ns: 20.0,
+                    p99_ns: 25.0
                 },
                 Entry {
                     id: "sweep/replay/64".into(),
                     median_ns: 40.0,
-                    // No min_ns in the report: falls back to median.
-                    min_ns: 40.0
+                    // No min_ns/p95_ns either: everything falls back
+                    // to the median.
+                    min_ns: 40.0,
+                    p99_ns: 40.0
                 },
             ]
         );
@@ -370,6 +468,7 @@ mod tests {
             id: "s/x".into(),
             median_ns: 500.0,
             min_ns: 100.0,
+            p99_ns: 500.0,
         }];
         // Median doubled (machine noise) but the minimum held: the
         // gate must read this as a 10% change, not 2x.
@@ -377,6 +476,7 @@ mod tests {
             id: "s/x".into(),
             median_ns: 1000.0,
             min_ns: 110.0,
+            p99_ns: 1000.0,
         }];
         let report = compare(&baseline, &current);
         assert!((report.comparisons[0].ratio() - 1.1).abs() < 1e-12);
@@ -390,11 +490,13 @@ mod tests {
                 id: "s/on".into(),
                 median_ns: 120.0, // noisy median would read 1.20x…
                 min_ns: 104.0,
+                p99_ns: 120.0,
             },
             Entry {
                 id: "s/off".into(),
                 median_ns: 100.0,
                 min_ns: 100.0,
+                p99_ns: 100.0,
             },
         ];
         // …but the pair compares minima: 1.04x.
@@ -410,6 +512,52 @@ mod tests {
             .contains("s/gone"));
         let degenerate = entries(&[("s/on", 104.0), ("s/off", 0.0)]);
         assert!(pair_ratio(&degenerate, "s/on", "s/off").is_err());
+    }
+
+    #[test]
+    fn tail_checks_cover_exactly_the_prefix() {
+        let current = vec![
+            Entry {
+                id: "serve/serve/solve_hit".into(),
+                median_ns: 100.0,
+                min_ns: 90.0,
+                p99_ns: 500.0,
+            },
+            Entry {
+                id: "serve/serve/health".into(),
+                median_ns: 10.0,
+                min_ns: 9.0,
+                p99_ns: 12.0,
+            },
+            Entry {
+                id: "graph/build".into(),
+                median_ns: 1.0,
+                min_ns: 1.0,
+                p99_ns: 1e9, // outside the prefix: never checked
+            },
+        ];
+        let checks = p99_tail_checks(&current, "serve/").unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!((checks[0].ratio() - 5.0).abs() < 1e-12);
+        // Exactly at the bound passes; strictly beyond fails.
+        assert!(!checks[0].exceeded(5.0));
+        assert!(checks[0].exceeded(4.9));
+        assert!(!checks[1].exceeded(5.0));
+        // An empty prefix match is an error, not a silent pass.
+        assert!(p99_tail_checks(&current, "nope/")
+            .unwrap_err()
+            .contains("nope/"));
+    }
+
+    #[test]
+    fn tail_ratio_survives_degenerate_medians() {
+        let t = TailCheck {
+            id: "z".into(),
+            median_ns: 0.0,
+            p99_ns: 50.0,
+        };
+        assert_eq!(t.ratio(), 1.0);
+        assert!(!t.exceeded(1.5));
     }
 
     #[test]

@@ -166,18 +166,25 @@ COMMANDS:
                      windowed adaptive placement report
   cache <trace> [--sets N] [--ways N] [--window N]
                      DWM cache policy comparison (LRU vs shift-aware)
-  serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N]
-        [--session-capacity N] [--session-ttl SECS] [--no-upgrades]
+  serve [start] [--addr HOST:PORT] [--workers N] [--queue N]
+        [--cache-capacity N] [--session-capacity N] [--session-ttl SECS]
+        [--no-upgrades] [--cluster N]
                      placement-as-a-service daemon (solve/evaluate/
                      simulate/stats/health/metrics over HTTP, plus
                      streaming /session endpoints with phase-triggered
                      re-placement; tiered solves take quality/
                      deadline_us knobs and quality:\"best\" enqueues
                      background tier-2 upgrades unless --no-upgrades;
-                     GET /metrics is a Prometheus scrape;
-                     DWM_SERVE_ADDR overrides the default
-                     127.0.0.1:7077; stops gracefully on
-                     SIGINT/SIGTERM)
+                     GET /metrics is a Prometheus scrape; --cluster N
+                     runs N engine shards behind a consistent-hash
+                     front with disjoint solve-cache slices — see
+                     docs/SERVING.md; DWM_SERVE_ADDR overrides the
+                     default 127.0.0.1:7077; stops gracefully on
+                     SIGINT/SIGTERM or POST /admin/drain)
+  serve status [--addr HOST:PORT]
+                     one /stats round-trip against a running daemon
+  serve drain [--addr HOST:PORT]
+                     ask a running daemon to drain and exit gracefully
   help               this text
 
 GLOBAL FLAGS:
@@ -686,20 +693,81 @@ fn cmd_cache(args: &ParsedArgs) -> CommandResult {
     ))
 }
 
+/// Connects to the daemon named by `--addr`/`DWM_SERVE_ADDR`/the
+/// default address, for the `serve status|drain` lifecycle verbs.
+fn serve_connect(addr: &str) -> Result<dwm_serve::ClientConn, CliError> {
+    use std::net::ToSocketAddrs;
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| CliError::usage(format!("bad daemon address {addr:?}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::usage(format!("daemon address {addr:?} resolves to nothing")))?;
+    dwm_serve::ClientConn::connect(resolved)
+        .map_err(|e| CliError::io(format!("cannot reach dwm-serve at {addr}: {e}")))
+}
+
+/// `serve status`: one `/stats` round-trip, body passed through.
+fn cmd_serve_status(addr: &str) -> CommandResult {
+    let mut conn = serve_connect(addr)?;
+    let resp = conn
+        .get("/stats")
+        .map_err(|e| CliError::io(format!("stats request to {addr} failed: {e}")))?;
+    let body = resp.body_str().unwrap_or("").trim_end();
+    if resp.status != 200 {
+        return Err(CliError::io(format!(
+            "dwm-serve at {addr} answered {}: {body}",
+            resp.status
+        )));
+    }
+    Ok(body.to_owned())
+}
+
+/// `serve drain`: asks the daemon to begin a graceful shutdown.
+fn cmd_serve_drain(addr: &str) -> CommandResult {
+    let mut conn = serve_connect(addr)?;
+    let resp = conn
+        .post_json("/admin/drain", "{}")
+        .map_err(|e| CliError::io(format!("drain request to {addr} failed: {e}")))?;
+    let body = resp.body_str().unwrap_or("").trim_end();
+    if resp.status != 200 {
+        return Err(CliError::io(format!(
+            "dwm-serve at {addr} answered {}: {body}",
+            resp.status
+        )));
+    }
+    Ok(format!("drain requested at {addr}: {body}"))
+}
+
 fn cmd_serve(args: &ParsedArgs) -> CommandResult {
     let mut config = dwm_serve::ServeConfig::default();
     if let Some(addr) = args.opt("addr") {
         config.addr = addr.to_owned();
     }
+    // Lifecycle verb: bare `serve` keeps its historical run-the-daemon
+    // meaning, spelled `serve start` going forward.
+    match args.positional(0, "subcommand") {
+        Err(_) | Ok("start") => {}
+        Ok("status") => return cmd_serve_status(&config.addr),
+        Ok("drain") => return cmd_serve_drain(&config.addr),
+        Ok(other) => {
+            return Err(CliError::usage(format!(
+                "unknown serve subcommand {other:?}; try start, status, or drain"
+            )))
+        }
+    }
     config.workers = args.opt_num("workers", config.workers)?;
     config.queue_capacity = args.opt_num("queue", config.queue_capacity)?;
     config.cache_capacity = args.opt_num("cache-capacity", config.cache_capacity)?;
     config.session_capacity = args.opt_num("session-capacity", config.session_capacity)?;
+    config.cluster = args.opt_num("cluster", config.cluster)?;
     let ttl_secs: u64 = args.opt_num("session-ttl", config.session_ttl.as_secs())?;
     config.session_ttl = std::time::Duration::from_secs(ttl_secs);
     config.upgrades = !args.switch("no-upgrades");
     if config.workers == 0 || config.queue_capacity == 0 {
         return Err(CliError::usage("--workers and --queue must be at least 1"));
+    }
+    if config.cluster == 0 {
+        return Err(CliError::usage("--cluster must be at least 1"));
     }
 
     dwm_serve::signal::install();
@@ -708,13 +776,14 @@ fn cmd_serve(args: &ParsedArgs) -> CommandResult {
     // Printed eagerly (not returned) so operators see it before the
     // daemon blocks.
     println!(
-        "dwm-serve listening on {} ({} workers, queue {}, solve cache {})",
+        "dwm-serve listening on {} ({} workers, queue {}, solve cache {}, cluster {})",
         handle.local_addr(),
         config.workers,
         config.queue_capacity,
-        config.cache_capacity
+        config.cache_capacity,
+        config.cluster
     );
-    while !dwm_serve::signal::triggered() {
+    while !dwm_serve::signal::triggered() && !handle.drain_requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     handle.shutdown();
@@ -1146,5 +1215,44 @@ mod tests {
     fn serve_rejects_zero_workers() {
         let err = run("serve --workers 0").unwrap_err();
         assert_eq!(err.code, CliError::USAGE);
+    }
+
+    #[test]
+    fn serve_rejects_zero_cluster_and_unknown_subcommands() {
+        let err = run("serve --cluster 0").unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
+        let err = run("serve restart").unwrap_err();
+        assert_eq!(err.code, CliError::USAGE);
+        assert!(err.message.contains("restart"), "{}", err.message);
+    }
+
+    #[test]
+    fn serve_status_and_drain_talk_to_a_running_daemon() {
+        let handle = dwm_serve::start(dwm_serve::ServeConfig {
+            cluster: 2,
+            ..dwm_serve::ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let addr = handle.local_addr();
+        let status = run(&format!("serve status --addr {addr}")).unwrap();
+        assert!(status.contains("\"cluster\""), "{status}");
+        assert!(!handle.drain_requested());
+        let drained = run(&format!("serve drain --addr {addr}")).unwrap();
+        assert!(drained.contains("draining"), "{drained}");
+        assert!(handle.drain_requested());
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn serve_status_reports_unreachable_daemons_as_io_errors() {
+        // A port from the ephemeral range that nothing in this test
+        // process is listening on: bind-then-drop guarantees it was
+        // free a moment ago.
+        let free = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = free.local_addr().unwrap();
+        drop(free);
+        let err = run(&format!("serve status --addr {addr}")).unwrap_err();
+        assert_eq!(err.code, CliError::IO);
     }
 }

@@ -44,6 +44,9 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// 95th-percentile sample.
     pub p95_ns: f64,
+    /// 99th-percentile sample. With few samples this degenerates to
+    /// the maximum, which is exactly what a tail-latency gate wants.
+    pub p99_ns: f64,
     /// Mean over all samples.
     pub mean_ns: f64,
 }
@@ -55,6 +58,7 @@ crate::json_struct!(BenchResult {
     min_ns,
     median_ns,
     p95_ns,
+    p99_ns,
     mean_ns
 });
 
@@ -149,6 +153,7 @@ impl Harness {
             min_ns: sample_ns[0],
             median_ns: pick(0.5),
             p95_ns: pick(0.95),
+            p99_ns: pick(0.99),
             mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
         };
         println!(
@@ -477,6 +482,7 @@ mod tests {
         assert_eq!(r.samples, 5);
         assert!(r.min_ns <= r.median_ns);
         assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.p99_ns);
         assert!(r.iters_per_sample >= 1);
     }
 

@@ -27,9 +27,11 @@
 //! and solvers stay byte-deterministic at any `DWM_THREADS` setting.
 //!
 //! A sixth module, [`net`], is the serving substrate: a minimal
-//! HTTP/1.1-style request parser/response writer plus a bounded-queue
-//! TCP server (accept loop, fixed worker pool, backpressure via `503`,
-//! graceful drain on shutdown) that `dwm-serve` builds its
+//! HTTP/1.1-style request parser/response writer plus an epoll
+//! event-loop TCP server (per-shard `SO_REUSEPORT` acceptors,
+//! nonblocking per-connection state machines, a bounded handler pool,
+//! backpressure via `503`, slow-header cutoff via `408`, graceful
+//! drain on shutdown) that `dwm-serve` builds its
 //! placement-as-a-service daemon on.
 //!
 //! A seventh module, [`obs`], is the observability substrate: a

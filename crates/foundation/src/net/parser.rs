@@ -1,0 +1,492 @@
+//! HTTP/1.1-subset framing: request/response types, the blocking
+//! reader used by clients, and the incremental parser the event loop
+//! feeds with whatever bytes the socket had.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on header lines per request.
+pub(crate) const MAX_HEADERS: usize = 64;
+/// Hard cap on one header or request line, in bytes.
+pub(crate) const MAX_LINE: usize = 8 * 1024;
+/// Hard cap on a request body, in bytes (64 MiB — a multi-million
+/// access trace in JSON still fits comfortably).
+pub(crate) const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Error while reading or parsing a request.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The peer sent something that is not a well-formed request.
+    Malformed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One parsed request: method, path, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, verbatim (`/solve`).
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A request with no headers and no body (test/client helper).
+    pub fn new(method: &str, path: &str) -> Self {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `POST` carrying `body` (client helper).
+    pub fn post(path: &str, body: impl Into<Vec<u8>>) -> Self {
+        Request {
+            method: "POST".to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// First value of header `name` (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Serializes the request in wire form (client side).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the optional `\r`.
+/// Returns `Ok(None)` on clean EOF before the first byte.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, NetError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(NetError::Malformed("unexpected EOF in line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| NetError::Malformed("non-UTF-8 header line".into()));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(NetError::Malformed("header line too long".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Parses a `name: value` header line, folding the name to lower case
+/// and enforcing the `content-length` bounds shared by the blocking
+/// and incremental parsers.
+fn parse_header(line: &str, content_length: &mut usize) -> Result<(String, String), NetError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(NetError::Malformed(format!("bad header line {line:?}")));
+    };
+    let name = name.trim().to_ascii_lowercase();
+    let value = value.trim().to_owned();
+    if name == "content-length" {
+        *content_length = value
+            .parse()
+            .map_err(|_| NetError::Malformed(format!("bad content-length {value:?}")))?;
+        if *content_length > MAX_BODY {
+            return Err(NetError::Malformed("body too large".into()));
+        }
+    }
+    Ok((name, value))
+}
+
+/// Splits a request line into method and path.
+fn parse_request_line(line: &str) -> Result<(String, String), NetError> {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) => Ok((method.to_owned(), path.to_owned())),
+        _ => Err(NetError::Malformed(format!("bad request line {line:?}"))),
+    }
+}
+
+/// Reads one request off `r`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] on protocol violations (bad request line,
+/// oversized headers/body, missing UTF-8), [`NetError::Io`] on socket
+/// errors — including read timeouts, which surface as
+/// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`].
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, NetError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let (method, path) = parse_request_line(&request_line)?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(NetError::Malformed("EOF in headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(NetError::Malformed("too many headers".into()));
+        }
+        headers.push(parse_header(&line, &mut content_length)?);
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Outcome of feeding buffered bytes to [`try_parse_request`].
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold one complete request.
+    Incomplete,
+    /// One complete request, and how many buffer bytes it consumed —
+    /// the caller drains that prefix and keeps the rest (pipelining).
+    Complete(Request, usize),
+}
+
+/// Returns the next line in `buf` starting at `start` (CR stripped),
+/// or `Ok(None)` when no full line has arrived yet. The `MAX_LINE`
+/// bound is enforced even on partial lines, so a peer trickling an
+/// endless header cannot grow the buffer unboundedly.
+fn take_line(buf: &[u8], start: usize) -> Result<Option<(&str, usize)>, NetError> {
+    match buf[start..].iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            let mut line = &buf[start..start + i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_LINE {
+                return Err(NetError::Malformed("header line too long".into()));
+            }
+            std::str::from_utf8(line)
+                .map(|s| Some((s, start + i + 1)))
+                .map_err(|_| NetError::Malformed("non-UTF-8 header line".into()))
+        }
+        None if buf.len() - start > MAX_LINE => {
+            Err(NetError::Malformed("header line too long".into()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Incremental request parser for the event loop: inspects the bytes
+/// buffered so far and reports [`Parsed::Incomplete`] until one whole
+/// request (headers plus `content-length` body) has arrived. Protocol
+/// limits are enforced on partial data too, so malformed or abusive
+/// input fails as soon as it is detectable.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`], with the same taxonomy as
+/// [`read_request`]; never [`NetError::Io`].
+pub fn try_parse_request(buf: &[u8]) -> Result<Parsed, NetError> {
+    let Some((request_line, mut pos)) = take_line(buf, 0)? else {
+        return Ok(Parsed::Incomplete);
+    };
+    let (method, path) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some((line, next)) = take_line(buf, pos)? else {
+            return Ok(Parsed::Incomplete);
+        };
+        pos = next;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(NetError::Malformed("too many headers".into()));
+        }
+        let line = line.to_owned();
+        headers.push(parse_header(&line, &mut content_length)?);
+    }
+    if buf.len() < pos + content_length {
+        return Ok(Parsed::Incomplete);
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    Ok(Parsed::Complete(
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        pos + content_length,
+    ))
+}
+
+/// One response: status code plus headers and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 400, 404, 503, …).
+    pub status: u16,
+    /// Extra headers (content-length and connection are added by the
+    /// writer).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: sets `content-type: application/json`.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: body.into(),
+        }
+    }
+
+    /// Appends a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// First value of header `name` (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response in wire form. `close` adds
+    /// `connection: close` (sent on the last response before teardown).
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "connection: {}\r\n\r\n",
+            if close { "close" } else { "keep-alive" }
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads one response off `r` (client side). `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Same contract as [`read_request`].
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Option<Response>, NetError> {
+    let Some(status_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = status_line.split_whitespace();
+    let status = parts
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| NetError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(NetError::Malformed("EOF in headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(NetError::Malformed(format!("bad header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| NetError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Response {
+        status,
+        headers,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_parser_reports_incomplete_until_whole_request() {
+        let wire = b"POST /solve HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(try_parse_request(&wire[..cut]), Ok(Parsed::Incomplete)),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let Parsed::Complete(req, consumed) = try_parse_request(wire).unwrap() else {
+            panic!("full request should parse");
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn incremental_parser_leaves_pipelined_tail_in_place() {
+        let mut wire = Vec::new();
+        Request::new("GET", "/a").write_to(&mut wire).unwrap();
+        let first_len = wire.len();
+        Request::new("GET", "/b").write_to(&mut wire).unwrap();
+        let Parsed::Complete(req, consumed) = try_parse_request(&wire).unwrap() else {
+            panic!("first pipelined request should parse");
+        };
+        assert_eq!(req.path, "/a");
+        assert_eq!(consumed, first_len);
+        let Parsed::Complete(req, _) = try_parse_request(&wire[consumed..]).unwrap() else {
+            panic!("second pipelined request should parse");
+        };
+        assert_eq!(req.path, "/b");
+    }
+
+    #[test]
+    fn incremental_parser_enforces_limits_on_partial_data() {
+        // An endless header line fails before any newline arrives.
+        let trickle = vec![b'a'; MAX_LINE + 1];
+        assert!(try_parse_request(&trickle).is_err());
+        // Oversized declared body fails at the header, not after 64 MiB.
+        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n", MAX_BODY + 1);
+        assert!(try_parse_request(huge.as_bytes()).is_err());
+        // Garbage request lines fail immediately.
+        assert!(try_parse_request(b"garbage\r\n").is_err());
+    }
+
+    #[test]
+    fn incremental_and_blocking_parsers_agree() {
+        let mut wire = Vec::new();
+        let mut req = Request::post("/solve", "{\"k\":1}");
+        req.headers.push(("x-test".into(), "yes".into()));
+        req.write_to(&mut wire).unwrap();
+        let blocking = read_request(&mut std::io::BufReader::new(std::io::Cursor::new(
+            wire.clone(),
+        )))
+        .unwrap()
+        .unwrap();
+        let Parsed::Complete(incremental, consumed) = try_parse_request(&wire).unwrap() else {
+            panic!("should parse");
+        };
+        assert_eq!(blocking, incremental);
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn timeout_status_has_a_reason() {
+        let mut wire = Vec::new();
+        Response::text(408, "request header timeout\n")
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408 Request Timeout\r\n"));
+        assert!(text.contains("connection: close"));
+    }
+}

@@ -482,6 +482,11 @@ const REGISTRY_SHARDS: usize = 8;
 #[derive(Debug)]
 pub struct Registry {
     shards: Vec<Mutex<HashMap<String, Metric>>>,
+    /// Labels stamped onto every metric registered here, ahead of any
+    /// call-site labels. Lets N otherwise-identical registries (e.g.
+    /// per-shard engines in a `dwm-serve` cluster) render side by side
+    /// without name collisions.
+    default_labels: Vec<(String, String)>,
 }
 
 impl Default for Registry {
@@ -493,11 +498,36 @@ impl Default for Registry {
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
+        Self::with_labels(&[])
+    }
+
+    /// An empty registry whose every metric carries `labels` (before
+    /// any labels passed at the registration call site).
+    pub fn with_labels(labels: &[(&str, &str)]) -> Self {
         Registry {
             shards: (0..REGISTRY_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            default_labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
         }
+    }
+
+    /// Builds the full metric key, merging the registry's default
+    /// labels ahead of the call-site ones.
+    fn key(&self, name: &str, labels: &[(&str, &str)]) -> String {
+        if self.default_labels.is_empty() {
+            return full_name(name, labels);
+        }
+        let merged: Vec<(&str, &str)> = self
+            .default_labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(labels.iter().copied())
+            .collect();
+        full_name(name, &merged)
     }
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, Metric>> {
@@ -532,7 +562,7 @@ impl Registry {
     /// [`counter`](Self::counter) with labels (pass them pre-sorted —
     /// the label set is part of the metric identity).
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
-        let key = full_name(name, labels);
+        let key = self.key(name, labels);
         match self.get_or_insert(key, |k| {
             Metric::Counter(Arc::new(Counter::new(k, help.to_owned())))
         }) {
@@ -553,7 +583,7 @@ impl Registry {
 
     /// [`gauge`](Self::gauge) with labels.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
-        let key = full_name(name, labels);
+        let key = self.key(name, labels);
         match self.get_or_insert(key, |k| {
             Metric::Gauge(Arc::new(Gauge::new(k, help.to_owned())))
         }) {
@@ -579,7 +609,7 @@ impl Registry {
         labels: &[(&str, &str)],
         help: &str,
     ) -> Arc<Histogram> {
-        let key = full_name(name, labels);
+        let key = self.key(name, labels);
         match self.get_or_insert(key, |k| {
             Metric::Histogram(Arc::new(Histogram::new(k, help.to_owned())))
         }) {
@@ -602,7 +632,7 @@ impl Registry {
         kind: FnKind,
         read: impl Fn() -> u64 + Send + Sync + 'static,
     ) -> Arc<FnMetric> {
-        let key = full_name(name, &[]);
+        let key = self.key(name, &[]);
         match self.get_or_insert(key, |k| {
             Metric::Fn(Arc::new(FnMetric {
                 name: k,

@@ -273,27 +273,39 @@ impl IdleLane {
                     if shared.closed.load(Ordering::SeqCst) {
                         return;
                     }
-                    if let Some(job) = q.pop_best() {
-                        q.running = true;
-                        break job;
+                    if q.jobs.is_empty() {
+                        q = shared
+                            .cv
+                            .wait_timeout(q, Duration::from_millis(50))
+                            .expect("lane queue poisoned")
+                            .0;
+                        continue;
                     }
-                    q = shared
-                        .cv
-                        .wait_timeout(q, Duration::from_millis(50))
-                        .expect("lane queue poisoned")
-                        .0;
+                    // Idle priority: defer while a foreground section
+                    // is in flight — *before* selecting a job, so the
+                    // weight order is decided when the lane actually
+                    // resumes. Popping first would take the best job
+                    // of a quiet moment hostage while hotter work
+                    // arrives behind it. The lock is released across
+                    // the sleep so submitters never queue behind the
+                    // poll, and shutdown cuts the wait short so drop
+                    // never hangs behind a busy foreground. The poll
+                    // interval is a foreground-visible cost on a
+                    // loaded single-core box — every wakeup steals a
+                    // context switch from whatever is running — so it
+                    // is deliberately coarse; background jobs can
+                    // afford to start a millisecond late.
+                    if foreground_active() {
+                        drop(q);
+                        std::thread::sleep(Duration::from_millis(1));
+                        q = shared.queue.lock().expect("lane queue poisoned");
+                        continue;
+                    }
+                    let job = q.pop_best().expect("queue checked non-empty");
+                    q.running = true;
+                    break job;
                 }
             };
-            // Idle priority: hold the job until no foreground section
-            // is in flight (shutdown cuts the wait short so drop never
-            // hangs behind a busy foreground). The poll interval is a
-            // foreground-visible cost on a loaded single-core box —
-            // every wakeup steals a context switch from whatever is
-            // running — so it is deliberately coarse; background jobs
-            // can afford to start a millisecond late.
-            while foreground_active() && !shared.closed.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(1));
-            }
             {
                 let _pin = override_threads_local(1);
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));

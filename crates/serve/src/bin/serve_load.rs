@@ -5,6 +5,7 @@
 //!            [--workloads N] [--items N] [--len N] [--seed N]
 //!            [--algorithm NAME] [--quality NAME] [--deadline-us N]
 //!            [--min-rps N] [--sessions N] [--wait-ready SECS]
+//!            [--idle-conns N]
 //! ```
 //!
 //! Exits 0 iff every request got a 2xx with a body consistent with
@@ -25,6 +26,13 @@
 //! budget — i.e. p99 under budget and zero deadline misses. The CI
 //! deadline-contract step runs `--quality fast --deadline-us …` to pin
 //! the tier-0 latency envelope.
+//!
+//! `--idle-conns N` parks `N` extra keep-alive connections (each
+//! verified live with a `/health` round-trip) for the whole run and
+//! re-verifies them afterwards — the C10k proof. The run fails unless
+//! every parked connection survived; the process raises its own file-
+//! descriptor limit as far as the hard cap allows first. The CI C10k
+//! smoke step runs `--idle-conns 10000` against a release daemon.
 //!
 //! With `--sessions N` the harness switches to session mode: it opens
 //! `N` streaming sessions, streams each workload to them closed-loop
@@ -63,6 +71,7 @@ fn main() -> ExitCode {
     let mut min_rps = 0f64;
     let mut sessions = 0usize;
     let mut wait_ready_secs = 0f64;
+    let mut idle_conns = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,7 +82,7 @@ fn main() -> ExitCode {
                 "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients N] \
                  [--workloads N] [--items N] [--len N] [--seed N] [--algorithm NAME] \
                  [--quality NAME] [--deadline-us N] [--min-rps N] [--sessions N] \
-                 [--wait-ready SECS]"
+                 [--wait-ready SECS] [--idle-conns N]"
             );
             return ExitCode::SUCCESS;
         }
@@ -132,6 +141,10 @@ fn main() -> ExitCode {
                 Ok(v) if v >= 0.0 => wait_ready_secs = v,
                 _ => return fail("--wait-ready must be a nonnegative number of seconds"),
             },
+            "--idle-conns" => match parsed_usize() {
+                Ok(v) => idle_conns = v,
+                Err(_) => return fail("--idle-conns must be an unsigned integer"),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -167,6 +180,7 @@ fn main() -> ExitCode {
         algorithm: algorithm.unwrap_or_else(|| "hybrid".to_owned()),
         quality,
         deadline_us,
+        idle_conns,
     };
     let outcome = if sessions > 0 {
         run_sessions(&config, sessions)

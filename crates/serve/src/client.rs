@@ -11,8 +11,13 @@ use std::net::{SocketAddr, TcpStream};
 use dwm_foundation::net::{read_response, NetError, Request, Response};
 
 /// One keep-alive connection to a running daemon.
+///
+/// Holds exactly one file descriptor: the stream lives inside the
+/// read buffer and writes borrow it out. The alternative —
+/// `try_clone` into a separate writer — duplicates the fd, which
+/// would double the cost of the C10k idle-connection hold
+/// (`serve_load --idle-conns`) and halve how many a process can park.
 pub struct ClientConn {
-    writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
@@ -23,12 +28,13 @@ impl ClientConn {
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
         // Requests are small and latency-bound; Nagle + delayed ACK
         // would add a ~40 ms stall to every round-trip.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(ClientConn { writer, reader })
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            reader: BufReader::new(stream),
+        })
     }
 
     /// Sends one request and blocks for its response.
@@ -42,8 +48,9 @@ impl ClientConn {
         // segment), not a header-by-header trickle.
         let mut wire = Vec::with_capacity(256 + req.body.len());
         req.write_to(&mut wire)?;
-        self.writer.write_all(&wire)?;
-        self.writer.flush()?;
+        let writer = self.reader.get_mut();
+        writer.write_all(&wire)?;
+        writer.flush()?;
         match read_response(&mut self.reader) {
             Ok(Some(resp)) => Ok(resp),
             Ok(None) => Err(io::Error::new(

@@ -96,6 +96,11 @@ pub struct EngineConfig {
     /// Whether `quality:"best"` solves enqueue background tier-2
     /// upgrades on the idle lane (`--no-upgrades` turns this off).
     pub upgrades: bool,
+    /// Cluster shard index, if this engine is one shard of a
+    /// `--cluster N` daemon. Stamps every metric in the engine's
+    /// registry with a `shard="i"` label so N shard registries render
+    /// side by side in one `/metrics` scrape.
+    pub shard: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +110,7 @@ impl Default for EngineConfig {
             session_capacity: 64,
             session_ttl: Duration::from_secs(600),
             upgrades: true,
+            shard: None,
         }
     }
 }
@@ -165,7 +171,10 @@ impl Engine {
             config.session_capacity,
             config.session_ttl,
         ));
-        let registry = Arc::new(obs::Registry::new());
+        let registry = Arc::new(match config.shard {
+            Some(shard) => obs::Registry::with_labels(&[("shard", &shard.to_string())]),
+            None => obs::Registry::new(),
+        });
         let endpoint = |ep: &str| {
             registry.counter_with(
                 "dwm_serve_endpoint_requests_total",

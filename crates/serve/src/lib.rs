@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod load;
 pub mod protocol;
@@ -53,6 +54,7 @@ pub mod signal;
 
 pub use cache::{CacheStats, SolveCache};
 pub use client::ClientConn;
+pub use cluster::Cluster;
 pub use engine::{Engine, EngineConfig};
 pub use load::{LoadConfig, LoadReport};
 pub use server::{start, ServeConfig, ServeHandle};

@@ -30,6 +30,18 @@
 //! [`LoadReport::deadline_misses`] — the CI deadline-contract step
 //! asserts this stays zero at `quality:"fast"`.
 //!
+//! # The C10k proof
+//!
+//! With [`LoadConfig::idle_conns`] set, the harness parks that many
+//! extra keep-alive connections — each verified with a `/health`
+//! round-trip — before the clock starts, leaves them untouched for the
+//! whole run, and re-verifies every one afterwards on the same socket.
+//! [`LoadReport::idle_held`] counts the survivors; a parked connection
+//! the server shed under load counts as an error. This is the harness
+//! side of the event loop's cheap-idle-connection promise (idle
+//! keep-alive connections are exempt from the read deadline and cost
+//! no worker thread), exercised at 10 000 connections in CI.
+//!
 //! [`wait_ready`] is the polling twin of a shell spin-wait: it retries
 //! `GET /health` until the daemon answers 200 or the timeout lapses,
 //! so scripts can start a daemon in the background and block on
@@ -77,6 +89,11 @@ pub struct LoadConfig {
     /// server-side elapsed time exceeds it count as deadline misses.
     /// In session mode this is forwarded as `replace_deadline_us`.
     pub deadline_us: Option<u64>,
+    /// Idle keep-alive connections parked for the whole run (the C10k
+    /// proof). Each proves itself live with one `/health` round-trip
+    /// before the clock starts, then just sits there; the active
+    /// clients must be unaffected. 0 disables.
+    pub idle_conns: usize,
 }
 
 impl LoadConfig {
@@ -93,6 +110,7 @@ impl LoadConfig {
             algorithm: "hybrid".to_owned(),
             quality: None,
             deadline_us: None,
+            idle_conns: 0,
         }
     }
 }
@@ -124,6 +142,11 @@ pub struct LoadReport {
     /// Responses whose server-side time exceeded
     /// [`LoadConfig::deadline_us`]. Always zero without a deadline.
     pub deadline_misses: u64,
+    /// Idle keep-alive connections held open for the whole run — each
+    /// verified live with a `/health` round-trip both before the clock
+    /// started *and after the load finished* (a parked connection that
+    /// silently died in between counts as an error instead).
+    pub idle_held: u64,
 }
 
 impl LoadReport {
@@ -175,6 +198,12 @@ impl LoadReport {
                 server_pct(0.50),
                 server_pct(0.99),
                 self.deadline_misses,
+            ));
+        }
+        if self.idle_held > 0 {
+            line.push_str(&format!(
+                ", {} idle connections held through the run",
+                self.idle_held
             ));
         }
         line
@@ -247,7 +276,32 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
         .map(|_| Mutex::new(Histogram::new()))
         .collect();
 
-    // Connect everyone before starting the clock.
+    // C10k proof: park the idle keep-alive connections first, each
+    // verified live with one /health round-trip. They sit untouched
+    // for the whole run — the event loop must hold them at zero cost
+    // while the active clients below get full service.
+    let mut idle = Vec::with_capacity(config.idle_conns);
+    if config.idle_conns > 0 {
+        dwm_foundation::net::raise_nofile_limit();
+        for i in 0..config.idle_conns {
+            let mut conn = ClientConn::connect(config.addr).map_err(|e| {
+                std::io::Error::other(format!(
+                    "idle connection {i}/{} failed to open: {e}",
+                    config.idle_conns
+                ))
+            })?;
+            let live = conn.get("/health").map(|r| r.is_success()).unwrap_or(false);
+            if !live {
+                return Err(std::io::Error::other(format!(
+                    "idle connection {i}/{} failed its liveness probe",
+                    config.idle_conns
+                )));
+            }
+            idle.push(conn);
+        }
+    }
+
+    // Connect the active clients before starting the clock.
     let mut conns = Vec::new();
     for _ in 0..config.clients.max(1) {
         conns.push(Some(ClientConn::connect(config.addr)?));
@@ -329,6 +383,19 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
     });
     let elapsed = started.elapsed();
 
+    // The parked connections must have survived the load untouched:
+    // each answers one more /health on the same keep-alive socket. A
+    // dead one means the server shed idle connections under load.
+    let mut idle_held = 0u64;
+    let mut idle_errors = 0u64;
+    for conn in &mut idle {
+        match conn.get("/health") {
+            Ok(r) if r.is_success() => idle_held += 1,
+            _ => idle_errors += 1,
+        }
+    }
+    drop(idle);
+
     let mut latency = Histogram::new();
     for h in &histograms {
         latency.merge(&h.lock().unwrap());
@@ -340,7 +407,7 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
     Ok(LoadReport {
         sent: config.requests as u64,
         ok: ok.load(Ordering::Relaxed),
-        errors: errors.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed) + idle_errors,
         mismatches: mismatches.load(Ordering::Relaxed),
         hits: hits.load(Ordering::Relaxed),
         misses: misses.load(Ordering::Relaxed),
@@ -348,6 +415,7 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
         latency,
         server_elapsed,
         deadline_misses: deadline_misses.load(Ordering::Relaxed),
+        idle_held,
     })
 }
 
@@ -527,6 +595,7 @@ pub fn run_sessions(config: &LoadConfig, sessions: usize) -> std::io::Result<Loa
         latency,
         server_elapsed: Histogram::new(),
         deadline_misses: 0,
+        idle_held: 0,
     })
 }
 
@@ -721,6 +790,35 @@ mod tests {
 
         assert!(report.all_ok(), "{}", report.summary());
         assert_eq!(report.sent, 12); // ceil(600/256)=3 chunks × 4 sessions
+    }
+
+    #[test]
+    fn idle_connections_survive_an_active_load_run() {
+        let handle = start(ServeConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..ServeConfig::ephemeral()
+        })
+        .unwrap();
+        let config = LoadConfig {
+            requests: 30,
+            clients: 3,
+            workloads: 3,
+            items: 24,
+            len: 600,
+            idle_conns: 200,
+            ..LoadConfig::new(handle.local_addr())
+        };
+        let report = run(&config).unwrap();
+        handle.shutdown();
+        handle.join();
+
+        assert!(report.all_ok(), "{}", report.summary());
+        assert_eq!(report.idle_held, 200, "{}", report.summary());
+        // The parked connections never send requests, so the request
+        // tally is untouched by them.
+        assert_eq!(report.sent, 30);
+        assert!(report.summary().contains("200 idle connections"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 # minimum is more than DWM_BENCH_GATE_THRESHOLD (default 0.25 = 25%)
 # slower. Minima, not medians: on a small shared box scheduler noise
 # swings medians by tens of percent while minima stay put, and a real
-# regression raises the minimum too.
+# regression raises the minimum too. The serve suite additionally
+# carries a same-run p99 tail bound (see P99 below) so request-latency
+# tails are gated, not just best cases.
 #
 # After an intentional performance change (or on a new reference
 # machine), re-baseline and commit the result:
@@ -66,6 +68,15 @@ SPEEDUP=(--min-speedup graph/algo/local_search_scalar/4096
                        graph/algo/local_search/4096
                        "${DWM_BENCH_LS_SPEEDUP:-2.0}")
 
+# Same-run p99 tail bound on the serve suite: every serve/* bench's
+# 99th-percentile iteration time must stay within the factor times its
+# own median. Like the pairs this is machine-drift immune (p99 and
+# median scale together with the box), but an event-loop pathology —
+# a lost wakeup, a convoy behind accept — blows the ratio up by orders
+# of magnitude. 20x default: serve medians sit at 60us-4ms, so honest
+# scheduler noise stays far below it.
+P99=(--p99-tail serve/ "${DWM_BENCH_P99_TAIL:-20}")
+
 # Every gate run appends a perf-trajectory snapshot
 # (results/bench_history/BENCH_<n>.json) so performance over time is
 # diffable, not just pass/fail.
@@ -74,10 +85,10 @@ SUMMARY=(--summary-json "${DWM_BENCH_SUMMARY_DIR:-results/bench_history}")
 mkdir -p results
 if [[ "${1:-}" == "--rebaseline" ]]; then
   cargo run --release -q -p dwm-bench --bin bench_compare -- \
-    --write-baseline "${PAIR[@]}" "${SPEEDUP[@]}" "${SUMMARY[@]}" \
+    --write-baseline "${PAIR[@]}" "${SPEEDUP[@]}" "${P99[@]}" "${SUMMARY[@]}" \
     "$BASELINE" "$reports"
 else
   cargo run --release -q -p dwm-bench --bin bench_compare -- \
-    --threshold "$THRESHOLD" "${PAIR[@]}" "${SPEEDUP[@]}" "${SUMMARY[@]}" \
-    "$BASELINE" "$reports"
+    --threshold "$THRESHOLD" "${PAIR[@]}" "${SPEEDUP[@]}" "${P99[@]}" \
+    "${SUMMARY[@]}" "$BASELINE" "$reports"
 fi

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Documentation smoke test: extracts the fenced ```sh blocks from the
-# README's Quickstart, Trace profiling, Topologies, and Sessions
-# sections — plus the self-contained Tiers walkthrough inside Serving —
-# and actually runs them, so the
+# README's Quickstart, Trace profiling, Topologies, Sessions, and
+# Cluster sections — plus the self-contained Tiers walkthrough inside
+# Serving — and actually runs them, so the
 # commands users copy-paste can never rot. (The Rust quickstart block
 # is already compiled and run by rustdoc via the README doctest
 # include.)
@@ -21,13 +21,13 @@ rm -rf "$workdir"
 mkdir -p "$workdir"
 
 # Pull every ```sh block between a covered heading ('## Quickstart',
-# '## Trace profiling', '## Topologies', '## Sessions', '### Tiers')
-# and the next
+# '## Trace profiling', '## Topologies', '## Sessions', '### Tiers',
+# '## Cluster') and the next
 # heading at the same or a higher level into numbered scripts. The rest of Serving is excluded
 # on purpose: its blocks are illustrative fragments (bare `dwmplace`,
 # curls against an unstated daemon), not runnable walkthroughs.
 awk -v out="$workdir/block" '
-  /^## Quickstart/ || /^## Sessions/ || /^### Tiers/ || /^## Trace profiling/ || /^## Topologies/ { in_section = 1; next }
+  /^## Quickstart/ || /^## Sessions/ || /^### Tiers/ || /^## Trace profiling/ || /^## Topologies/ || /^## Cluster/ { in_section = 1; next }
   /^## / || /^### /  { in_section = 0 }
   !in_section        { next }
   /^```sh$/          { in_block = 1; n++; next }

@@ -908,3 +908,335 @@ fn load_harness_reports_clean_deterministic_run() {
         report.summary()
     );
 }
+
+// ---------------------------------------------------------------------
+// Event-loop protocol edges and the cluster front (see docs/SERVING.md)
+// ---------------------------------------------------------------------
+
+/// Runs the shared request sequence against a clustered daemon and
+/// returns the response bodies.
+fn run_cluster_sequence(cluster: usize, workers: usize) -> Vec<String> {
+    let handle = start(ServeConfig {
+        workers,
+        cache_capacity: 64,
+        cluster,
+        ..ServeConfig::ephemeral()
+    })
+    .expect("clustered loopback server starts");
+    let mut conn = ClientConn::connect(handle.local_addr()).expect("connect");
+    let bodies: Vec<String> = request_sequence()
+        .iter()
+        .map(|(path, body)| {
+            let resp = conn.post_json(path, body.as_str()).expect("response");
+            assert!(resp.is_success(), "{path}: status {}", resp.status);
+            resp.body_str().expect("utf-8 body").to_owned()
+        })
+        .collect();
+    handle.shutdown();
+    handle.join();
+    bodies
+}
+
+#[test]
+fn cluster_bodies_are_byte_identical_across_shard_counts_and_threads() {
+    // The determinism contract must not care how many engine shards sit
+    // behind the consistent-hash front or how wide the solver pool is:
+    // same requests, same bytes, for every (cluster, threads) corner.
+    let single = {
+        let _guard = par::override_threads(1);
+        run_sequence(1)
+    };
+    let corners = [
+        {
+            let _guard = par::override_threads(1);
+            run_cluster_sequence(1, 1)
+        },
+        {
+            let _guard = par::override_threads(1);
+            run_cluster_sequence(4, 1)
+        },
+        {
+            let _guard = par::override_threads(8);
+            run_cluster_sequence(4, 8)
+        },
+    ];
+    for (i, bodies) in corners.iter().enumerate() {
+        assert_eq!(
+            &single, bodies,
+            "cluster corner {i} diverged from the single-engine bodies"
+        );
+    }
+}
+
+#[test]
+fn cluster_stats_and_metrics_agree_on_the_routed_family() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        cluster: 3,
+        ..ServeConfig::ephemeral()
+    })
+    .unwrap();
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    // Spread some traffic: distinct solves hash to (potentially)
+    // different shards; sessions and health pin to shard 0.
+    for k in 0..6u32 {
+        let ids: Vec<String> = (0..40).map(|i| ((i * (k + 3)) % 13).to_string()).collect();
+        let body = format!(r#"{{"ids":[{}]}}"#, ids.join(","));
+        assert!(conn
+            .post_json("/solve", body.as_str())
+            .unwrap()
+            .is_success());
+    }
+    assert!(conn.get("/health").unwrap().is_success());
+
+    let stats = conn.get("/stats").unwrap();
+    let stats_json = dwm_foundation::json::parse(stats.body_str().unwrap()).expect("stats JSON");
+    let obj = stats_json.as_object().expect("stats object");
+    let cluster = obj
+        .get("cluster")
+        .and_then(|v| v.as_object())
+        .expect("cluster section");
+    let num = |v: &dwm_foundation::json::Value| v.as_number().and_then(|n| n.as_u64());
+    assert_eq!(cluster.get("shards").and_then(&num), Some(3));
+    let shards = obj
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .expect("per-shard stats array");
+    assert_eq!(shards.len(), 3);
+    // Shard 0 owns /health: its own stats object counted it.
+    let shard0 = shards[0].as_object().expect("shard 0 stats");
+    assert!(shard0.get("requests").and_then(&num).unwrap() >= 1);
+
+    // /stats and /metrics are two renderings of the same cluster
+    // registry: the routed counters must agree exactly per shard.
+    let routed = cluster
+        .get("routed")
+        .and_then(|v| v.as_object())
+        .expect("routed section");
+    let metrics = conn.get("/metrics").unwrap();
+    let text = metrics.body_str().unwrap().to_owned();
+    let mut total = 0;
+    for shard in 0..3 {
+        let from_stats = routed.get(&shard.to_string()).and_then(&num).unwrap();
+        let from_scrape = scrape_value(
+            &text,
+            &format!(r#"dwm_serve_cluster_routed_total{{shard="{shard}"}}"#),
+        );
+        assert_eq!(from_stats, from_scrape, "routed[{shard}] disagrees");
+        total += from_stats;
+    }
+    // 6 solves + 1 health were routed; /stats and /metrics are answered
+    // by the front itself and never counted.
+    assert_eq!(total, 7);
+    // Every shard's engine registry appears in the joined scrape under
+    // its shard label.
+    for shard in 0..3 {
+        assert!(
+            text.contains(&format!(r#"dwm_serve_requests_total{{shard="{shard}"}}"#)),
+            "shard {shard} engine registry missing from the cluster scrape:\n{text}"
+        );
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn event_loop_metric_families_cover_the_transport_stats() {
+    let handle = ephemeral_server(2, 16);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    assert!(conn.get("/health").unwrap().is_success());
+    let metrics = conn.get("/metrics").unwrap();
+    let text = metrics.body_str().unwrap().to_owned();
+
+    // The event-loop families from docs/OBSERVABILITY.md all exist the
+    // moment a server has started (registered eagerly, not on first
+    // event).
+    for family in [
+        "dwm_net_connections_accepted_total",
+        "dwm_net_connections_rejected_total",
+        "dwm_net_requests_total",
+        "dwm_net_malformed_requests_total",
+        "dwm_net_queue_depth",
+        "dwm_net_handler_latency_ns",
+        "dwm_net_loop_wakeups_total",
+        "dwm_net_readiness_queue_depth",
+        "dwm_net_open_connections",
+        "dwm_net_read_timeouts_total",
+        r#"dwm_net_shard_accepted_total{shard="0"}"#,
+        r#"dwm_net_shard_open_connections{shard="0"}"#,
+    ] {
+        assert!(text.contains(family), "family {family} missing:\n{text}");
+    }
+
+    // The transport families live in the process-global registry, which
+    // every concurrently running test server shares — so the scrape is
+    // a monotone upper bound on this one server's counters, never less.
+    use std::sync::atomic::Ordering;
+    let stats = handle.stats();
+    assert!(
+        scrape_value(&text, "dwm_net_connections_accepted_total")
+            >= stats.accepted.load(Ordering::Relaxed)
+    );
+    assert!(
+        scrape_value(&text, "dwm_net_requests_total") >= stats.requests.load(Ordering::Relaxed)
+    );
+    assert!(stats.accepted.load(Ordering::Relaxed) >= 1);
+    assert!(stats.requests.load(Ordering::Relaxed) >= 2);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_preserve_framing() {
+    let handle = ephemeral_server(2, 16);
+    let addr = handle.local_addr();
+
+    // Three requests in one burst before reading anything: the daemon
+    // must answer all three, in order, on the one connection.
+    let mut wire = Vec::new();
+    Request::new("GET", "/health").write_to(&mut wire).unwrap();
+    Request::post("/solve", br#"{"ids":[0,2,0,2,1]}"#.to_vec())
+        .write_to(&mut wire)
+        .unwrap();
+    Request::new("GET", "/health").write_to(&mut wire).unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let first = read_response(&mut reader).unwrap().expect("first response");
+    assert_eq!(first.status, 200);
+    assert_eq!(
+        first.body_str().unwrap(),
+        r#"{"status":"ok","service":"dwm-serve"}"#
+    );
+    let second = read_response(&mut reader)
+        .unwrap()
+        .expect("second response");
+    assert_eq!(second.status, 200);
+    assert!(second.body_str().unwrap().contains(r#""results""#));
+    let third = read_response(&mut reader).unwrap().expect("third response");
+    assert_eq!(third.status, 200);
+    assert_eq!(first.body_str(), third.body_str());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn slow_header_writer_is_cut_off_with_408() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        read_deadline: std::time::Duration::from_millis(150),
+        ..ServeConfig::ephemeral()
+    })
+    .unwrap();
+
+    // A slowloris client: opens, writes half a request line, stalls.
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(b"POST /sol").unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let resp = read_response(&mut reader)
+        .expect("a 408, not a reset")
+        .expect("a response, not silent EOF");
+    assert_eq!(resp.status, 408);
+    assert_eq!(resp.header("connection"), Some("close"));
+    let eof = read_response(&mut reader).expect("clean close after 408");
+    assert!(eof.is_none(), "connection must close after the timeout");
+
+    // The daemon itself is unharmed.
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    assert!(conn.get("/health").unwrap().is_success());
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// A solve body big enough that its response (a placement array over
+/// every item) overflows the kernel socket buffer of a non-reading
+/// client, forcing the event loop through its partial-write path.
+fn large_solve_body() -> String {
+    let ids: Vec<String> = (0..60_000u32).map(|i| i.to_string()).collect();
+    format!(r#"{{"algorithm":"organ-pipe","ids":[{}]}}"#, ids.join(","))
+}
+
+#[test]
+fn partial_writes_to_a_slow_reader_preserve_framing() {
+    let handle = ephemeral_server(2, 16);
+    let addr = handle.local_addr();
+
+    // Reference bytes from a promptly reading client.
+    let mut prompt = ClientConn::connect(addr).unwrap();
+    let reference = prompt.post_json("/solve", large_solve_body()).unwrap();
+    assert!(reference.is_success());
+
+    // The slow client writes the request, then refuses to read while
+    // the server fills the socket buffer and has to park the remainder
+    // behind EPOLLOUT.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut wire = Vec::new();
+    Request::post("/solve", large_solve_body().into_bytes())
+        .write_to(&mut wire)
+        .unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    let mut reader = std::io::BufReader::new(stream);
+    let resp = read_response(&mut reader)
+        .expect("readable response")
+        .expect("a response despite the stalled buffer");
+    assert_eq!(resp.status, 200);
+    // The cache field legitimately flips miss→hit between the two
+    // requests; everything from "results" on must be byte-identical.
+    let results = |r: &Response| {
+        r.body_str()
+            .and_then(|b| {
+                b.split_once(r#""results":"#)
+                    .map(|(_, rest)| rest.to_owned())
+            })
+            .expect("results portion")
+    };
+    assert_eq!(
+        results(&resp),
+        results(&reference),
+        "partial writes must reassemble to the exact same bytes"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn mid_response_disconnect_leaves_the_daemon_serving() {
+    let handle = ephemeral_server(2, 16);
+    let addr = handle.local_addr();
+
+    // Ask for a big response and vanish before reading it: the write
+    // path hits a dead peer (EPIPE/ECONNRESET) and must just drop the
+    // connection, not panic or wedge a shard.
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        Request::post("/solve", large_solve_body().into_bytes())
+            .write_to(&mut wire)
+            .unwrap();
+        stream.write_all(&wire).unwrap();
+        drop(stream);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Fresh connections still get full service afterwards.
+    let mut conn = ClientConn::connect(addr).unwrap();
+    assert!(conn.get("/health").unwrap().is_success());
+    let solve = conn.post_json("/solve", r#"{"ids":[0,1,0,2]}"#).unwrap();
+    assert!(solve.is_success());
+
+    handle.shutdown();
+    handle.join();
+}
